@@ -1,0 +1,94 @@
+// Shared harness for the per-table / per-figure benchmark binaries. Each
+// experiment runs the *distributed algorithms for real* inside the simmpi
+// runtime and reports:
+//   time    — simulated critical-path seconds (max logical clock),
+//   t_scu   — Schur-complement compute seconds on the critical-path rank,
+//   t_comm  — non-overlapped communication + synchronization on that rank,
+//   w_fact  — max per-rank bytes received in the XY plane (paper W_fact),
+//   w_red   — max per-rank bytes received along Z (paper W_red),
+//   memory  — numeric block bytes, total and max per rank.
+#pragma once
+
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "lu3d/factor3d.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+#include "support/table.hpp"
+
+namespace slu3d::bench {
+
+struct DistMetrics {
+  double time = 0;
+  double t_scu = 0;
+  double t_comm = 0;
+  offset_t w_fact = 0;
+  offset_t w_red = 0;
+  offset_t mem_total = 0;
+  offset_t mem_max = 0;
+};
+
+/// Default Edison-like machine model shared by all benches.
+inline sim::MachineModel machine_model() { return sim::MachineModel{}; }
+
+/// Runs the 3D algorithm (Pz == 1 gives exactly the 2D baseline schedule)
+/// on a Px x Py x Pz grid and collects the metrics above.
+inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
+                               int Px, int Py, int Pz, int lookahead = 8,
+                               PartitionStrategy strategy = PartitionStrategy::Greedy) {
+  const ForestPartition part(bs, Pz, strategy);
+  const int P = Px * Py * Pz;
+  std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
+  const sim::RunResult res =
+      sim::run_ranks(P, machine_model(), [&](sim::Comm& world) {
+        auto grid = sim::ProcessGrid3D::create(world, Px, Py, Pz);
+        Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
+        mem[static_cast<std::size_t>(world.rank())] = F.allocated_bytes();
+        Lu3dOptions opt;
+        opt.lu2d.lookahead = lookahead;
+        factorize_3d(F, grid, part, opt);
+      });
+
+  DistMetrics m;
+  m.time = res.max_clock();
+  // Critical-path rank: the one with the largest final clock.
+  const sim::RankStats* crit = &res.ranks.front();
+  for (const auto& r : res.ranks)
+    if (r.clock > crit->clock) crit = &r;
+  m.t_scu = crit->compute_seconds[static_cast<int>(sim::ComputeKind::SchurUpdate)];
+  m.t_comm = crit->comm_seconds();
+  m.w_fact = res.max_bytes_received(sim::CommPlane::XY);
+  m.w_red = res.max_bytes_received(sim::CommPlane::Z);
+  for (offset_t b : mem) {
+    m.mem_total += b;
+    m.mem_max = std::max(m.mem_max, b);
+  }
+  return m;
+}
+
+/// Ordering used everywhere: exact geometric ND when the generator left a
+/// grid geometry, general BFS dissection otherwise.
+inline SeparatorTree order_matrix(const TestMatrix& t, index_t leaf_size = 32) {
+  if (t.geom.nx > 0 && t.geom.n() == t.A.n_rows())
+    return geometric_nd(t.geom, {.leaf_size = leaf_size});
+  return nested_dissection(t.A, {.leaf_size = leaf_size});
+}
+
+/// Benchmark problem scale: 0 (tiny) to 2 (large), from SLU3D_SCALE.
+inline int bench_scale() {
+  if (const char* s = std::getenv("SLU3D_SCALE")) return std::atoi(s);
+  return 1;
+}
+
+/// Splits P into the most balanced Px x Py with Px <= Py.
+inline std::pair<int, int> square_ish(int P) {
+  int best = 1;
+  for (int d = 1; d * d <= P; ++d)
+    if (P % d == 0) best = d;
+  return {best, P / best};
+}
+
+}  // namespace slu3d::bench

@@ -1,0 +1,79 @@
+// Exports the paper's figure data as CSV files (one per figure), so the
+// plots can be regenerated with tools/plot_results.py or any spreadsheet.
+//
+//   $ ./export_csv [output_dir]      (default: ./results)
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace slu3d;
+
+void export_fig9_fig10_fig11(const std::string& dir) {
+  const auto suite = paper_test_suite(bench::bench_scale());
+  std::ofstream f9(dir + "/fig9_normalized_time.csv");
+  f9 << "matrix,class,P,Pz,Px,Py,time_s,t_scu_s,t_comm_s\n";
+  std::ofstream f10(dir + "/fig10_comm_volume.csv");
+  f10 << "matrix,class,P,Pz,w_fact_bytes,w_red_bytes\n";
+  std::ofstream f11(dir + "/fig11_memory.csv");
+  f11 << "matrix,class,P,Pz,mem_total_bytes,mem_max_bytes\n";
+
+  for (const auto& t : suite) {
+    const SeparatorTree tree = bench::order_matrix(t);
+    const BlockStructure bs(t.A, tree);
+    const CsrMatrix Ap = t.A.permuted_symmetric(tree.perm());
+    const char* cls = t.planar ? "planar" : "nonplanar";
+    for (int P : {16, 64, 128}) {
+      for (int Pz : {1, 2, 4, 8, 16}) {
+        if (P % Pz != 0) continue;
+        const auto [Px, Py] = bench::square_ish(P / Pz);
+        const auto m = bench::run_dist_lu(bs, Ap, Px, Py, Pz);
+        f9 << t.name << ',' << cls << ',' << P << ',' << Pz << ',' << Px
+           << ',' << Py << ',' << m.time << ',' << m.t_scu << ',' << m.t_comm
+           << '\n';
+        f10 << t.name << ',' << cls << ',' << P << ',' << Pz << ','
+            << m.w_fact << ',' << m.w_red << '\n';
+        f11 << t.name << ',' << cls << ',' << P << ',' << Pz << ','
+            << m.mem_total << ',' << m.mem_max << '\n';
+      }
+    }
+    std::cout << "exported " << t.name << "\n";
+  }
+}
+
+void export_fig12(const std::string& dir) {
+  const auto suite = paper_test_suite(bench::bench_scale());
+  std::ofstream f(dir + "/fig12_heatmap.csv");
+  f << "matrix,class,Pxy,Pz,gflops\n";
+  for (const auto& t : suite) {
+    if (t.name != "K2D5pt" && t.name != "nlpkkt3d") continue;
+    const SeparatorTree tree = bench::order_matrix(t);
+    const BlockStructure bs(t.A, tree);
+    const CsrMatrix Ap = t.A.permuted_symmetric(tree.perm());
+    const double flops = static_cast<double>(bs.total_flops());
+    for (int pz : {1, 2, 4, 8}) {
+      for (int pxy : {4, 8, 16, 32}) {
+        const auto [Px, Py] = bench::square_ish(pxy);
+        const auto m = bench::run_dist_lu(bs, Ap, Px, Py, pz);
+        f << t.name << ',' << (t.planar ? "planar" : "nonplanar") << ','
+          << pxy << ',' << pz << ',' << flops / m.time / 1e9 << '\n';
+      }
+    }
+    std::cout << "exported heatmap " << t.name << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "results";
+  std::filesystem::create_directories(dir);
+  export_fig9_fig10_fig11(dir);
+  export_fig12(dir);
+  std::cout << "CSV files written to " << dir
+            << "; plot with tools/plot_results.py\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Machine-model sensitivity: the paper's motivation is that communication
+// dominates in the strong-scaling regime, so the 3D algorithm's advantage
+// should grow as the network gets relatively slower. Sweeps the machine's
+// latency (alpha) and inverse bandwidth (beta) around the Edison-like
+// defaults and reports best-3D over 2D speedup on a planar problem.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+slu3d::bench::DistMetrics run_with(const slu3d::BlockStructure& bs,
+                                   const slu3d::CsrMatrix& Ap, int Px, int Py,
+                                   int Pz, const slu3d::sim::MachineModel& m) {
+  using namespace slu3d;
+  const ForestPartition part(bs, Pz);
+  const int P = Px * Py * Pz;
+  const sim::RunResult res = sim::run_ranks(P, m, [&](sim::Comm& world) {
+    auto grid = sim::ProcessGrid3D::create(world, Px, Py, Pz);
+    Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
+    factorize_3d(F, grid, part, {});
+  });
+  bench::DistMetrics out;
+  out.time = res.max_clock();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace slu3d;
+  const int scale = bench::bench_scale();
+  const index_t side = scale == 0 ? 32 : (scale == 1 ? 96 : 160);
+  const GridGeometry g{side, side, 1};
+  const TestMatrix t{"K2Dsens", grid2d_laplacian(g, Stencil2D::FivePoint), g,
+                     true};
+  const SeparatorTree tree = bench::order_matrix(t);
+  const BlockStructure bs(t.A, tree);
+  const CsrMatrix Ap = t.A.permuted_symmetric(tree.perm());
+
+  const sim::MachineModel base;
+  TextTable table({"alpha x", "beta x", "T_2d(s)", "T_3d(s)", "3D speedup"});
+  for (double ax : {0.1, 1.0, 10.0}) {
+    for (double bx : {0.1, 1.0, 10.0}) {
+      sim::MachineModel m = base;
+      m.alpha *= ax;
+      m.beta *= bx;
+      const double t2d = run_with(bs, Ap, 8, 8, 1, m).time;
+      const double t3d = run_with(bs, Ap, 2, 2, 16, m).time;
+      table.add_row({TextTable::num(ax, 1), TextTable::num(bx, 1),
+                     TextTable::sci(t2d), TextTable::sci(t3d),
+                     TextTable::num(t2d / t3d, 2) + "x"});
+    }
+  }
+  std::cout << "Machine sensitivity: 3D (2x2x16) vs 2D (8x8) at P=64, planar "
+            << side << "x" << side
+            << "\n(speedup should grow with slower networks — larger alpha/"
+               "beta multipliers)\n";
+  table.print(std::cout);
+  return 0;
+}

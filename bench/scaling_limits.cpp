@@ -1,0 +1,56 @@
+// §V-F executed: strong-scaling limits of the 2D baseline vs the 3D
+// algorithm. For a fixed planar problem, sweep the total process count
+// and report the best achievable simulated time for (a) the best 2D grid
+// and (b) the best 3D grid at each P. The paper's claim: the 3D algorithm
+// keeps reducing time up to ~16x more processes than 2D.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace slu3d;
+  const int scale = bench::bench_scale();
+  const index_t side = scale == 0 ? 32 : (scale == 1 ? 128 : 256);
+  const GridGeometry g{side, side, 1};
+  const TestMatrix t{"K2Dscaling", grid2d_laplacian(g, Stencil2D::FivePoint),
+                     g, true};
+  const SeparatorTree tree = bench::order_matrix(t);
+  const BlockStructure bs(t.A, tree);
+  const CsrMatrix Ap = t.A.permuted_symmetric(tree.perm());
+
+  std::cout << "Strong-scaling limits (planar " << side << "x" << side
+            << ", n = " << t.A.n_rows() << ")\n";
+  TextTable table({"P", "best 2D t(s)", "2D vs prev", "best 3D t(s)",
+                   "3D cfg", "3D vs prev", "3D/2D speedup"});
+  double prev2d = 0, prev3d = 0;
+  for (int P : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    // Best 2D configuration at this P.
+    const auto [p2x, p2y] = bench::square_ish(P);
+    const double t2d = bench::run_dist_lu(bs, Ap, p2x, p2y, 1).time;
+    // Best 3D configuration: sweep power-of-two Pz.
+    double best3d = 1e300;
+    std::string cfg;
+    for (int Pz = 1; Pz <= 16 && P / Pz >= 1; Pz *= 2) {
+      if (P % Pz != 0) continue;
+      const auto [px, py] = bench::square_ish(P / Pz);
+      const double tt = bench::run_dist_lu(bs, Ap, px, py, Pz).time;
+      if (tt < best3d) {
+        best3d = tt;
+        cfg = std::to_string(px) + "x" + std::to_string(py) + "x" +
+              std::to_string(Pz);
+      }
+    }
+    table.add_row(
+        {std::to_string(P), TextTable::sci(t2d),
+         prev2d > 0 ? TextTable::num(prev2d / t2d, 2) + "x" : "-",
+         TextTable::sci(best3d), cfg,
+         prev3d > 0 ? TextTable::num(prev3d / best3d, 2) + "x" : "-",
+         TextTable::num(t2d / best3d, 2) + "x"});
+    prev2d = t2d;
+    prev3d = best3d;
+  }
+  table.print(std::cout);
+  std::cout << "('vs prev' < 1.0x marks where strong scaling stops paying "
+               "off for that algorithm)\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Table III: the test-matrix inventory — dimension, nnz/n,
+// factorization flops, and sequential factorization time of the baseline.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "numeric/seq_lu.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace slu3d;
+  const auto suite = paper_test_suite(bench::bench_scale());
+
+  TextTable table({"Name", "Class", "n", "nnz/n", "#Flop", "T_fact(s)"});
+  for (const auto& t : suite) {
+    const SeparatorTree tree = bench::order_matrix(t);
+    const BlockStructure bs(t.A, tree);
+    SupernodalMatrix F(bs);
+    F.fill_from(t.A.permuted_symmetric(tree.perm()));
+    Timer timer;
+    factorize_sequential(F);
+    const double seconds = timer.seconds();
+    table.add_row({t.name, t.planar ? "planar" : "non-planar",
+                   std::to_string(t.A.n_rows()),
+                   TextTable::num(static_cast<double>(t.A.nnz()) /
+                                  static_cast<double>(t.A.n_rows()), 1),
+                   TextTable::sci(static_cast<double>(bs.total_flops())),
+                   TextTable::num(seconds, 3)});
+  }
+  std::cout << "Table III — test matrices (scaled-down structural "
+               "equivalents; see DESIGN.md)\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// A narrated walkthrough of Algorithm 1 on the paper's running example
+// (§III-A / Fig. 5): a 3-block sparse matrix on two process grids. Prints
+// the elimination-forest partition, which grid factors what at each
+// level, the replicated ancestor blocks, and the ancestor-reduction step,
+// then verifies the distributed factors against the sequential ones.
+//
+//   $ ./algorithm_walkthrough
+#include <cstdio>
+#include <mutex>
+
+#include "lu3d/factor3d.hpp"
+#include "numeric/seq_lu.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+
+int main() {
+  using namespace slu3d;
+
+  // The paper's Fig. 1/2 setting: a 2D grid whose top separator splits the
+  // domain into two independent halves (blocks 1 and 2) plus the separator
+  // (block 3).
+  const GridGeometry g{9, 9, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = geometric_nd(g, {.leaf_size = 40});
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+
+  std::printf("matrix: 9x9 grid, n = %d; separator tree has %d supernodes\n",
+              A.n_rows(), bs.n_snodes());
+  for (int s = 0; s < bs.n_snodes(); ++s)
+    std::printf("  supernode %d: columns [%d, %d), ND parent %d\n", s,
+                bs.first_col(s), bs.first_col(s) + bs.snode_size(s),
+                bs.nd_parent(s));
+
+  // Two 2D grids (Pz = 2), each a single rank for clarity: the paper's
+  // Fig. 5 "grid-0 / grid-1" setup.
+  const ForestPartition part(bs, /*Pz=*/2);
+  std::printf("\nelimination-forest partition for Pz = 2:\n");
+  for (int lvl = part.n_levels() - 1; lvl >= 0; --lvl) {
+    for (int pz = 0; pz < 2; ++pz) {
+      const auto nodes = part.nodes_at(pz, lvl);
+      if (nodes.empty()) continue;
+      std::printf("  level %d, grid %d factors supernodes:", lvl, pz);
+      for (int s : nodes) std::printf(" %d", s);
+      std::printf("\n");
+    }
+  }
+  for (int s = 0; s < bs.n_snodes(); ++s)
+    if (part.group_size(s) > 1)
+      std::printf("  supernode %d is REPLICATED on grids [%d, %d) — the "
+                  "common ancestor A(S) of Fig. 5\n",
+                  s, part.anchor_of(s),
+                  part.anchor_of(s) + part.group_size(s));
+
+  std::printf("\nrunning Algorithm 1 on 2 ranks (1x1 grids, Pz = 2)...\n");
+  SupernodalMatrix ref(bs);
+  ref.fill_from(Ap);
+  factorize_sequential(ref);
+
+  SupernodalMatrix gathered(bs);
+  std::mutex mu;
+  const auto res = sim::run_ranks(2, sim::MachineModel{}, [&](sim::Comm& w) {
+    auto grid = sim::ProcessGrid3D::create(w, 1, 1, 2);
+    Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
+    factorize_3d(F, grid, part, {});
+    auto full = gather_3d_to_root(F, w, grid, part);
+    if (full.has_value()) {
+      const std::lock_guard<std::mutex> lock(mu);
+      gathered = std::move(*full);
+    }
+  });
+
+  std::printf("  grid-1 sent its copy of A(S) to grid-0: %lld bytes along "
+              "z (the one Ancestor-Reduction of Fig. 5)\n",
+              static_cast<long long>(
+                  res.ranks[1].bytes_sent[static_cast<int>(sim::CommPlane::Z)]));
+
+  real_t max_diff = 0;
+  for (index_t i = 0; i < bs.n(); ++i)
+    for (index_t j = 0; j <= i; ++j) {
+      max_diff = std::max(max_diff, std::abs(gathered.l_entry(i, j) -
+                                             ref.l_entry(i, j)));
+      max_diff = std::max(max_diff, std::abs(gathered.u_entry(j, i) -
+                                             ref.u_entry(j, i)));
+    }
+  std::printf("  distributed factors match sequential ones to %.1e\n",
+              max_diff);
+  return max_diff < 1e-10 ? 0 : 1;
+}

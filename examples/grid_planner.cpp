@@ -1,0 +1,60 @@
+// Process-grid planner: given a problem size and machine size, use the
+// §IV analytical model to recommend a P_XY x P_z configuration — the
+// decision a user of the 3D solver has to make before launching a job.
+//
+//   $ ./grid_planner [n] [P] [planar|nonplanar]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "model/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slu3d;
+  using namespace slu3d::model;
+
+  const double n = argc > 1 ? std::atof(argv[1]) : 1e6;
+  const double P = argc > 2 ? std::atof(argv[2]) : 1024;
+  const bool planar = argc > 3 ? std::strcmp(argv[3], "nonplanar") != 0 : true;
+
+  const sim::MachineModel machine;
+  const double flops = planar ? planar_flops(n) : nonplanar_flops(n);
+
+  std::printf("planning for n = %.3g, P = %.0f, %s problem\n", n, P,
+              planar ? "planar" : "non-planar");
+  std::printf("%6s %14s %14s %14s %14s\n", "Pz", "M(words)", "W(words)",
+              "L(msgs)", "pred time(s)");
+
+  // Recommend the fastest Pz whose memory overhead stays within 2x of the
+  // 2D baseline — the paper's "constant factor of memory" regime (§I);
+  // larger Pz keeps reducing latency but the replicated top separators
+  // blow up per-process memory (§IV-C).
+  const double mem2d =
+      (planar ? planar_2d_alg(n, P) : nonplanar_2d_alg(n, P)).memory_words;
+  double best_time = 1e300;
+  int best_pz = 1;
+  for (int pz = 1; pz <= static_cast<int>(P) / 4; pz *= 2) {
+    const CostEstimate c = planar ? planar_3d_alg(n, P, pz)
+                                  : nonplanar_3d_alg(n, P, pz);
+    const double t = predicted_seconds(machine, flops, P, c);
+    const bool feasible = c.memory_words <= 2.0 * mem2d;
+    std::printf("%6d %14.4g %14.4g %14.4g %14.4g%s\n", pz, c.memory_words,
+                c.comm_words, c.latency_msgs, t,
+                feasible ? "" : "  (exceeds 2x 2D memory)");
+    if (feasible && t < best_time) {
+      best_time = t;
+      best_pz = pz;
+    }
+  }
+
+  const double opt = planar ? planar_optimal_pz(n) : nonplanar_optimal_pz();
+  std::printf("\nrecommended Pz = %d (model-predicted time %.4g s); "
+              "communication-optimal continuous Pz = %.2f\n",
+              best_pz, best_time, opt);
+  const CostEstimate c2d = planar ? planar_2d_alg(n, P) : nonplanar_2d_alg(n, P);
+  std::printf("2D baseline predicted time: %.4g s -> modelled speedup %.2fx\n",
+              predicted_seconds(machine, flops, P, c2d),
+              predicted_seconds(machine, flops, P, c2d) / best_time);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Implicit time stepping for the heat equation — the canonical "factor
+// once, solve many times" application. Backward Euler on a 2D grid:
+//   (M + dt*L) u_{k+1} = u_k
+// The operator is SPD, so the Cholesky variant factors it once; each time
+// step is a pair of triangular solves. Batches of probe vectors use the
+// blocked multi-RHS solve.
+//
+//   $ ./heat_stepping [grid_side] [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "numeric/cholesky.hpp"
+#include "numeric/seq_lu.hpp"
+#include "sparse/generators.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slu3d;
+  const index_t side = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 96;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 50;
+
+  // I + dt*Laplacian: diag_boost plays the mass-matrix role scaled by dt.
+  const GridGeometry g{side, side, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint, /*diag_boost=*/0.25);
+
+  Timer factor_timer;
+  const SparseCholeskySolver solver(A);
+  std::printf("factored %dx%d heat operator in %.3f s (nnz(L) = %lld)\n", side,
+              side, factor_timer.seconds(),
+              static_cast<long long>(solver.factor_nnz()));
+
+  // Initial condition: a hot spot in the middle.
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  std::vector<real_t> u(n, 0.0), next(n);
+  u[static_cast<std::size_t>(g.vertex(side / 2, side / 2, 0))] = 1000.0;
+
+  Timer step_timer;
+  for (int k = 0; k < steps; ++k) {
+    solver.solve(u, next);
+    u.swap(next);
+  }
+  const double step_s = step_timer.seconds();
+
+  real_t total = 0, peak = 0;
+  for (real_t v : u) {
+    total += v;
+    peak = std::max(peak, v);
+  }
+  std::printf("%d steps in %.3f s (%.2e s/step): peak %.3e, mass %.3e\n",
+              steps, step_s, step_s / steps, peak, total);
+
+  // Multi-RHS demonstration: diffuse 8 probe sources in one blocked solve
+  // through the LU machinery.
+  const index_t nrhs = 8;
+  const SolverOptions lopt;
+  const SparseLuSolver lu(A, lopt);
+  const SeparatorTree& tree = lu.tree();
+  const auto pinv = invert_permutation(tree.perm());
+  std::vector<real_t> X(n * static_cast<std::size_t>(nrhs), 0.0);
+  for (index_t k = 0; k < nrhs; ++k) {
+    const index_t spot = g.vertex((k + 1) * side / (nrhs + 1), side / 3, 0);
+    X[static_cast<std::size_t>(k) * n +
+      static_cast<std::size_t>(pinv[static_cast<std::size_t>(spot)])] = 1.0;
+  }
+  Timer multi_timer;
+  solve_factored_multi(lu.factors(), X, nrhs);
+  std::printf("blocked solve of %d probe RHS in %.3f s\n", nrhs,
+              multi_timer.seconds());
+  return peak > 0 && std::isfinite(total) ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// The paper's headline scenario: strong-scaling a *planar* problem (2D
+// Poisson, the K2D5pt class) with the 3D algorithm. Sweeps P_z for a
+// fixed total process count and reports simulated factorization time,
+// speedup over the 2D baseline, per-process communication, and memory —
+// the Fig. 9 / Fig. 10 story in one runnable program.
+//
+//   $ ./poisson2d_scaling [grid_side] [total_ranks]
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "lu3d/factor3d.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slu3d;
+  const index_t side = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 96;
+  const int P = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  const GridGeometry geom{side, side, 1};
+  const CsrMatrix A = grid2d_laplacian(geom, Stencil2D::FivePoint);
+  const SeparatorTree tree = geometric_nd(geom, {.leaf_size = 32});
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+
+  std::printf("planar Poisson %dx%d (n = %d), P = %d ranks, flops = %.2e\n",
+              side, side, A.n_rows(), P,
+              static_cast<double>(bs.total_flops()));
+  std::printf("%4s %8s %12s %9s %14s %12s\n", "Pz", "PXY", "time(s)",
+              "speedup", "W/proc(bytes)", "mem/proc(B)");
+
+  double t2d = 0;
+  for (int Pz = 1; Pz <= 16 && Pz * 4 <= P; Pz *= 2) {
+    const int pxy = P / Pz;
+    int Px = 1;
+    for (int d = 1; d * d <= pxy; ++d)
+      if (pxy % d == 0) Px = d;
+    const int Py = pxy / Px;
+
+    const ForestPartition part(bs, Pz);
+    std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
+    const auto res = sim::run_ranks(P, sim::MachineModel{}, [&](sim::Comm& w) {
+      auto grid = sim::ProcessGrid3D::create(w, Px, Py, Pz);
+      Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
+      mem[static_cast<std::size_t>(w.rank())] = F.allocated_bytes();
+      factorize_3d(F, grid, part, {});
+    });
+
+    const double t = res.max_clock();
+    if (Pz == 1) t2d = t;
+    offset_t mem_max = 0;
+    for (offset_t m : mem) mem_max = std::max(mem_max, m);
+    std::printf("%4d %4dx%-3d %12.3e %8.2fx %14lld %12lld\n", Pz, Px, Py, t,
+                t2d / t,
+                static_cast<long long>(
+                    res.max_bytes_received(sim::CommPlane::XY) +
+                    res.max_bytes_received(sim::CommPlane::Z)),
+                static_cast<long long>(mem_max));
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Direct-solver-as-preconditioner: factor a simplified operator once with
+// the sparse LU machinery, then iterate on the true operator with
+// preconditioned Krylov methods. The classic production pattern for
+// sequences of related systems (time stepping, Newton iterations).
+//
+//   $ ./precond_iterative [grid_side]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "numeric/krylov.hpp"
+#include "numeric/solver.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slu3d;
+  const index_t side = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 64;
+
+  // True operator: convection-diffusion at the current time step;
+  // preconditioner: the factored operator from an earlier step (slightly
+  // different convection). Factor once, reuse across steps.
+  const GridGeometry g{side, side, 1};
+  const CsrMatrix A = grid2d_convection_diffusion(g, 0.60, 1e-3);
+  const CsrMatrix M = grid2d_convection_diffusion(g, 0.50, 1e-3);
+
+  Timer factor_timer;
+  const SparseLuSolver msolver(M);
+  std::printf("preconditioner factored in %.3f s (nnz(L+U) = %lld)\n",
+              factor_timer.seconds(),
+              static_cast<long long>(msolver.factor_nnz()));
+
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(3);
+  std::vector<real_t> xref(n), b(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+
+  std::vector<real_t> tmp(n);
+  auto precond = [&](std::span<real_t> v) {
+    std::copy(v.begin(), v.end(), tmp.begin());
+    msolver.solve(tmp, v);
+  };
+
+  KrylovOptions opt;
+  opt.tolerance = 1e-10;
+
+  std::vector<real_t> x0(n, 0.0), x1(n, 0.0);
+  Timer t_plain;
+  const auto plain = bicgstab(A, b, x0, identity_preconditioner(), opt);
+  const double plain_s = t_plain.seconds();
+  Timer t_pre;
+  const auto pre = bicgstab(A, b, x1, precond, opt);
+  const double pre_s = t_pre.seconds();
+
+  std::printf("BiCGSTAB plain:          %4d iters, residual %.1e, %.3f s%s\n",
+              plain.iterations, plain.relative_residual, plain_s,
+              plain.converged ? "" : " (NOT converged)");
+  std::printf("BiCGSTAB + LU precond:   %4d iters, residual %.1e, %.3f s%s\n",
+              pre.iterations, pre.relative_residual, pre_s,
+              pre.converged ? "" : " (NOT converged)");
+
+  real_t err = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    err = std::max(err, std::abs(x1[i] - xref[i]));
+  std::printf("max |x - x_true| (preconditioned): %.2e\n", err);
+  return pre.converged ? 0 : 1;
+}

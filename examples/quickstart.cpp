@@ -1,0 +1,49 @@
+// Quickstart: solve a sparse linear system with the sequential solver API.
+//
+//   $ ./quickstart
+//
+// Builds a 2D Poisson problem, factorizes it with nested-dissection
+// ordering + supernodal LU, solves against a manufactured solution, and
+// prints factor statistics and the final residual.
+#include <cstdio>
+
+#include "numeric/solver.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace slu3d;
+
+  // 1. Build (or load) a sparse matrix. Here: -Δu = f on a 96x96 grid.
+  const GridGeometry geom{96, 96, 1};
+  const CsrMatrix A = grid2d_laplacian(geom, Stencil2D::FivePoint);
+  std::printf("matrix: n = %d, nnz = %lld\n", A.n_rows(),
+              static_cast<long long>(A.nnz()));
+
+  // 2. Factorize. Passing the grid geometry selects exact geometric
+  //    nested dissection; omit it for general-graph ordering.
+  SolverOptions options;
+  options.geometry = geom;
+  const SparseLuSolver solver(A, options);
+  std::printf("factors: nnz(L+U) = %lld, flops = %lld, tree height = %d\n",
+              static_cast<long long>(solver.factor_nnz()),
+              static_cast<long long>(solver.factor_flops()),
+              solver.tree().height());
+
+  // 3. Solve A x = b for a manufactured solution.
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  std::vector<real_t> x_true(n), b(n), x(n);
+  Rng rng(42);
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  A.spmv(x_true, b);
+
+  const SolveReport report = solver.solve(b, x);
+
+  real_t max_err = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_err = std::max(max_err, std::abs(x[i] - x_true[i]));
+  std::printf("solve: relative residual = %.2e, max |x - x_true| = %.2e, "
+              "refinement steps = %d\n",
+              report.final_residual_norm, max_err, report.refinement_steps_used);
+  return report.final_residual_norm < 1e-10 ? 0 : 1;
+}

@@ -1,0 +1,383 @@
+#include "lu2d/dist_chol.hpp"
+
+#include <map>
+
+#include "numeric/dense_kernels.hpp"
+#include "numeric/schur.hpp"
+#include "support/check.hpp"
+
+namespace slu3d {
+
+namespace {
+using sim::CommPlane;
+using sim::ComputeKind;
+}  // namespace
+
+DistCholFactors::DistCholFactors(const BlockStructure& bs, int Px, int Py,
+                                 int px, int py, std::vector<bool> want_snode)
+    : bs_(&bs), Px_(Px), Py_(Py), px_(px), py_(py), want_(std::move(want_snode)) {
+  SLU3D_CHECK(Px > 0 && Py > 0, "bad grid extents");
+  const auto nsn = static_cast<std::size_t>(bs.n_snodes());
+  SLU3D_CHECK(want_.empty() || want_.size() == nsn, "want_snode size mismatch");
+  diag_.resize(nsn);
+  lblocks_.resize(nsn);
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    const auto ns = static_cast<std::size_t>(bs.snode_size(s));
+    if (ns == 0 || !wants_snode(s)) continue;
+    if (owns(s, s)) diag_[static_cast<std::size_t>(s)].assign(ns * ns, 0.0);
+    const auto panel = bs.lpanel(s);
+    for (int k = 0; k < static_cast<int>(panel.size()); ++k) {
+      const auto& blk = panel[static_cast<std::size_t>(k)];
+      if (owns(blk.snode, s))
+        lblocks_[static_cast<std::size_t>(s)].push_back(
+            {k, std::vector<real_t>(static_cast<std::size_t>(blk.n_rows()) * ns, 0.0)});
+    }
+  }
+}
+
+OwnedBlock* DistCholFactors::find_lblock(int s, int a) {
+  auto blocks = lblocks(s);
+  const auto panel = bs_->lpanel(s);
+  const auto it = std::lower_bound(
+      blocks.begin(), blocks.end(), a, [&](const OwnedBlock& b, int key) {
+        return panel[static_cast<std::size_t>(b.panel_idx)].snode < key;
+      });
+  if (it == blocks.end() ||
+      panel[static_cast<std::size_t>(it->panel_idx)].snode != a)
+    return nullptr;
+  return &*it;
+}
+
+void DistCholFactors::fill_from(const CsrMatrix& Ap) {
+  SLU3D_CHECK(Ap.n_rows() == bs_->n(), "matrix size mismatch");
+  for (index_t i = 0; i < Ap.n_rows(); ++i) {
+    const int si = bs_->col_to_snode(i);
+    const auto cols = Ap.row_cols(i);
+    const auto vals = Ap.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const index_t j = cols[k];
+      if (j > i) break;  // lower triangle only
+      const real_t v = vals[k];
+      const int sj = bs_->col_to_snode(j);
+      if (si == sj) {
+        if (!has_diag(si)) continue;
+        const index_t f = bs_->first_col(si);
+        const index_t ns = bs_->snode_size(si);
+        diag_[static_cast<std::size_t>(si)]
+             [static_cast<std::size_t>((i - f) + (j - f) * ns)] += v;
+      } else {
+        if (!owns(si, sj) || !wants_snode(sj)) continue;
+        OwnedBlock* blk = find_lblock(sj, si);
+        SLU3D_CHECK(blk != nullptr, "missing owned L block");
+        const auto& rows =
+            bs_->lpanel(sj)[static_cast<std::size_t>(blk->panel_idx)].rows;
+        const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+        SLU3D_CHECK(it != rows.end() && *it == i, "entry outside L structure");
+        const auto r = static_cast<std::size_t>(it - rows.begin());
+        blk->data[r + static_cast<std::size_t>(j - bs_->first_col(sj)) * rows.size()] += v;
+      }
+    }
+  }
+}
+
+offset_t DistCholFactors::allocated_bytes() const {
+  offset_t bytes = 0;
+  for (std::size_t s = 0; s < diag_.size(); ++s) {
+    bytes += static_cast<offset_t>(diag_[s].size() * sizeof(real_t));
+    for (const auto& b : lblocks_[s])
+      bytes += static_cast<offset_t>(b.data.size() * sizeof(real_t));
+  }
+  return bytes;
+}
+
+namespace {
+
+class Chol2dDriver {
+ public:
+  Chol2dDriver(DistCholFactors& F, sim::ProcessGrid2D& grid,
+               const Chol2dOptions& opt)
+      : F_(F), g_(grid), bs_(F.structure()), opt_(opt) {}
+
+  void run(std::span<const int> snodes) {
+    std::vector<int> last_upd_pos(static_cast<std::size_t>(bs_.n_snodes()), -1);
+    for (int idx = 0; idx < static_cast<int>(snodes.size()); ++idx) {
+      const int k = snodes[static_cast<std::size_t>(idx)];
+      SLU3D_CHECK(idx == 0 || snodes[static_cast<std::size_t>(idx - 1)] < k,
+                  "snodes must be ascending");
+      for (const PanelBlock& blk : bs_.lpanel(k))
+        last_upd_pos[static_cast<std::size_t>(blk.snode)] = idx;
+    }
+    std::vector<bool> fired(static_cast<std::size_t>(bs_.n_snodes()), false);
+    const int n = static_cast<int>(snodes.size());
+    for (int idx = 0; idx < n; ++idx) {
+      const int limit = std::min(n - 1, idx + opt_.lookahead);
+      for (int w = idx; w <= limit; ++w) {
+        const int j = snodes[static_cast<std::size_t>(w)];
+        if (!fired[static_cast<std::size_t>(j)] &&
+            last_upd_pos[static_cast<std::size_t>(j)] < idx) {
+          panel_phase(j);
+          fired[static_cast<std::size_t>(j)] = true;
+        }
+      }
+      schur_phase(snodes[static_cast<std::size_t>(idx)]);
+    }
+  }
+
+ private:
+  struct Stash {
+    std::map<int, std::vector<real_t>> row_role;  // panel_idx -> m x ns
+    std::map<int, std::vector<real_t>> col_role;  // panel_idx -> m x ns
+  };
+
+  int tag(int k, int op) const { return opt_.tag_base + 8 * k + op; }
+
+  void panel_phase(int k) {
+    const index_t ns = bs_.snode_size(k);
+    if (ns == 0) return;
+    Stash& stash = stash_[k];
+    const int pxk = k % g_.Px();
+    const int pyk = k % g_.Py();
+    const bool in_pcol = g_.py() == pyk;
+
+    // Diagonal Cholesky at the owner, broadcast down the process column
+    // (only the L-panel solvers need it).
+    std::vector<real_t> diag(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns), 0.0);
+    if (F_.has_diag(k)) {
+      auto d = F_.diag(k);
+      dense::potrf_lower(ns, d.data(), ns);
+      g_.grid().add_compute(dense::potrf_flops(ns), ComputeKind::DiagFactor);
+      std::copy(d.begin(), d.end(), diag.begin());
+    }
+    if (in_pcol) {
+      g_.col().bcast(pxk, tag(k, 0), diag, CommPlane::XY);
+      for (OwnedBlock& blk : F_.lblocks(k)) {
+        const index_t m =
+            bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
+        dense::trsm_right_lower_trans(ns, m, diag.data(), ns, blk.data.data(), m);
+        g_.grid().add_compute(dense::trsm_flops(ns, m) / 2, ComputeKind::PanelSolve);
+      }
+    }
+
+    // Panel broadcast: row role along the block row's process row; the
+    // transposed role is relayed by the (a%Px, a%Py) rank down its column.
+    const auto panel = bs_.lpanel(k);
+    for (int pi = 0; pi < static_cast<int>(panel.size()); ++pi) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(pi)];
+      const auto m = static_cast<std::size_t>(blk.n_rows());
+      std::vector<real_t> buf(m * static_cast<std::size_t>(ns), 0.0);
+      const int arow = blk.snode % g_.Px();
+      const int acol = blk.snode % g_.Py();
+      if (g_.px() == arow) {
+        if (in_pcol) {
+          const OwnedBlock* ob = F_.find_lblock(k, blk.snode);
+          SLU3D_CHECK(ob != nullptr, "owner missing L block");
+          buf = ob->data;
+        }
+        g_.row().bcast(pyk, tag(k, 1), buf, CommPlane::XY);
+        stash.row_role.emplace(pi, buf);
+      }
+      if (g_.py() == acol) {
+        // Relay root: the (arow, acol) rank, which got `buf` above.
+        g_.col().bcast(arow, tag(k, 2), buf, CommPlane::XY);
+        stash.col_role.emplace(pi, std::move(buf));
+      }
+    }
+  }
+
+  void schur_phase(int k) {
+    const index_t ns = bs_.snode_size(k);
+    if (ns == 0) return;
+    const auto it = stash_.find(k);
+    SLU3D_CHECK(it != stash_.end(), "panel not factored before Schur phase");
+    Stash& stash = it->second;
+
+    const auto panel = bs_.lpanel(k);
+    std::vector<real_t> scratch;
+    std::vector<index_t> pos;
+    for (const auto& [pi, ldata] : stash.row_role) {
+      const PanelBlock& bi = panel[static_cast<std::size_t>(pi)];
+      const index_t mi = bi.n_rows();
+      for (const auto& [pj, tdata] : stash.col_role) {
+        const PanelBlock& bj = panel[static_cast<std::size_t>(pj)];
+        if (bj.snode > bi.snode) break;  // lower triangle only
+        if (!F_.wants_snode(bj.snode)) continue;
+        const index_t mj = bj.n_rows();
+        scratch.assign(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj), 0.0);
+        dense::gemm_minus_nt(mi, mj, ns, ldata.data(), mi, tdata.data(), mj,
+                             scratch.data(), mi);
+        g_.grid().add_compute(dense::gemm_flops(mi, mj, ns),
+                              ComputeKind::SchurUpdate);
+        // Scatter into the lower-triangular target.
+        if (bi.snode == bj.snode) {
+          SLU3D_CHECK(F_.has_diag(bi.snode), "Schur target diag not owned");
+          auto d = F_.diag(bi.snode);
+          const index_t f = bs_.first_col(bi.snode);
+          const index_t nd = bs_.snode_size(bi.snode);
+          for (index_t c = 0; c < mj; ++c) {
+            const index_t tc = bj.rows[static_cast<std::size_t>(c)] - f;
+            for (index_t r = 0; r < mi; ++r)
+              d[static_cast<std::size_t>((bi.rows[static_cast<std::size_t>(r)] - f) +
+                                         tc * nd)] +=
+                  scratch[static_cast<std::size_t>(r + c * mi)];
+          }
+        } else {
+          OwnedBlock* blk = F_.find_lblock(bj.snode, bi.snode);
+          SLU3D_CHECK(blk != nullptr, "Schur target L block not owned");
+          const auto& brows =
+              bs_.lpanel(bj.snode)[static_cast<std::size_t>(blk->panel_idx)].rows;
+          pos.assign(static_cast<std::size_t>(mi), 0);
+          locate_sorted_subset(bi.rows, brows, pos);
+          const auto mt = brows.size();
+          const index_t f = bs_.first_col(bj.snode);
+          for (index_t c = 0; c < mj; ++c) {
+            const auto tc = static_cast<std::size_t>(
+                bj.rows[static_cast<std::size_t>(c)] - f);
+            for (index_t r = 0; r < mi; ++r)
+              blk->data[static_cast<std::size_t>(pos[static_cast<std::size_t>(r)]) +
+                        tc * mt] += scratch[static_cast<std::size_t>(r + c * mi)];
+          }
+        }
+      }
+    }
+    stash_.erase(it);
+  }
+
+  DistCholFactors& F_;
+  sim::ProcessGrid2D& g_;
+  const BlockStructure& bs_;
+  Chol2dOptions opt_;
+  std::map<int, Stash> stash_;
+};
+
+}  // namespace
+
+void factorize_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
+                           std::span<const int> snodes,
+                           const Chol2dOptions& options) {
+  Chol2dDriver(F, grid, options).run(snodes);
+}
+
+void solve_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
+                       std::span<real_t> x, int tag_base) {
+  const BlockStructure& bs = F.structure();
+  SLU3D_CHECK(x.size() == static_cast<std::size_t>(bs.n()), "x size");
+  sim::Comm& comm = grid.grid();
+  const int nsn = bs.n_snodes();
+
+  // Descendant index (c, panel block idx) per ancestor.
+  std::vector<std::vector<std::pair<int, int>>> by_anc(static_cast<std::size_t>(nsn));
+  for (int c = 0; c < nsn; ++c) {
+    const auto panel = bs.lpanel(c);
+    for (int k = 0; k < static_cast<int>(panel.size()); ++k)
+      by_anc[static_cast<std::size_t>(panel[static_cast<std::size_t>(k)].snode)]
+          .push_back({c, k});
+  }
+  auto diag_owner = [&](int s) { return F.owner_of(s, s); };
+  auto ftag = [&](int s) { return tag_base + s; };
+  auto btag = [&](int s) { return tag_base + nsn + s; };
+
+  // Forward L y = b (non-unit diagonal).
+  std::vector<real_t> buf;
+  for (int s = 0; s < nsn; ++s) {
+    const index_t ns = bs.snode_size(s);
+    if (ns == 0) continue;
+    const index_t f = bs.first_col(s);
+    const bool in_pcol = grid.py() == s % grid.Py();
+    if (comm.rank() == diag_owner(s)) {
+      for (const auto& [c, blkidx] : by_anc[static_cast<std::size_t>(s)]) {
+        const PanelBlock& blk = bs.lpanel(c)[static_cast<std::size_t>(blkidx)];
+        const auto v = comm.recv(F.owner_of(s, c), ftag(c), sim::CommPlane::XY);
+        SLU3D_CHECK(v.size() == blk.rows.size(), "contribution size");
+        for (std::size_t r = 0; r < v.size(); ++r)
+          x[static_cast<std::size_t>(blk.rows[r])] -= v[r];
+      }
+      dense::trsv_lower(ns, F.diag(s).data(), ns, x.data() + f);
+    }
+    if (in_pcol) {
+      buf.assign(x.begin() + f, x.begin() + f + ns);
+      grid.col().bcast(s % grid.Px(), ftag(s), buf, sim::CommPlane::XY);
+      std::copy(buf.begin(), buf.end(), x.begin() + f);
+      for (const OwnedBlock& ob : F.lblocks(s)) {
+        const PanelBlock& blk = bs.lpanel(s)[static_cast<std::size_t>(ob.panel_idx)];
+        const auto m = static_cast<index_t>(blk.rows.size());
+        std::vector<real_t> v(static_cast<std::size_t>(m), 0.0);
+        for (index_t c = 0; c < ns; ++c) {
+          const real_t yc = buf[static_cast<std::size_t>(c)];
+          if (yc == 0.0) continue;
+          for (index_t r = 0; r < m; ++r)
+            v[static_cast<std::size_t>(r)] +=
+                ob.data[static_cast<std::size_t>(r + c * m)] * yc;
+        }
+        comm.send(diag_owner(blk.snode), ftag(s), v, sim::CommPlane::XY);
+      }
+    }
+  }
+
+  // Backward Lᵀ x = y: x_a is broadcast along process *row* a%Px (where
+  // all L(a, s) owners live); each owner sends Lᵀ-contributions to the
+  // descendant's diagonal owner.
+  for (int s = nsn - 1; s >= 0; --s) {
+    const index_t ns = bs.snode_size(s);
+    if (ns == 0) continue;
+    const index_t f = bs.first_col(s);
+    const bool in_prow = grid.px() == s % grid.Px();
+    if (comm.rank() == diag_owner(s)) {
+      for (const PanelBlock& blk : bs.lpanel(s)) {
+        const auto v =
+            comm.recv(F.owner_of(blk.snode, s), btag(blk.snode), sim::CommPlane::XY);
+        SLU3D_CHECK(v.size() == static_cast<std::size_t>(ns), "contribution size");
+        for (index_t r = 0; r < ns; ++r)
+          x[static_cast<std::size_t>(f + r)] -= v[static_cast<std::size_t>(r)];
+      }
+      dense::trsv_lower_trans(ns, F.diag(s).data(), ns, x.data() + f);
+    }
+    if (in_prow) {
+      buf.assign(x.begin() + f, x.begin() + f + ns);
+      grid.row().bcast(s % grid.Py(), btag(s), buf, sim::CommPlane::XY);
+      std::copy(buf.begin(), buf.end(), x.begin() + f);
+      // Contributions to descendants c with a block (s, c): v = L(s,c)ᵀ x_s.
+      const auto& pairs = by_anc[static_cast<std::size_t>(s)];
+      for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) {
+        const auto& [c, blkidx] = *it;
+        if (c % grid.Py() != grid.py()) continue;  // L(s, c) not in my col
+        OwnedBlock* ob = F.find_lblock(c, s);
+        SLU3D_CHECK(ob != nullptr, "missing owned L block in solve");
+        const PanelBlock& blk = bs.lpanel(c)[static_cast<std::size_t>(blkidx)];
+        const index_t nc = bs.snode_size(c);
+        const auto m = static_cast<index_t>(blk.rows.size());
+        std::vector<real_t> v(static_cast<std::size_t>(nc), 0.0);
+        for (index_t col = 0; col < nc; ++col) {
+          real_t acc = 0.0;
+          for (index_t r = 0; r < m; ++r)
+            acc += ob->data[static_cast<std::size_t>(r + col * m)] *
+                   x[static_cast<std::size_t>(blk.rows[static_cast<std::size_t>(r)])];
+          v[static_cast<std::size_t>(col)] = acc;
+        }
+        comm.send(diag_owner(c), btag(s), v, sim::CommPlane::XY);
+      }
+    }
+  }
+
+  // Redistribute the solution to every rank.
+  const int gather_tag = tag_base + 2 * nsn;
+  std::vector<real_t> packed;
+  for (int s = 0; s < nsn; ++s)
+    if (comm.rank() == diag_owner(s))
+      packed.insert(packed.end(), x.begin() + bs.first_col(s),
+                    x.begin() + bs.first_col(s) + bs.snode_size(s));
+  const std::vector<real_t> all =
+      comm.allgatherv(gather_tag, packed, sim::CommPlane::XY);
+  std::size_t pos = 0;
+  for (int r = 0; r < comm.size(); ++r)
+    for (int s = 0; s < nsn; ++s) {
+      if (diag_owner(s) != r) continue;
+      const auto ns = static_cast<std::size_t>(bs.snode_size(s));
+      SLU3D_CHECK(pos + ns <= all.size(), "gather underflow");
+      std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(pos), ns,
+                  x.begin() + bs.first_col(s));
+      pos += ns;
+    }
+  SLU3D_CHECK(pos == all.size(), "gather stream not fully consumed");
+}
+
+}  // namespace slu3d

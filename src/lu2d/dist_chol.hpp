@@ -1,0 +1,79 @@
+// Distributed supernodal Cholesky on the 2D block-cyclic layout — the
+// symmetric counterpart of Dist2dFactors/factorize_2d, realizing the
+// paper's §VII suggestion that the same communication-avoiding schedule
+// applies to LLᵀ. Only the lower triangle is stored: the L panel plays
+// both roles in the symmetric Schur update A(i,j) -= L(i,k) L(j,k)ᵀ, so a
+// panel block is broadcast twice — along its process row (row role) and,
+// relayed through the (a%Px, a%Py) rank, along the process column of its
+// own block row (transposed role).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lu2d/dist_factors.hpp"  // OwnedBlock
+#include "numeric/cholesky.hpp"
+#include "simmpi/process_grid.hpp"
+
+namespace slu3d {
+
+class DistCholFactors {
+ public:
+  /// `want_snode` restricts allocation (3D masked layouts); empty = all.
+  DistCholFactors(const BlockStructure& bs, int Px, int Py, int px, int py,
+                  std::vector<bool> want_snode = {});
+
+  const BlockStructure& structure() const { return *bs_; }
+
+  bool wants_snode(int s) const {
+    return want_.empty() || want_[static_cast<std::size_t>(s)];
+  }
+  bool owns(int block_row, int block_col) const {
+    return block_row % Px_ == px_ && block_col % Py_ == py_;
+  }
+  int owner_of(int block_row, int block_col) const {
+    return (block_row % Px_) * Py_ + (block_col % Py_);
+  }
+
+  bool has_diag(int s) const { return owns(s, s) && wants_snode(s); }
+  std::span<real_t> diag(int s) { return diag_[static_cast<std::size_t>(s)]; }
+  std::span<const real_t> diag(int s) const {
+    return diag_[static_cast<std::size_t>(s)];
+  }
+  std::span<OwnedBlock> lblocks(int s) { return lblocks_[static_cast<std::size_t>(s)]; }
+  std::span<const OwnedBlock> lblocks(int s) const {
+    return lblocks_[static_cast<std::size_t>(s)];
+  }
+  OwnedBlock* find_lblock(int s, int a);
+
+  /// Scatters the lower triangle of the permuted matrix into owned blocks.
+  void fill_from(const CsrMatrix& Ap);
+
+  offset_t allocated_bytes() const;
+
+ private:
+  const BlockStructure* bs_;
+  int Px_, Py_, px_, py_;
+  std::vector<bool> want_;
+  std::vector<std::vector<real_t>> diag_;
+  std::vector<std::vector<OwnedBlock>> lblocks_;
+};
+
+struct Chol2dOptions {
+  int lookahead = 8;
+  int tag_base = 0;
+};
+
+/// Distributed right-looking Cholesky over `snodes` (ascending).
+/// Collective over grid.grid(). Works on masked (3D) layouts too.
+void factorize_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
+                           std::span<const int> snodes,
+                           const Chol2dOptions& options = {});
+
+/// Distributed solve L Lᵀ x = b on an unmasked 2D layout; every rank
+/// passes the full permuted rhs and receives the full solution.
+void solve_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
+                       std::span<real_t> x, int tag_base = (1 << 24));
+
+}  // namespace slu3d

@@ -1,0 +1,228 @@
+#include "lu2d/factor2d.hpp"
+
+#include <map>
+#include <vector>
+
+#include "numeric/dense_kernels.hpp"
+#include "numeric/schur.hpp"
+#include "support/check.hpp"
+
+namespace slu3d {
+
+namespace {
+
+using sim::CommPlane;
+using sim::ComputeKind;
+
+/// Broadcast panels of one in-flight supernode, stashed until its Schur
+/// update has been applied.
+struct PanelStash {
+  std::vector<real_t> diag;                    // ns x ns factored diagonal
+  std::map<int, std::vector<real_t>> lblocks;  // panel_idx -> (m x ns)
+  std::map<int, std::vector<real_t>> ublocks;  // panel_idx -> (ns x m)
+};
+
+class Factor2dDriver {
+ public:
+  Factor2dDriver(Dist2dFactors& F, sim::ProcessGrid2D& grid,
+                 const Lu2dOptions& opt)
+      : F_(F), g_(grid), bs_(F.structure()), opt_(opt) {}
+
+  void run(std::span<const int> snodes) {
+    // Position of each supernode in the list and the latest position of
+    // any updater, for the lookahead schedule. All ranks compute the same
+    // schedule from the (replicated) symbolic structure.
+    std::vector<int> last_upd_pos(static_cast<std::size_t>(bs_.n_snodes()), -1);
+    for (int idx = 0; idx < static_cast<int>(snodes.size()); ++idx) {
+      const int k = snodes[static_cast<std::size_t>(idx)];
+      SLU3D_CHECK(idx == 0 || snodes[static_cast<std::size_t>(idx - 1)] < k,
+                  "snodes must be ascending");
+      for (const PanelBlock& blk : bs_.lpanel(k))
+        last_upd_pos[static_cast<std::size_t>(blk.snode)] = idx;
+    }
+
+    std::vector<bool> fired(static_cast<std::size_t>(bs_.n_snodes()), false);
+    const int n = static_cast<int>(snodes.size());
+    for (int idx = 0; idx < n; ++idx) {
+      const int limit = std::min(n - 1, idx + opt_.lookahead);
+      for (int w = idx; w <= limit; ++w) {
+        const int j = snodes[static_cast<std::size_t>(w)];
+        if (!fired[static_cast<std::size_t>(j)] &&
+            last_upd_pos[static_cast<std::size_t>(j)] < idx) {
+          panel_phase(j);
+          fired[static_cast<std::size_t>(j)] = true;
+        }
+      }
+      schur_phase(snodes[static_cast<std::size_t>(idx)]);
+    }
+  }
+
+ private:
+  int tag(int k, int op) const { return opt_.tag_base + 8 * k + op; }
+
+  void panel_phase(int k) {
+    const index_t ns = bs_.snode_size(k);
+    if (ns == 0) return;
+    PanelStash& stash = stash_[k];
+    const int pxk = k % g_.Px();
+    const int pyk = k % g_.Py();
+    const bool in_prow = g_.px() == pxk;
+    const bool in_pcol = g_.py() == pyk;
+
+    // 1+2: diagonal factorization at the owner, broadcast along the
+    // owner's process row (for U panel solves) and column (for L).
+    stash.diag.assign(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns), 0.0);
+    if (F_.owns(k, k)) {
+      auto d = F_.diag(k);
+      dense::getrf_nopiv(ns, d.data(), ns);
+      g_.grid().add_compute(dense::getrf_flops(ns), ComputeKind::DiagFactor);
+      std::copy(d.begin(), d.end(), stash.diag.begin());
+    }
+    if (in_prow) g_.row().bcast(pyk, tag(k, 0), stash.diag, CommPlane::XY);
+    if (in_pcol) g_.col().bcast(pxk, tag(k, 1), stash.diag, CommPlane::XY);
+
+    // 3: panel solves on the owning process column / row.
+    if (in_pcol) {
+      for (OwnedBlock& blk : F_.lblocks(k)) {
+        const index_t m =
+            bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
+        dense::trsm_right_upper(ns, m, stash.diag.data(), ns, blk.data.data(), m);
+        g_.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
+      }
+    }
+    if (in_prow) {
+      for (OwnedBlock& blk : F_.ublocks(k)) {
+        const index_t m =
+            bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
+        dense::trsm_left_lower_unit(ns, m, stash.diag.data(), ns,
+                                    blk.data.data(), ns);
+        g_.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
+      }
+    }
+
+    // 4: panel broadcast. L block (a, k) goes along process row (a % Px);
+    // U block (k, a) goes along process column (a % Py).
+    const auto panel = bs_.lpanel(k);
+    for (int pi = 0; pi < static_cast<int>(panel.size()); ++pi) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(pi)];
+      const auto m = static_cast<std::size_t>(blk.n_rows());
+      if (blk.snode % g_.Px() == g_.px()) {
+        std::vector<real_t> buf(m * static_cast<std::size_t>(ns), 0.0);
+        if (in_pcol) {
+          const OwnedBlock* ob = F_.find_lblock(k, blk.snode);
+          SLU3D_CHECK(ob != nullptr, "owner missing L block");
+          buf = ob->data;
+        }
+        g_.row().bcast(pyk, tag(k, 2), buf, CommPlane::XY);
+        stash.lblocks.emplace(pi, std::move(buf));
+      }
+      if (blk.snode % g_.Py() == g_.py()) {
+        std::vector<real_t> buf(static_cast<std::size_t>(ns) * m, 0.0);
+        if (in_prow) {
+          const OwnedBlock* ob = F_.find_ublock(k, blk.snode);
+          SLU3D_CHECK(ob != nullptr, "owner missing U block");
+          buf = ob->data;
+        }
+        g_.col().bcast(pxk, tag(k, 3), buf, CommPlane::XY);
+        stash.ublocks.emplace(pi, std::move(buf));
+      }
+    }
+  }
+
+  void schur_phase(int k) {
+    const index_t ns = bs_.snode_size(k);
+    if (ns == 0) return;
+    const auto it = stash_.find(k);
+    SLU3D_CHECK(it != stash_.end(), "panel not factored before Schur phase");
+    PanelStash& stash = it->second;
+
+    const auto panel = bs_.lpanel(k);
+    std::vector<real_t> scratch;
+    for (const auto& [pi, ldata] : stash.lblocks) {
+      const PanelBlock& bi = panel[static_cast<std::size_t>(pi)];
+      const index_t mi = bi.n_rows();
+      for (const auto& [pj, udata] : stash.ublocks) {
+        const PanelBlock& bj = panel[static_cast<std::size_t>(pj)];
+        const index_t mj = bj.n_rows();
+        // Target block (bi.snode, bj.snode) is owned by this rank by
+        // construction of the stashes; skip if its column supernode is not
+        // materialized on this grid (3D masked layouts).
+        const int target_col = std::min(bi.snode, bj.snode);
+        if (!F_.wants_snode(target_col)) continue;
+        scratch.assign(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj), 0.0);
+        dense::gemm_minus(mi, mj, ns, ldata.data(), mi, udata.data(), ns,
+                          scratch.data(), mi);
+        g_.grid().add_compute(dense::gemm_flops(mi, mj, ns),
+                              ComputeKind::SchurUpdate);
+        scatter_local(bi.snode, bj.snode, bi.rows, bj.rows, scratch);
+      }
+    }
+    stash_.erase(it);
+  }
+
+  /// Adds V into the owned target block (bi, bj) — the distributed version
+  /// of schur_scatter_add.
+  void scatter_local(int bi, int bj, std::span<const index_t> rows_i,
+                     std::span<const index_t> cols_j,
+                     std::span<const real_t> v) {
+    const auto mi = static_cast<index_t>(rows_i.size());
+    const auto mj = static_cast<index_t>(cols_j.size());
+    if (bi == bj) {
+      SLU3D_CHECK(F_.has_diag(bi), "Schur target diag not owned");
+      auto d = F_.diag(bi);
+      const index_t f = bs_.first_col(bi);
+      const index_t nsd = bs_.snode_size(bi);
+      for (index_t c = 0; c < mj; ++c)
+        for (index_t r = 0; r < mi; ++r)
+          d[static_cast<std::size_t>((rows_i[static_cast<std::size_t>(r)] - f) +
+                                     (cols_j[static_cast<std::size_t>(c)] - f) * nsd)] +=
+              v[static_cast<std::size_t>(r + c * mi)];
+      return;
+    }
+    if (bi > bj) {  // L panel of bj, ancestor block bi
+      OwnedBlock* blk = F_.find_lblock(bj, bi);
+      SLU3D_CHECK(blk != nullptr, "Schur target L block not owned");
+      const auto& brows =
+          bs_.lpanel(bj)[static_cast<std::size_t>(blk->panel_idx)].rows;
+      std::vector<index_t> pos(static_cast<std::size_t>(mi));
+      locate_sorted_subset(rows_i, brows, pos);
+      const auto m = brows.size();
+      const index_t f = bs_.first_col(bj);
+      for (index_t c = 0; c < mj; ++c)
+        for (index_t r = 0; r < mi; ++r)
+          blk->data[static_cast<std::size_t>(pos[static_cast<std::size_t>(r)]) +
+                    static_cast<std::size_t>(cols_j[static_cast<std::size_t>(c)] - f) * m] +=
+              v[static_cast<std::size_t>(r + c * mi)];
+      return;
+    }
+    // bi < bj: U panel of bi, ancestor block bj.
+    OwnedBlock* blk = F_.find_ublock(bi, bj);
+    SLU3D_CHECK(blk != nullptr, "Schur target U block not owned");
+    const auto& bcols =
+        bs_.lpanel(bi)[static_cast<std::size_t>(blk->panel_idx)].rows;
+    std::vector<index_t> pos(static_cast<std::size_t>(mj));
+    locate_sorted_subset(cols_j, bcols, pos);
+    const auto nsu = static_cast<std::size_t>(bs_.snode_size(bi));
+    const index_t f = bs_.first_col(bi);
+    for (index_t c = 0; c < mj; ++c)
+      for (index_t r = 0; r < mi; ++r)
+        blk->data[static_cast<std::size_t>(rows_i[static_cast<std::size_t>(r)] - f) +
+                  static_cast<std::size_t>(pos[static_cast<std::size_t>(c)]) * nsu] +=
+            v[static_cast<std::size_t>(r + c * mi)];
+  }
+
+  Dist2dFactors& F_;
+  sim::ProcessGrid2D& g_;
+  const BlockStructure& bs_;
+  Lu2dOptions opt_;
+  std::map<int, PanelStash> stash_;
+};
+
+}  // namespace
+
+void factorize_2d(Dist2dFactors& F, sim::ProcessGrid2D& grid,
+                  std::span<const int> snodes, const Lu2dOptions& options) {
+  Factor2dDriver(F, grid, options).run(snodes);
+}
+
+}  // namespace slu3d

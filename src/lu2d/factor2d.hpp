@@ -1,0 +1,38 @@
+// The 2D distributed right-looking supernodal LU factorization — the
+// SuperLU_DIST baseline algorithm (§II-E2):
+//   per supernode k: diagonal factorization at the owner of (k,k),
+//   diagonal broadcast along the owner's process row and column, panel
+//   solves at the owning row/column of processes, panel broadcast, then
+//   the owner-only-update Schur complement on every rank.
+// Pipelining via the elimination-tree lookahead window (§II-F) is
+// included: panel factorization of up to `lookahead` future supernodes is
+// issued as soon as all their updaters have completed.
+//
+// `snodes` restricts the factorization to a node list — this is exactly
+// the dSparseLU2D(A, nList) primitive that Algorithm 1 (the 3D algorithm)
+// invokes per elimination-forest level.
+#pragma once
+
+#include <span>
+
+#include "lu2d/dist_factors.hpp"
+#include "simmpi/process_grid.hpp"
+
+namespace slu3d {
+
+struct Lu2dOptions {
+  /// Lookahead window size in supernodes (SuperLU_DIST uses 8-20; 0
+  /// disables pipelining).
+  int lookahead = 8;
+  /// Base message tag; the driver uses tags [tag_base, tag_base + 8*n_snodes).
+  int tag_base = 0;
+};
+
+/// Factorizes the supernodes in `snodes` (ascending elimination order) in
+/// place on every rank of `grid`. Collective over grid.grid(). Schur
+/// updates are applied to every allocated target block, including
+/// replicated-ancestor blocks when `F` is a masked (3D) layout.
+void factorize_2d(Dist2dFactors& F, sim::ProcessGrid2D& grid,
+                  std::span<const int> snodes, const Lu2dOptions& options = {});
+
+}  // namespace slu3d

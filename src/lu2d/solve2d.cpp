@@ -1,0 +1,202 @@
+#include "lu2d/solve2d.hpp"
+
+#include <vector>
+
+#include "numeric/dense_kernels.hpp"
+#include "support/check.hpp"
+
+namespace slu3d {
+
+namespace {
+
+using sim::CommPlane;
+using sim::ComputeKind;
+
+/// For each supernode a, the list of (descendant supernode c, panel block
+/// index) pairs with a block (a-range rows) in c's panel — i.e. the
+/// senders of forward contributions to a, and (transposed) the targets of
+/// backward contributions from a. Ascending in c by construction.
+std::vector<std::vector<std::pair<int, int>>> blocks_by_ancestor(
+    const BlockStructure& bs) {
+  std::vector<std::vector<std::pair<int, int>>> by_anc(
+      static_cast<std::size_t>(bs.n_snodes()));
+  for (int c = 0; c < bs.n_snodes(); ++c) {
+    const auto panel = bs.lpanel(c);
+    for (int k = 0; k < static_cast<int>(panel.size()); ++k)
+      by_anc[static_cast<std::size_t>(panel[static_cast<std::size_t>(k)].snode)]
+          .push_back({c, k});
+  }
+  return by_anc;
+}
+
+class Solve2dDriver {
+ public:
+  Solve2dDriver(Dist2dFactors& F, sim::ProcessGrid2D& grid,
+                const Solve2dOptions& opt)
+      : F_(F), g_(grid), bs_(F.structure()), opt_(opt),
+        by_anc_(blocks_by_ancestor(bs_)) {}
+
+  void run(std::span<real_t> x) {
+    SLU3D_CHECK(x.size() == static_cast<std::size_t>(bs_.n()), "x size");
+    forward(x);
+    backward(x);
+    redistribute(x);
+  }
+
+ private:
+  int diag_owner(int s) const { return F_.owner_of(s, s); }
+  int ftag(int s) const { return opt_.tag_base + s; }                   // forward
+  int btag(int s) const { return opt_.tag_base + bs_.n_snodes() + s; }  // backward
+  int gtag() const { return opt_.tag_base + 2 * bs_.n_snodes(); }       // gather
+
+  /// L y = b, bottom-up. On return, x holds y on each supernode's process
+  /// column (authoritative at the diagonal owner).
+  void forward(std::span<real_t> x) {
+    std::vector<real_t> ybuf;
+    for (int s = 0; s < bs_.n_snodes(); ++s) {
+      const index_t ns = bs_.snode_size(s);
+      if (ns == 0) continue;
+      const index_t f = bs_.first_col(s);
+      const bool in_pcol = g_.py() == s % g_.Py();
+
+      if (F_.has_diag(s)) {
+        // Collect partial products from every L block targeting s.
+        for (const auto& [c, blkidx] : by_anc_[static_cast<std::size_t>(s)]) {
+          const PanelBlock& blk =
+              bs_.lpanel(c)[static_cast<std::size_t>(blkidx)];
+          const int src = F_.owner_of(s, c);
+          const auto v = g_.grid().recv(src, ftag(c), CommPlane::XY);
+          SLU3D_CHECK(v.size() == blk.rows.size(), "contribution size");
+          for (std::size_t r = 0; r < v.size(); ++r)
+            x[static_cast<std::size_t>(blk.rows[r])] -= v[r];
+        }
+        dense::trsv_lower_unit(ns, F_.diag(s).data(), ns, x.data() + f);
+        g_.grid().add_compute(static_cast<offset_t>(ns) * ns, ComputeKind::Other);
+      }
+
+      // Share y_s with the L-block owners (all in process column s%Py).
+      if (in_pcol) {
+        ybuf.assign(x.begin() + f, x.begin() + f + ns);
+        g_.col().bcast(s % g_.Px(), ftag(s), ybuf, CommPlane::XY);
+        std::copy(ybuf.begin(), ybuf.end(), x.begin() + f);
+
+        // Each owned L block contributes to its ancestor's rows.
+        for (const OwnedBlock& ob : F_.lblocks(s)) {
+          const PanelBlock& blk =
+              bs_.lpanel(s)[static_cast<std::size_t>(ob.panel_idx)];
+          const auto m = static_cast<index_t>(blk.rows.size());
+          std::vector<real_t> v(static_cast<std::size_t>(m), 0.0);
+          for (index_t c = 0; c < ns; ++c) {
+            const real_t yc = ybuf[static_cast<std::size_t>(c)];
+            if (yc == 0.0) continue;
+            for (index_t r = 0; r < m; ++r)
+              v[static_cast<std::size_t>(r)] +=
+                  ob.data[static_cast<std::size_t>(r + c * m)] * yc;
+          }
+          g_.grid().add_compute(2 * static_cast<offset_t>(m) * ns,
+                                ComputeKind::Other);
+          g_.grid().send(diag_owner(blk.snode), ftag(s), v, CommPlane::XY);
+        }
+      }
+    }
+  }
+
+  /// U x = y, top-down.
+  void backward(std::span<real_t> x) {
+    std::vector<real_t> xbuf;
+    for (int s = bs_.n_snodes() - 1; s >= 0; --s) {
+      const index_t ns = bs_.snode_size(s);
+      if (ns == 0) continue;
+      const index_t f = bs_.first_col(s);
+      const bool in_pcol = g_.py() == s % g_.Py();
+
+      if (F_.has_diag(s)) {
+        // Collect partial products U(s, a) x_a from the U-block owners.
+        for (const PanelBlock& blk : bs_.lpanel(s)) {
+          const int src = F_.owner_of(s, blk.snode);
+          const auto v = g_.grid().recv(src, btag(blk.snode), CommPlane::XY);
+          SLU3D_CHECK(v.size() == static_cast<std::size_t>(ns), "contribution size");
+          for (index_t r = 0; r < ns; ++r)
+            x[static_cast<std::size_t>(f + r)] -= v[static_cast<std::size_t>(r)];
+        }
+        dense::trsv_upper(ns, F_.diag(s).data(), ns, x.data() + f);
+        g_.grid().add_compute(static_cast<offset_t>(ns) * ns, ComputeKind::Other);
+      }
+
+      // Share x_s with the U-block owners (process column s%Py), then
+      // each computes its contribution to a *descendant* supernode c.
+      if (in_pcol) {
+        xbuf.assign(x.begin() + f, x.begin() + f + ns);
+        g_.col().bcast(s % g_.Px(), btag(s) + bs_.n_snodes(), xbuf, CommPlane::XY);
+        std::copy(xbuf.begin(), xbuf.end(), x.begin() + f);
+
+        // Descending c so the receivers' (descending) loop matches the
+        // per-(src, tag) FIFO order.
+        const auto& pairs = by_anc_[static_cast<std::size_t>(s)];
+        for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) {
+          const auto& [c, blkidx] = *it;
+          if (c % g_.Px() != g_.px()) continue;  // U(c, s) not in my row
+          OwnedBlock* ob = F_.find_ublock(c, s);
+          SLU3D_CHECK(ob != nullptr, "missing owned U block in solve");
+          const PanelBlock& blk =
+              bs_.lpanel(c)[static_cast<std::size_t>(blkidx)];
+          const index_t nc = bs_.snode_size(c);
+          const auto m = static_cast<index_t>(blk.rows.size());
+          std::vector<real_t> v(static_cast<std::size_t>(nc), 0.0);
+          for (index_t k = 0; k < m; ++k) {
+            const real_t xk =
+                x[static_cast<std::size_t>(blk.rows[static_cast<std::size_t>(k)])];
+            if (xk == 0.0) continue;
+            for (index_t r = 0; r < nc; ++r)
+              v[static_cast<std::size_t>(r)] +=
+                  ob->data[static_cast<std::size_t>(r + k * nc)] * xk;
+          }
+          g_.grid().add_compute(2 * static_cast<offset_t>(m) * nc,
+                                ComputeKind::Other);
+          g_.grid().send(diag_owner(c), btag(s), v, CommPlane::XY);
+        }
+      }
+    }
+  }
+
+  /// Collect the solution slices from the diagonal owners on every rank
+  /// (a variable-size allgather in rank order).
+  void redistribute(std::span<real_t> x) {
+    sim::Comm& comm = g_.grid();
+    std::vector<real_t> packed;
+    for (int s = 0; s < bs_.n_snodes(); ++s)
+      if (F_.has_diag(s))
+        packed.insert(packed.end(), x.begin() + bs_.first_col(s),
+                      x.begin() + bs_.first_col(s) + bs_.snode_size(s));
+    const std::vector<real_t> all =
+        comm.allgatherv(gtag(), packed, CommPlane::XY);
+    std::size_t pos = 0;
+    for (int r = 0; r < comm.size(); ++r)
+      for (int s = 0; s < bs_.n_snodes(); ++s) {
+        if (diag_owner(s) != r) continue;
+        const auto ns = static_cast<std::size_t>(bs_.snode_size(s));
+        SLU3D_CHECK(pos + ns <= all.size(), "gather underflow");
+        std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(pos), ns,
+                    x.begin() + bs_.first_col(s));
+        pos += ns;
+      }
+    SLU3D_CHECK(pos == all.size(), "gather stream not fully consumed");
+  }
+
+  Dist2dFactors& F_;
+  sim::ProcessGrid2D& g_;
+  const BlockStructure& bs_;
+  Solve2dOptions opt_;
+  std::vector<std::vector<std::pair<int, int>>> by_anc_;
+};
+
+}  // namespace
+
+void solve_2d(Dist2dFactors& F, sim::ProcessGrid2D& grid, std::span<real_t> x,
+              const Solve2dOptions& options) {
+  SLU3D_CHECK(F.wants_snode(0) || F.structure().n_snodes() == 0,
+              "solve_2d requires an unmasked (pure 2D) layout");
+  Solve2dDriver(F, grid, options).run(x);
+}
+
+}  // namespace slu3d

@@ -1,0 +1,32 @@
+// Distributed triangular solves on the 2D block-cyclic factors — the
+// SuperLU_DIST pdgstrs counterpart. Forward substitution walks supernodes
+// bottom-up: the diagonal owner solves its block, sends the solution
+// slice to the L-panel block owners in its process column, and each of
+// those sends one partial product to the target supernode's diagonal
+// owner. Backward substitution mirrors this through the U panels,
+// top-down. All routing is derived from the replicated symbolic
+// structure; contribution counts are known in advance on every rank.
+#pragma once
+
+#include <span>
+
+#include "lu2d/dist_factors.hpp"
+#include "simmpi/process_grid.hpp"
+
+namespace slu3d {
+
+struct Solve2dOptions {
+  /// Base message tag; the solver uses a tag range disjoint per call when
+  /// callers pick distinct bases.
+  int tag_base = (1 << 24);
+};
+
+/// Solves L U x = b in the permuted index space on the factored `F`.
+/// Collective over grid.grid(). Every rank passes the full permuted
+/// right-hand side in `x` (replicated); on return every rank's `x` holds
+/// the full solution. `snodes` defaults to all supernodes; a restricted
+/// ascending list solves the corresponding principal subsystem.
+void solve_2d(Dist2dFactors& F, sim::ProcessGrid2D& grid, std::span<real_t> x,
+              const Solve2dOptions& options = {});
+
+}  // namespace slu3d

@@ -1,0 +1,182 @@
+#include "lu3d/factor3d.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace slu3d {
+
+namespace {
+
+using sim::CommPlane;
+
+constexpr int kReduceTagBase = (1 << 22);
+constexpr int kGatherTag = (1 << 22) + 64;
+
+/// Appends every block of supernode s owned by this rank, in deterministic
+/// (diag, L ascending, U ascending) order.
+void pack_snode(const Dist2dFactors& F, int s, std::vector<real_t>& out) {
+  if (F.has_diag(s)) {
+    const auto d = F.diag(s);
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  for (const OwnedBlock& b : F.lblocks(s))
+    out.insert(out.end(), b.data.begin(), b.data.end());
+  for (const OwnedBlock& b : F.ublocks(s))
+    out.insert(out.end(), b.data.begin(), b.data.end());
+}
+
+/// Mirror of pack_snode: adds the packed stream into the local blocks.
+std::size_t add_snode(Dist2dFactors& F, int s, std::span<const real_t> buf,
+                      std::size_t pos) {
+  if (F.has_diag(s)) {
+    auto d = F.diag(s);
+    SLU3D_CHECK(pos + d.size() <= buf.size(), "reduction stream underflow");
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] += buf[pos + i];
+    pos += d.size();
+  }
+  for (OwnedBlock& b : F.lblocks(s)) {
+    SLU3D_CHECK(pos + b.data.size() <= buf.size(), "reduction stream underflow");
+    for (std::size_t i = 0; i < b.data.size(); ++i) b.data[i] += buf[pos + i];
+    pos += b.data.size();
+  }
+  for (OwnedBlock& b : F.ublocks(s)) {
+    SLU3D_CHECK(pos + b.data.size() <= buf.size(), "reduction stream underflow");
+    for (std::size_t i = 0; i < b.data.size(); ++i) b.data[i] += buf[pos + i];
+    pos += b.data.size();
+  }
+  return pos;
+}
+
+}  // namespace
+
+Dist2dFactors make_3d_factors(const BlockStructure& bs,
+                              sim::ProcessGrid3D& grid,
+                              const ForestPartition& part,
+                              const CsrMatrix& Ap) {
+  auto& plane = grid.plane();
+  Dist2dFactors F(bs, plane.Px(), plane.Py(), plane.px(), plane.py(),
+                  part.mask_for(grid.pz()));
+  F.fill_from(Ap);
+  // Replicated copies on non-anchor grids start at zero so the pairwise
+  // z-reductions sum to A + all Schur updates exactly once.
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    if (!part.on_grid(s, grid.pz()) || part.anchor_of(s) == grid.pz()) continue;
+    if (F.has_diag(s)) std::fill(F.diag(s).begin(), F.diag(s).end(), 0.0);
+    for (OwnedBlock& b : F.lblocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
+    for (OwnedBlock& b : F.ublocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
+  }
+  return F;
+}
+
+void factorize_3d(Dist2dFactors& F, sim::ProcessGrid3D& grid,
+                  const ForestPartition& part, const Lu3dOptions& options) {
+  const BlockStructure& bs = F.structure();
+  const int l = part.n_levels() - 1;
+  const int pz = grid.pz();
+
+  for (int lvl = l; lvl >= 0; --lvl) {
+    const int step = 1 << (l - lvl);
+    if (pz % step != 0) continue;  // this grid is inactive at this level
+
+    const std::vector<int> nodes = part.nodes_at(pz, lvl);
+    factorize_2d(F, grid.plane(), nodes, options.lu2d);
+
+    if (lvl == 0) break;
+
+    // Ancestor-Reduction: the (2k+1)-th active grid sends its copies of
+    // every common-ancestor block to the (2k)-th, which accumulates them.
+    const int k = pz / step;
+    std::vector<int> ancestors;
+    for (int s = 0; s < bs.n_snodes(); ++s)
+      if (part.level_of(s) < lvl && part.on_grid(s, pz)) ancestors.push_back(s);
+
+    if (k % 2 == 1) {
+      std::vector<real_t> buf;
+      for (int s : ancestors) pack_snode(F, s, buf);
+      grid.zline().send(pz - step, kReduceTagBase + lvl, buf, CommPlane::Z);
+    } else {
+      const auto buf =
+          grid.zline().recv(pz + step, kReduceTagBase + lvl, CommPlane::Z);
+      std::size_t pos = 0;
+      for (int s : ancestors) pos = add_snode(F, s, buf, pos);
+      SLU3D_CHECK(pos == buf.size(), "reduction stream not fully consumed");
+    }
+  }
+}
+
+std::optional<SupernodalMatrix> gather_3d_to_root(const Dist2dFactors& F,
+                                                  sim::Comm& world,
+                                                  sim::ProcessGrid3D& grid,
+                                                  const ForestPartition& part) {
+  const BlockStructure& bs = F.structure();
+  auto& plane = grid.plane();
+  const int Px = plane.Px(), Py = plane.Py();
+
+  // Every rank packs the supernodes anchored on its grid.
+  std::vector<real_t> mine;
+  for (int s = 0; s < bs.n_snodes(); ++s)
+    if (part.anchor_of(s) == grid.pz()) pack_snode(F, s, mine);
+
+  if (world.rank() != 0) {
+    world.send(0, kGatherTag, mine, CommPlane::Z);
+    return std::nullopt;
+  }
+
+  SupernodalMatrix full(bs);
+  auto unpack_rank = [&](int spz, int spx, int spy, std::span<const real_t> buf) {
+    std::size_t pos = 0;
+    auto rank_owns = [&](int bi, int bj) {
+      return bi % Px == spx && bj % Py == spy;
+    };
+    for (int s = 0; s < bs.n_snodes(); ++s) {
+      if (part.anchor_of(s) != spz) continue;
+      const auto ns = static_cast<std::size_t>(bs.snode_size(s));
+      if (ns == 0) continue;
+      if (rank_owns(s, s)) {
+        auto d = full.diag(s);
+        SLU3D_CHECK(pos + ns * ns <= buf.size(), "gather underflow (diag)");
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(pos), ns * ns,
+                    d.begin());
+        pos += ns * ns;
+      }
+      const auto panel = bs.lpanel(s);
+      const auto mtot = full.panel_rows(s).size();
+      for (const auto& blk : panel) {
+        const auto m = static_cast<std::size_t>(blk.n_rows());
+        if (!rank_owns(blk.snode, s)) continue;
+        const auto [off, cnt] = full.block_range(s, blk.snode);
+        SLU3D_CHECK(off >= 0 && static_cast<std::size_t>(cnt) == m, "L range");
+        SLU3D_CHECK(pos + m * ns <= buf.size(), "gather underflow (L)");
+        auto lp = full.lpanel(s);
+        for (std::size_t c = 0; c < ns; ++c)
+          for (std::size_t r = 0; r < m; ++r)
+            lp[static_cast<std::size_t>(off) + r + c * mtot] = buf[pos + r + c * m];
+        pos += m * ns;
+      }
+      for (const auto& blk : panel) {
+        const auto m = static_cast<std::size_t>(blk.n_rows());
+        if (!rank_owns(s, blk.snode)) continue;
+        const auto [off, cnt] = full.block_range(s, blk.snode);
+        SLU3D_CHECK(off >= 0 && static_cast<std::size_t>(cnt) == m, "U range");
+        SLU3D_CHECK(pos + ns * m <= buf.size(), "gather underflow (U)");
+        auto up = full.upanel(s);
+        for (std::size_t c = 0; c < m; ++c)
+          for (std::size_t r = 0; r < ns; ++r)
+            up[r + (static_cast<std::size_t>(off) + c) * ns] = buf[pos + r + c * ns];
+        pos += ns * m;
+      }
+    }
+    SLU3D_CHECK(pos == buf.size(), "gather stream not fully consumed");
+  };
+
+  unpack_rank(grid.pz(), plane.px(), plane.py(), mine);
+  const int pxy = Px * Py;
+  for (int r = 1; r < world.size(); ++r) {
+    const auto buf = world.recv(r, kGatherTag, CommPlane::Z);
+    unpack_rank(r / pxy, (r % pxy) / Py, (r % pxy) % Py, buf);
+  }
+  return full;
+}
+
+}  // namespace slu3d

@@ -1,0 +1,160 @@
+#include "lu3d/factor3d_chol.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace slu3d {
+
+namespace {
+
+using sim::CommPlane;
+
+constexpr int kReduceTagBase = (1 << 23);
+constexpr int kGatherTag = (1 << 23) + 64;
+
+void pack_snode(const DistCholFactors& F, int s, std::vector<real_t>& out) {
+  if (F.has_diag(s)) {
+    // Only the lower triangle is meaningful; pack it column-major.
+    const auto d = F.diag(s);
+    const auto ns = static_cast<index_t>(F.structure().snode_size(s));
+    for (index_t c = 0; c < ns; ++c)
+      for (index_t r = c; r < ns; ++r)
+        out.push_back(d[static_cast<std::size_t>(r + c * ns)]);
+  }
+  for (const OwnedBlock& b : F.lblocks(s))
+    out.insert(out.end(), b.data.begin(), b.data.end());
+}
+
+std::size_t add_snode(DistCholFactors& F, int s, std::span<const real_t> buf,
+                      std::size_t pos) {
+  if (F.has_diag(s)) {
+    auto d = F.diag(s);
+    const auto ns = static_cast<index_t>(F.structure().snode_size(s));
+    SLU3D_CHECK(pos + static_cast<std::size_t>(ns) * (static_cast<std::size_t>(ns) + 1) / 2 <=
+                    buf.size(),
+                "reduction stream underflow");
+    for (index_t c = 0; c < ns; ++c)
+      for (index_t r = c; r < ns; ++r)
+        d[static_cast<std::size_t>(r + c * ns)] += buf[pos++];
+  }
+  for (OwnedBlock& b : F.lblocks(s)) {
+    SLU3D_CHECK(pos + b.data.size() <= buf.size(), "reduction stream underflow");
+    for (std::size_t i = 0; i < b.data.size(); ++i) b.data[i] += buf[pos + i];
+    pos += b.data.size();
+  }
+  return pos;
+}
+
+}  // namespace
+
+DistCholFactors make_3d_chol_factors(const BlockStructure& bs,
+                                     sim::ProcessGrid3D& grid,
+                                     const ForestPartition& part,
+                                     const CsrMatrix& Ap) {
+  auto& plane = grid.plane();
+  DistCholFactors F(bs, plane.Px(), plane.Py(), plane.px(), plane.py(),
+                    part.mask_for(grid.pz()));
+  F.fill_from(Ap);
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    if (!part.on_grid(s, grid.pz()) || part.anchor_of(s) == grid.pz()) continue;
+    if (F.has_diag(s)) std::fill(F.diag(s).begin(), F.diag(s).end(), 0.0);
+    for (OwnedBlock& b : F.lblocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
+  }
+  return F;
+}
+
+void factorize_3d_cholesky(DistCholFactors& F, sim::ProcessGrid3D& grid,
+                           const ForestPartition& part,
+                           const Chol3dOptions& options) {
+  const BlockStructure& bs = F.structure();
+  const int l = part.n_levels() - 1;
+  const int pz = grid.pz();
+
+  for (int lvl = l; lvl >= 0; --lvl) {
+    const int step = 1 << (l - lvl);
+    if (pz % step != 0) continue;
+
+    const std::vector<int> nodes = part.nodes_at(pz, lvl);
+    factorize_2d_cholesky(F, grid.plane(), nodes, options.chol2d);
+
+    if (lvl == 0) break;
+
+    const int k = pz / step;
+    std::vector<int> ancestors;
+    for (int s = 0; s < bs.n_snodes(); ++s)
+      if (part.level_of(s) < lvl && part.on_grid(s, pz)) ancestors.push_back(s);
+
+    if (k % 2 == 1) {
+      std::vector<real_t> buf;
+      for (int s : ancestors) pack_snode(F, s, buf);
+      grid.zline().send(pz - step, kReduceTagBase + lvl, buf, CommPlane::Z);
+    } else {
+      const auto buf =
+          grid.zline().recv(pz + step, kReduceTagBase + lvl, CommPlane::Z);
+      std::size_t pos = 0;
+      for (int s : ancestors) pos = add_snode(F, s, buf, pos);
+      SLU3D_CHECK(pos == buf.size(), "reduction stream not fully consumed");
+    }
+  }
+}
+
+std::optional<CholeskyFactors> gather_3d_cholesky(const DistCholFactors& F,
+                                                  sim::Comm& world,
+                                                  sim::ProcessGrid3D& grid,
+                                                  const ForestPartition& part) {
+  const BlockStructure& bs = F.structure();
+  auto& plane = grid.plane();
+  const int Px = plane.Px(), Py = plane.Py();
+
+  std::vector<real_t> mine;
+  for (int s = 0; s < bs.n_snodes(); ++s)
+    if (part.anchor_of(s) == grid.pz()) pack_snode(F, s, mine);
+
+  if (world.rank() != 0) {
+    world.send(0, kGatherTag, mine, CommPlane::Z);
+    return std::nullopt;
+  }
+
+  CholeskyFactors full(bs);
+  auto unpack_rank = [&](int spz, int spx, int spy, std::span<const real_t> buf) {
+    std::size_t pos = 0;
+    for (int s = 0; s < bs.n_snodes(); ++s) {
+      if (part.anchor_of(s) != spz) continue;
+      const auto ns = static_cast<std::size_t>(bs.snode_size(s));
+      if (ns == 0) continue;
+      if (s % Px == spx && s % Py == spy) {
+        auto d = full.diag(s);
+        SLU3D_CHECK(pos + ns * (ns + 1) / 2 <= buf.size(),
+                    "gather underflow (diag)");
+        for (std::size_t c2 = 0; c2 < ns; ++c2)
+          for (std::size_t r = c2; r < ns; ++r)
+            d[r + c2 * ns] = buf[pos++];
+      }
+      const auto mtot = full.panel_rows(s).size();
+      for (const auto& blk : bs.lpanel(s)) {
+        if (!(blk.snode % Px == spx && s % Py == spy)) continue;
+        const auto m = static_cast<std::size_t>(blk.n_rows());
+        const auto [off, cnt] = full.block_range(s, blk.snode);
+        SLU3D_CHECK(off >= 0 && static_cast<std::size_t>(cnt) == m, "L range");
+        SLU3D_CHECK(pos + m * ns <= buf.size(), "gather underflow (L)");
+        auto lp = full.lpanel(s);
+        for (std::size_t c = 0; c < ns; ++c)
+          for (std::size_t r = 0; r < m; ++r)
+            lp[static_cast<std::size_t>(off) + r + c * mtot] = buf[pos + r + c * m];
+        pos += m * ns;
+      }
+    }
+    SLU3D_CHECK(pos == buf.size(), "gather stream not fully consumed");
+  };
+
+  unpack_rank(grid.pz(), plane.px(), plane.py(), mine);
+  const int pxy = Px * Py;
+  for (int r = 1; r < world.size(); ++r) {
+    const auto buf = world.recv(r, kGatherTag, CommPlane::Z);
+    unpack_rank(r / pxy, (r % pxy) / Py, (r % pxy) % Py, buf);
+  }
+  return full;
+}
+
+}  // namespace slu3d

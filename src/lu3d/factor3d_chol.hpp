@@ -1,0 +1,40 @@
+// Algorithm 1 applied to sparse Cholesky — the paper's §VII conjecture
+// ("these principles could be applied to ... Cholesky") realized: the same
+// elimination-forest partition, per-level 2D factorization (the symmetric
+// driver), and pairwise z-axis ancestor reduction, on lower-triangular
+// storage with half the replicated volume of the LU variant.
+#pragma once
+
+#include <optional>
+
+#include "lu2d/dist_chol.hpp"
+#include "lu3d/forest_partition.hpp"
+#include "simmpi/process_grid.hpp"
+
+namespace slu3d {
+
+/// Builds the masked symmetric factor storage for grid pz (local trees +
+/// replicated ancestors), fills it with the lower triangle of Ap, and
+/// zeroes non-anchor replicas.
+DistCholFactors make_3d_chol_factors(const BlockStructure& bs,
+                                     sim::ProcessGrid3D& grid,
+                                     const ForestPartition& part,
+                                     const CsrMatrix& Ap);
+
+struct Chol3dOptions {
+  Chol2dOptions chol2d;
+};
+
+/// Runs Algorithm 1 with the Cholesky 2D primitive. Collective over the
+/// 3D grid; factored blocks end on their anchor grids.
+void factorize_3d_cholesky(DistCholFactors& F, sim::ProcessGrid3D& grid,
+                           const ForestPartition& part,
+                           const Chol3dOptions& options = {});
+
+/// Gathers the factored L onto world rank 0 as sequential CholeskyFactors.
+std::optional<CholeskyFactors> gather_3d_cholesky(const DistCholFactors& F,
+                                                  sim::Comm& world,
+                                                  sim::ProcessGrid3D& grid,
+                                                  const ForestPartition& part);
+
+}  // namespace slu3d

@@ -1,0 +1,180 @@
+#include "lu3d/forest_partition.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/check.hpp"
+
+namespace slu3d {
+
+namespace {
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+int log2i(int x) {
+  int l = 0;
+  while ((1 << l) < x) ++l;
+  return l;
+}
+
+}  // namespace
+
+ForestPartition::ForestPartition(const BlockStructure& bs, int Pz,
+                                 PartitionStrategy strategy)
+    : bs_(&bs), Pz_(Pz) {
+  SLU3D_CHECK(is_pow2(Pz), "Pz must be a power of two");
+  levels_ = log2i(Pz) + 1;
+  const int nsn = bs.n_snodes();
+  level_.assign(static_cast<std::size_t>(nsn), levels_ - 1);
+  anchor_.assign(static_cast<std::size_t>(nsn), 0);
+
+  // Subtree cost (flops) via one ascending pass: children precede parents.
+  std::vector<offset_t> subtree(static_cast<std::size_t>(nsn), 0);
+  for (int s = 0; s < nsn; ++s) {
+    subtree[static_cast<std::size_t>(s)] += bs.snode_flops(s);
+    const int p = bs.nd_parent(s);
+    if (p >= 0) subtree[static_cast<std::size_t>(p)] += subtree[static_cast<std::size_t>(s)];
+  }
+
+  // LPT split of a forest into two groups; returns max group cost.
+  auto lpt_split = [&](std::vector<int> roots, std::vector<int>* g1,
+                       std::vector<int>* g2) -> offset_t {
+    std::sort(roots.begin(), roots.end(), [&](int a, int b) {
+      return subtree[static_cast<std::size_t>(a)] > subtree[static_cast<std::size_t>(b)];
+    });
+    offset_t c1 = 0, c2 = 0;
+    for (int r : roots) {
+      if (c1 <= c2) {
+        c1 += subtree[static_cast<std::size_t>(r)];
+        if (g1) g1->push_back(r);
+      } else {
+        c2 += subtree[static_cast<std::size_t>(r)];
+        if (g2) g2->push_back(r);
+      }
+    }
+    return std::max(c1, c2);
+  };
+
+  // Greedy §III-C: grow the common-ancestor set S from the forest roots,
+  // always expanding the heaviest frontier subtree, while the objective
+  // T(S) + max(T(C1), T(C2)) keeps improving.
+  auto greedy_split = [&](const std::vector<int>& roots, std::vector<int>* S,
+                          std::vector<int>* c1, std::vector<int>* c2) {
+    std::vector<int> frontier = roots;
+    std::vector<int> sset;
+    offset_t s_cost = 0;
+    if (strategy == PartitionStrategy::NdSplit) {
+      // Plain nested-dissection mapping: move exactly one root (the
+      // heaviest) into S and split its children, with no further search.
+      if (!frontier.empty()) {
+        auto it0 = std::max_element(frontier.begin(), frontier.end(),
+                                    [&](int a, int b) {
+                                      return subtree[static_cast<std::size_t>(a)] <
+                                             subtree[static_cast<std::size_t>(b)];
+                                    });
+        const int r0 = *it0;
+        frontier.erase(it0);
+        sset.push_back(r0);
+        for (int c : bs.nd_children(r0)) frontier.push_back(c);
+      }
+      *S = sset;
+      lpt_split(frontier, c1, c2);
+      return;
+    }
+    offset_t best = s_cost + lpt_split(frontier, nullptr, nullptr);
+    std::vector<int> best_frontier = frontier;
+    std::vector<int> best_sset = sset;
+    while (!frontier.empty()) {
+      // Move the heaviest frontier subtree's root into S.
+      auto it = std::max_element(frontier.begin(), frontier.end(),
+                                 [&](int a, int b) {
+                                   return subtree[static_cast<std::size_t>(a)] <
+                                          subtree[static_cast<std::size_t>(b)];
+                                 });
+      const int r = *it;
+      frontier.erase(it);
+      sset.push_back(r);
+      s_cost += bs.snode_flops(r);
+      for (int c : bs.nd_children(r)) frontier.push_back(c);
+      const offset_t obj = s_cost + lpt_split(frontier, nullptr, nullptr);
+      if (obj < best) {
+        best = obj;
+        best_frontier = frontier;
+        best_sset = sset;
+      }
+      // Keep exploring the full descent: each step removes one frontier
+      // node and adds at most two children, so this terminates after at
+      // most n_snodes iterations and always finds the best prefix.
+    }
+    *S = best_sset;
+    lpt_split(best_frontier, c1, c2);
+  };
+
+  // Mark a whole subtree with (level, anchor).
+  auto mark_subtree = [&](int root, int lvl, int g0) {
+    std::vector<int> stack{root};
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      level_[static_cast<std::size_t>(v)] = lvl;
+      anchor_[static_cast<std::size_t>(v)] = g0;
+      for (int c : bs.nd_children(v)) stack.push_back(c);
+    }
+  };
+
+  std::function<void(std::vector<int>, int, int, int)> assign =
+      [&](std::vector<int> roots, int lvl, int g0, int width) {
+        if (width == 1) {
+          for (int r : roots) mark_subtree(r, lvl, g0);
+          return;
+        }
+        std::vector<int> S, c1, c2;
+        greedy_split(roots, &S, &c1, &c2);
+        for (int s : S) {
+          level_[static_cast<std::size_t>(s)] = lvl;
+          anchor_[static_cast<std::size_t>(s)] = g0;
+        }
+        assign(std::move(c1), lvl + 1, g0, width / 2);
+        assign(std::move(c2), lvl + 1, g0 + width / 2, width / 2);
+      };
+
+  std::vector<int> roots;
+  for (int s = 0; s < nsn; ++s)
+    if (bs.nd_parent(s) < 0) roots.push_back(s);
+  SLU3D_CHECK(!roots.empty(), "no elimination tree roots");
+  assign(std::move(roots), 0, 0, Pz);
+}
+
+std::vector<int> ForestPartition::nodes_at(int pz, int lvl) const {
+  std::vector<int> out;
+  for (int s = 0; s < bs_->n_snodes(); ++s)
+    if (level_of(s) == lvl && anchor_of(s) == pz) out.push_back(s);
+  return out;
+}
+
+std::vector<bool> ForestPartition::mask_for(int pz) const {
+  std::vector<bool> mask(static_cast<std::size_t>(bs_->n_snodes()), false);
+  for (int s = 0; s < bs_->n_snodes(); ++s)
+    if (on_grid(s, pz)) mask[static_cast<std::size_t>(s)] = true;
+  return mask;
+}
+
+offset_t ForestPartition::critical_path_flops() const {
+  offset_t total = 0;
+  for (int lvl = 0; lvl < levels_; ++lvl) {
+    offset_t worst = 0;
+    const int step = 1 << (levels_ - 1 - lvl);
+    for (int g0 = 0; g0 < Pz_; g0 += step) {
+      offset_t cost = 0;
+      for (int s = 0; s < bs_->n_snodes(); ++s)
+        if (level_of(s) == lvl && anchor_of(s) == g0) cost += bs_->snode_flops(s);
+      worst = std::max(worst, cost);
+    }
+    total += worst;
+  }
+  return total;
+}
+
+offset_t ForestPartition::total_flops() const { return bs_->total_flops(); }
+
+}  // namespace slu3d

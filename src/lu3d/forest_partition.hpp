@@ -1,0 +1,73 @@
+// Partition of the supernodal elimination tree into the "elimination
+// tree-forest" E_f of §III-C: log2(Pz)+1 levels, where level 0 is the
+// common-ancestor set replicated on all 2D grids and level k splits the
+// remaining forests across halves of the grid range. A greedy heuristic
+// balances T(S) + max(T(C1), T(C2)) using per-supernode factorization
+// flops as the cost function, exactly as the paper prescribes (Fig. 8).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "symbolic/block_structure.hpp"
+
+namespace slu3d {
+
+enum class PartitionStrategy {
+  /// S = the separator-tree split point only (the plain ND mapping of
+  /// Fig. 8, left).
+  NdSplit,
+  /// Greedy growth of S minimizing T(S) + max(T(C1), T(C2)) (Fig. 8,
+  /// right) — the paper's heuristic and the default.
+  Greedy,
+};
+
+class ForestPartition {
+ public:
+  /// Builds the partition for Pz (a power of two) 2D grids.
+  ForestPartition(const BlockStructure& bs, int Pz,
+                  PartitionStrategy strategy = PartitionStrategy::Greedy);
+
+  int Pz() const { return Pz_; }
+  /// Number of forest levels = log2(Pz) + 1.
+  int n_levels() const { return levels_; }
+
+  /// Forest level of supernode s (0 = the fully replicated top set).
+  int level_of(int s) const { return level_[static_cast<std::size_t>(s)]; }
+  /// The grid that factors supernode s (anchor of its replication group).
+  int anchor_of(int s) const { return anchor_[static_cast<std::size_t>(s)]; }
+  /// Number of grids holding a copy of s.
+  int group_size(int s) const {
+    return 1 << (levels_ - 1 - level_of(s));
+  }
+  /// True if grid pz holds a copy of supernode s.
+  bool on_grid(int s, int pz) const {
+    return pz >= anchor_of(s) && pz < anchor_of(s) + group_size(s);
+  }
+
+  /// Ascending list of supernodes grid pz factors at forest level lvl
+  /// (empty unless pz is active at lvl, i.e. a multiple of 2^(l - lvl)).
+  std::vector<int> nodes_at(int pz, int lvl) const;
+
+  /// Supernode allocation mask for grid pz (its local trees + every
+  /// replicated ancestor), for Dist2dFactors.
+  std::vector<bool> mask_for(int pz) const;
+
+  /// Critical-path cost of this partition in flops:
+  /// sum over levels of the max anchor-grid cost at that level. This is
+  /// the objective T(S) + max(T(C1), T(C2)) applied recursively (Fig. 8).
+  offset_t critical_path_flops() const;
+
+  /// Cost of the trivial Pz = 1 partition (everything sequential on one
+  /// grid) — the comparison baseline for load-balance ablations.
+  offset_t total_flops() const;
+
+ private:
+  const BlockStructure* bs_;
+  int Pz_;
+  int levels_;
+  std::vector<int> level_;
+  std::vector<int> anchor_;
+};
+
+}  // namespace slu3d

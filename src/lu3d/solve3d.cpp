@@ -1,0 +1,210 @@
+#include "lu3d/solve3d.hpp"
+
+#include <vector>
+
+#include "numeric/dense_kernels.hpp"
+#include "support/check.hpp"
+
+namespace slu3d {
+
+namespace {
+
+using sim::CommPlane;
+using sim::ComputeKind;
+
+class Solve3dDriver {
+ public:
+  Solve3dDriver(Dist2dFactors& F, sim::Comm& world, sim::ProcessGrid3D& grid,
+                const ForestPartition& part, const Solve3dOptions& opt)
+      : F_(F), world_(world), g_(grid), part_(part), bs_(F.structure()),
+        opt_(opt) {
+    // Descendant index: for each supernode a, the (c, panel block) pairs
+    // whose panel contains a block in a's range (ascending c).
+    by_anc_.resize(static_cast<std::size_t>(bs_.n_snodes()));
+    for (int c = 0; c < bs_.n_snodes(); ++c) {
+      const auto panel = bs_.lpanel(c);
+      for (int k = 0; k < static_cast<int>(panel.size()); ++k)
+        by_anc_[static_cast<std::size_t>(panel[static_cast<std::size_t>(k)].snode)]
+            .push_back({c, k});
+    }
+    // One z sub-communicator per forest level: the replication group of a
+    // level-lvl supernode is a dyadic pz range of size 2^(l - lvl).
+    const int l = part.n_levels() - 1;
+    for (int lvl = 0; lvl <= l; ++lvl)
+      zgroup_.push_back(
+          g_.zline().split(g_.pz() >> (l - lvl), g_.pz()));
+  }
+
+  void run(std::span<real_t> x) {
+    SLU3D_CHECK(x.size() == static_cast<std::size_t>(bs_.n()), "x size");
+    forward(x);
+    backward(x);
+    redistribute(x);
+  }
+
+ private:
+  int Px() const { return g_.plane().Px(); }
+  int Py() const { return g_.plane().Py(); }
+  /// World rank of plane position (px, py) on grid pz.
+  int world_of(int pz, int px, int py) const {
+    return pz * Px() * Py() + px * Py() + py;
+  }
+  int diag_owner(int s) const {
+    return world_of(part_.anchor_of(s), s % Px(), s % Py());
+  }
+  int ftag(int s) const { return opt_.tag_base + s; }
+  int btag(int s) const { return opt_.tag_base + bs_.n_snodes() + s; }
+  int gtag() const { return opt_.tag_base + 3 * bs_.n_snodes(); }
+
+  void forward(std::span<real_t> x) {
+    std::vector<real_t> ybuf;
+    for (int s = 0; s < bs_.n_snodes(); ++s) {
+      const index_t ns = bs_.snode_size(s);
+      if (ns == 0) continue;
+      const index_t f = bs_.first_col(s);
+      const bool my_grid = g_.pz() == part_.anchor_of(s);
+      const bool in_pcol = my_grid && g_.plane().py() == s % Py();
+
+      if (world_.rank() == diag_owner(s)) {
+        for (const auto& [c, blkidx] : by_anc_[static_cast<std::size_t>(s)]) {
+          const PanelBlock& blk = bs_.lpanel(c)[static_cast<std::size_t>(blkidx)];
+          const int src = world_of(part_.anchor_of(c), s % Px(), c % Py());
+          const auto v = world_.recv(src, ftag(c), CommPlane::Z);
+          SLU3D_CHECK(v.size() == blk.rows.size(), "contribution size");
+          for (std::size_t r = 0; r < v.size(); ++r)
+            x[static_cast<std::size_t>(blk.rows[r])] -= v[r];
+        }
+        dense::trsv_lower_unit(ns, F_.diag(s).data(), ns, x.data() + f);
+        world_.add_compute(static_cast<offset_t>(ns) * ns, ComputeKind::Other);
+      }
+
+      // y_s to the L-block owners (all live on anchor(s), column s%Py).
+      if (in_pcol) {
+        ybuf.assign(x.begin() + f, x.begin() + f + ns);
+        g_.plane().col().bcast(s % Px(), ftag(s), ybuf, CommPlane::XY);
+        std::copy(ybuf.begin(), ybuf.end(), x.begin() + f);
+
+        for (const OwnedBlock& ob : F_.lblocks(s)) {
+          const PanelBlock& blk =
+              bs_.lpanel(s)[static_cast<std::size_t>(ob.panel_idx)];
+          const auto m = static_cast<index_t>(blk.rows.size());
+          std::vector<real_t> v(static_cast<std::size_t>(m), 0.0);
+          for (index_t c = 0; c < ns; ++c) {
+            const real_t yc = ybuf[static_cast<std::size_t>(c)];
+            if (yc == 0.0) continue;
+            for (index_t r = 0; r < m; ++r)
+              v[static_cast<std::size_t>(r)] +=
+                  ob.data[static_cast<std::size_t>(r + c * m)] * yc;
+          }
+          world_.add_compute(2 * static_cast<offset_t>(m) * ns, ComputeKind::Other);
+          world_.send(diag_owner(blk.snode), ftag(s), v, CommPlane::Z);
+        }
+      }
+    }
+  }
+
+  void backward(std::span<real_t> x) {
+    std::vector<real_t> xbuf;
+    for (int s = bs_.n_snodes() - 1; s >= 0; --s) {
+      const index_t ns = bs_.snode_size(s);
+      if (ns == 0) continue;
+      const index_t f = bs_.first_col(s);
+      const bool in_group = part_.on_grid(s, g_.pz());
+      const bool on_zline =
+          in_group && g_.plane().px() == s % Px() && g_.plane().py() == s % Py();
+      const bool in_pcol = in_group && g_.plane().py() == s % Py();
+
+      if (world_.rank() == diag_owner(s)) {
+        // U(s, a) blocks live with supernode s on my own grid.
+        for (const PanelBlock& blk : bs_.lpanel(s)) {
+          const int src = world_of(part_.anchor_of(s), s % Px(), blk.snode % Py());
+          const auto v = world_.recv(src, btag(blk.snode), CommPlane::Z);
+          SLU3D_CHECK(v.size() == static_cast<std::size_t>(ns), "contribution size");
+          for (index_t r = 0; r < ns; ++r)
+            x[static_cast<std::size_t>(f + r)] -= v[static_cast<std::size_t>(r)];
+        }
+        dense::trsv_upper(ns, F_.diag(s).data(), ns, x.data() + f);
+        world_.add_compute(static_cast<offset_t>(ns) * ns, ComputeKind::Other);
+      }
+
+      // Propagate x_s down the replication group: along z to each grid's
+      // (s%Px, s%Py) rank, then along each plane's process column.
+      if (on_zline) {
+        xbuf.assign(x.begin() + f, x.begin() + f + ns);
+        zgroup_[static_cast<std::size_t>(part_.level_of(s))].bcast(
+            0, btag(s), xbuf, CommPlane::Z);
+        std::copy(xbuf.begin(), xbuf.end(), x.begin() + f);
+      }
+      if (in_pcol) {
+        xbuf.assign(x.begin() + f, x.begin() + f + ns);
+        g_.plane().col().bcast(s % Px(), btag(s), xbuf, CommPlane::XY);
+        std::copy(xbuf.begin(), xbuf.end(), x.begin() + f);
+
+        // U(c, s) contributions for descendants c anchored on my grid,
+        // descending c to match the receivers' global order.
+        const auto& pairs = by_anc_[static_cast<std::size_t>(s)];
+        for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) {
+          const auto& [c, blkidx] = *it;
+          if (part_.anchor_of(c) != g_.pz() || c % Px() != g_.plane().px())
+            continue;
+          OwnedBlock* ob = F_.find_ublock(c, s);
+          SLU3D_CHECK(ob != nullptr, "missing owned U block in 3D solve");
+          const PanelBlock& blk = bs_.lpanel(c)[static_cast<std::size_t>(blkidx)];
+          const index_t nc = bs_.snode_size(c);
+          const auto m = static_cast<index_t>(blk.rows.size());
+          std::vector<real_t> v(static_cast<std::size_t>(nc), 0.0);
+          for (index_t k = 0; k < m; ++k) {
+            const real_t xk =
+                x[static_cast<std::size_t>(blk.rows[static_cast<std::size_t>(k)])];
+            if (xk == 0.0) continue;
+            for (index_t r = 0; r < nc; ++r)
+              v[static_cast<std::size_t>(r)] +=
+                  ob->data[static_cast<std::size_t>(r + k * nc)] * xk;
+          }
+          world_.add_compute(2 * static_cast<offset_t>(m) * nc, ComputeKind::Other);
+          world_.send(diag_owner(c), btag(s), v, CommPlane::Z);
+        }
+      }
+    }
+  }
+
+  void redistribute(std::span<real_t> x) {
+    std::vector<real_t> packed;
+    for (int s = 0; s < bs_.n_snodes(); ++s)
+      if (world_.rank() == diag_owner(s))
+        packed.insert(packed.end(), x.begin() + bs_.first_col(s),
+                      x.begin() + bs_.first_col(s) + bs_.snode_size(s));
+    const std::vector<real_t> all =
+        world_.allgatherv(gtag(), packed, CommPlane::Z);
+    std::size_t pos = 0;
+    for (int r = 0; r < world_.size(); ++r)
+      for (int s = 0; s < bs_.n_snodes(); ++s) {
+        if (diag_owner(s) != r) continue;
+        const auto ns = static_cast<std::size_t>(bs_.snode_size(s));
+        SLU3D_CHECK(pos + ns <= all.size(), "gather underflow");
+        std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(pos), ns,
+                    x.begin() + bs_.first_col(s));
+        pos += ns;
+      }
+    SLU3D_CHECK(pos == all.size(), "gather stream not fully consumed");
+  }
+
+  Dist2dFactors& F_;
+  sim::Comm& world_;
+  sim::ProcessGrid3D& g_;
+  const ForestPartition& part_;
+  const BlockStructure& bs_;
+  Solve3dOptions opt_;
+  std::vector<std::vector<std::pair<int, int>>> by_anc_;
+  std::vector<sim::Comm> zgroup_;
+};
+
+}  // namespace
+
+void solve_3d(Dist2dFactors& F, sim::Comm& world, sim::ProcessGrid3D& grid,
+              const ForestPartition& part, std::span<real_t> x,
+              const Solve3dOptions& options) {
+  Solve3dDriver(F, world, grid, part, options).run(x);
+}
+
+}  // namespace slu3d

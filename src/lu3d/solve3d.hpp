@@ -1,0 +1,31 @@
+// Distributed triangular solves on the *3D* factor layout produced by
+// factorize_3d — no gathering: each supernode's blocks stay on its anchor
+// grid. Forward substitution routes partial products across grids
+// point-to-point (an L block of supernode s lives on anchor(s), its
+// target ancestor's diagonal owner on anchor(a)); backward substitution
+// broadcasts each solved slice down its replication group along z and
+// then along the plane column, reaching every descendant's U blocks.
+//
+// The paper factors in 3D but stops short of a 3D solve (that is
+// follow-up work); this implements the natural extension.
+#pragma once
+
+#include <span>
+
+#include "lu3d/factor3d.hpp"
+
+namespace slu3d {
+
+struct Solve3dOptions {
+  int tag_base = (1 << 24);
+};
+
+/// Solves L U x = b in the permuted index space on the 3D-factored `F`.
+/// Collective over `world` (all Px*Py*Pz ranks). Every rank passes the
+/// full permuted right-hand side in `x`; on return every rank holds the
+/// full solution.
+void solve_3d(Dist2dFactors& F, sim::Comm& world, sim::ProcessGrid3D& grid,
+              const ForestPartition& part, std::span<real_t> x,
+              const Solve3dOptions& options = {});
+
+}  // namespace slu3d

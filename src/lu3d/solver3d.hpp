@@ -1,0 +1,64 @@
+// High-level driver for the complete 3D pipeline — the distributed
+// counterpart of SparseLuSolver. One call wires together ordering,
+// symbolic analysis, the elimination-forest partition, the simulated
+// process grid, Algorithm 1, and the 3D triangular solve, and returns the
+// solution together with the full performance report (time decomposition,
+// per-plane communication, memory) that the paper's figures are built
+// from.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lu3d/solve3d.hpp"
+#include "numeric/solver.hpp"
+
+namespace slu3d {
+
+struct Solver3dOptions {
+  int Px = 2;
+  int Py = 2;
+  /// Number of 2D grids (power of two). 0 = choose automatically: the
+  /// largest power of two <= the §IV communication-optimal value
+  /// (Eq. 8 for planar inputs) that divides P and keeps PXY >= 4,
+  /// re-splitting Px x Py accordingly.
+  int Pz = 1;
+  NdOptions nd;
+  std::optional<GridGeometry> geometry;  ///< exact geometric ND when set
+  PartitionStrategy partition = PartitionStrategy::Greedy;
+  Lu3dOptions lu3d;
+  sim::MachineModel machine;
+  /// Iterative-refinement sweeps after the distributed solve (each is a
+  /// residual + another distributed triangular solve), as SuperLU_DIST's
+  /// pdgsrfs pairs with static pivoting. 0 disables.
+  int refinement_steps = 1;
+  /// Compute the fill-reducing ordering *inside* the simulated machine via
+  /// parallel nested dissection (the ParMETIS role) instead of as a
+  /// host-side analysis step. Ignored when `geometry` is set.
+  bool parallel_ordering = false;
+};
+
+/// Everything the paper measures about one distributed run.
+struct Solver3dReport {
+  double factor_time = 0;   ///< simulated critical-path seconds
+  double solve_time = 0;
+  double t_scu = 0;         ///< Schur compute on the critical-path rank
+  double t_comm = 0;        ///< non-overlapped comm+sync on that rank
+  offset_t w_fact = 0;      ///< max per-rank XY bytes received (factor phase)
+  offset_t w_red = 0;       ///< max per-rank Z bytes received (factor phase)
+  offset_t mem_total = 0;   ///< numeric block bytes across all ranks
+  offset_t mem_max = 0;     ///< max per rank
+  offset_t flops = 0;       ///< symbolic factorization flop count
+  real_t residual = 0;      ///< relative residual of the returned solution
+};
+
+/// Factors A on a Px x Py x Pz simulated grid and solves A x = b fully
+/// distributed (3D factorization + 3D triangular solve; nothing is
+/// gathered except the final solution vector). Returns the report;
+/// `x` receives the solution.
+Solver3dReport solve_distributed_3d(const CsrMatrix& A,
+                                    std::span<const real_t> b,
+                                    std::span<real_t> x,
+                                    const Solver3dOptions& options);
+
+}  // namespace slu3d

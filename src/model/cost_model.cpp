@@ -1,0 +1,79 @@
+#include "model/cost_model.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace slu3d::model {
+
+namespace {
+double log2d(double x) { return std::log2(x); }
+}
+
+CostEstimate planar_2d_alg(double n, double P) {
+  SLU3D_CHECK(n > 1 && P >= 1, "bad model arguments");
+  CostEstimate c;
+  c.memory_words = n / P * log2d(n);              // Eq. (4)
+  c.comm_words = n * log2d(n) / std::sqrt(P);     // Eq. (6)
+  c.latency_msgs = n;                             // Eq. (3)
+  return c;
+}
+
+CostEstimate planar_3d_alg(double n, double P, double Pz) {
+  SLU3D_CHECK(n > 1 && P >= 1 && Pz >= 1 && Pz <= P, "bad model arguments");
+  CostEstimate c;
+  // Eq. (5): M = (1/P) (2 n Pz + n log(n / Pz)).
+  c.memory_words = (2.0 * n * Pz + n * log2d(n / Pz)) / P;
+  // Eq. (7) + Eq. (10): W = n/sqrt(P) (2 sqrt(Pz) + log n / sqrt(Pz))
+  //                         + n Pz log Pz / P.
+  c.comm_words = n / std::sqrt(P) * (2.0 * std::sqrt(Pz) + log2d(n) / std::sqrt(Pz)) +
+                 n * Pz * std::max(0.0, log2d(Pz)) / P;
+  // Eq. (12): L = n / Pz + sqrt(n).
+  c.latency_msgs = n / Pz + std::sqrt(n);
+  return c;
+}
+
+double planar_optimal_pz(double n) { return 0.5 * log2d(n); }  // Eq. (8)
+
+CostEstimate nonplanar_2d_alg(double n, double P) {
+  SLU3D_CHECK(n > 1 && P >= 1, "bad model arguments");
+  CostEstimate c;
+  const double n43 = std::pow(n, 4.0 / 3.0);
+  c.memory_words = n43 / P;
+  c.comm_words = n43 / std::sqrt(P);
+  c.latency_msgs = n;
+  return c;
+}
+
+CostEstimate nonplanar_3d_alg(double n, double P, double Pz,
+                              const NonplanarConstants& k) {
+  SLU3D_CHECK(n > 1 && P >= 1 && Pz >= 1 && Pz <= P, "bad model arguments");
+  CostEstimate c;
+  const double n43 = std::pow(n, 4.0 / 3.0);
+  // Table II, non-planar column.
+  c.memory_words = n43 / P * (k.kappa * Pz + 1.0 / std::cbrt(Pz));
+  c.comm_words = n43 / std::sqrt(P) *
+                 (k.kappa1 * std::sqrt(Pz) +
+                  (1.0 - k.kappa1) / std::pow(Pz, 4.0 / 3.0));
+  c.latency_msgs = n / std::pow(Pz, 2.0 / 3.0) + k.kappa0 * std::pow(n, 2.0 / 3.0);
+  return c;
+}
+
+double nonplanar_optimal_pz(const NonplanarConstants& k) {
+  // Minimize f(Pz) = kappa1 sqrt(Pz) + (1-kappa1) Pz^{-4/3}:
+  // f' = kappa1 / (2 sqrt(Pz)) - (4/3)(1-kappa1) Pz^{-7/3} = 0
+  // => Pz^{11/6} = (8/3) (1-kappa1) / kappa1.
+  return std::pow((8.0 / 3.0) * (1.0 - k.kappa1) / k.kappa1, 6.0 / 11.0);
+}
+
+double planar_flops(double n) { return std::pow(n, 1.5); }
+double nonplanar_flops(double n) { return n * n; }
+
+double predicted_seconds(const sim::MachineModel& m, double flops, double P,
+                         const CostEstimate& cost) {
+  return m.gamma * flops / P +
+         m.beta * cost.comm_words * static_cast<double>(sizeof(real_t)) +
+         m.alpha * cost.latency_msgs;
+}
+
+}  // namespace slu3d::model

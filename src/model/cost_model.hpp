@@ -1,0 +1,52 @@
+// Analytical memory / communication / latency model from §IV of the paper
+// (Equations 1-12 and Table II), for both the 2D baseline and the 3D
+// algorithm, on planar (2D PDE) and non-planar (3D PDE) model problems.
+// Units: memory and communication in words (doubles), latency in messages.
+#pragma once
+
+#include "simmpi/machine_model.hpp"
+#include "support/types.hpp"
+
+namespace slu3d::model {
+
+struct CostEstimate {
+  double memory_words = 0;  ///< per-process memory M
+  double comm_words = 0;    ///< per-process communication volume W (critical path)
+  double latency_msgs = 0;  ///< number of messages on the critical path L
+};
+
+/// Constants for the non-planar (3D PDE) expressions in Table II. The
+/// paper states ~20% of the LU factors sit in the top separator (kappa)
+/// and reports a best-case communication reduction of 2.89x, which pins
+/// the communication fraction kappa1 near 0.11.
+struct NonplanarConstants {
+  double kappa = 0.2;    ///< top-separator share of memory
+  double kappa1 = 0.11;  ///< top-separator share of communication
+  double kappa0 = 1.0;   ///< latency constant for the replicated levels
+};
+
+// ---- planar (2D PDE) model problems -----------------------------------
+CostEstimate planar_2d_alg(double n, double P);                 // Eqs. (4),(6),(3)
+CostEstimate planar_3d_alg(double n, double P, double Pz);      // Eqs. (5),(7)+(10),(12)
+/// Eq. (8): the communication-minimizing Pz = log2(n)/2.
+double planar_optimal_pz(double n);
+
+// ---- non-planar (3D PDE) model problems --------------------------------
+CostEstimate nonplanar_2d_alg(double n, double P);
+CostEstimate nonplanar_3d_alg(double n, double P, double Pz,
+                              const NonplanarConstants& c = {});
+/// Pz minimizing the non-planar 3D communication volume.
+double nonplanar_optimal_pz(const NonplanarConstants& c = {});
+
+// ---- derived quantities -------------------------------------------------
+/// Factorization flop count of the model problems (planar: O(n^{3/2}),
+/// non-planar: O(n^2)).
+double planar_flops(double n);
+double nonplanar_flops(double n);
+
+/// Predicted factorization time under the alpha-beta-gamma machine model:
+/// gamma * flops / P + beta * W * sizeof(real) + alpha * L.
+double predicted_seconds(const sim::MachineModel& m, double flops, double P,
+                         const CostEstimate& cost);
+
+}  // namespace slu3d::model

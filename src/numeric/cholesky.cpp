@@ -1,0 +1,261 @@
+#include "numeric/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/dense_kernels.hpp"
+#include "numeric/schur.hpp"
+#include "support/check.hpp"
+
+namespace slu3d {
+
+CholeskyFactors::CholeskyFactors(const BlockStructure& bs) : bs_(&bs) {
+  const auto nsn = static_cast<std::size_t>(bs.n_snodes());
+  diag_.resize(nsn);
+  lpan_.resize(nsn);
+  rows_.resize(nsn);
+  block_offsets_.resize(nsn);
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    const auto ns = static_cast<std::size_t>(bs.snode_size(s));
+    const auto m = static_cast<std::size_t>(bs.panel_rows(s));
+    diag_[static_cast<std::size_t>(s)].assign(ns * ns, 0.0);
+    lpan_[static_cast<std::size_t>(s)].assign(m * ns, 0.0);
+    auto& rows = rows_[static_cast<std::size_t>(s)];
+    auto& offs = block_offsets_[static_cast<std::size_t>(s)];
+    rows.reserve(m);
+    for (const PanelBlock& blk : bs.lpanel(s)) {
+      offs.emplace_back(blk.snode, static_cast<index_t>(rows.size()));
+      rows.insert(rows.end(), blk.rows.begin(), blk.rows.end());
+    }
+  }
+}
+
+std::pair<index_t, index_t> CholeskyFactors::block_range(int s, int a) const {
+  const auto& offs = block_offsets_[static_cast<std::size_t>(s)];
+  const auto it = std::lower_bound(
+      offs.begin(), offs.end(), a,
+      [](const std::pair<int, index_t>& p, int key) { return p.first < key; });
+  if (it == offs.end() || it->first != a) return {-1, 0};
+  const auto next = it + 1;
+  const index_t end = next == offs.end()
+                          ? static_cast<index_t>(rows_[static_cast<std::size_t>(s)].size())
+                          : next->second;
+  return {it->second, end - it->second};
+}
+
+void CholeskyFactors::fill_from(const CsrMatrix& Ap) {
+  SLU3D_CHECK(Ap.n_rows() == bs_->n(), "matrix size mismatch");
+  for (index_t i = 0; i < Ap.n_rows(); ++i) {
+    const int si = bs_->col_to_snode(i);
+    const auto cols = Ap.row_cols(i);
+    const auto vals = Ap.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const index_t j = cols[k];
+      if (j > i) break;  // lower triangle only (columns sorted)
+      const real_t v = vals[k];
+      const int sj = bs_->col_to_snode(j);
+      if (si == sj) {
+        const index_t f = bs_->first_col(si);
+        const index_t ns = bs_->snode_size(si);
+        diag_[static_cast<std::size_t>(si)]
+             [static_cast<std::size_t>((i - f) + (j - f) * ns)] += v;
+      } else {
+        const auto& rows = rows_[static_cast<std::size_t>(sj)];
+        const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+        SLU3D_CHECK(it != rows.end() && *it == i, "entry outside L structure");
+        const auto r = static_cast<std::size_t>(it - rows.begin());
+        lpan_[static_cast<std::size_t>(sj)]
+             [r + static_cast<std::size_t>(j - bs_->first_col(sj)) * rows.size()] += v;
+      }
+    }
+  }
+}
+
+real_t CholeskyFactors::l_entry(index_t i, index_t j) const {
+  SLU3D_CHECK(i >= j, "l_entry needs i >= j");
+  const int sj = bs_->col_to_snode(j);
+  const index_t f = bs_->first_col(sj);
+  if (bs_->col_to_snode(i) == sj) {
+    const index_t ns = bs_->snode_size(sj);
+    return diag_[static_cast<std::size_t>(sj)]
+                [static_cast<std::size_t>((i - f) + (j - f) * ns)];
+  }
+  const auto& rows = rows_[static_cast<std::size_t>(sj)];
+  const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+  if (it == rows.end() || *it != i) return 0.0;
+  const auto r = static_cast<std::size_t>(it - rows.begin());
+  return lpan_[static_cast<std::size_t>(sj)]
+              [r + static_cast<std::size_t>(j - f) * rows.size()];
+}
+
+offset_t CholeskyFactors::allocated_bytes() const {
+  offset_t bytes = 0;
+  for (std::size_t s = 0; s < diag_.size(); ++s)
+    bytes += static_cast<offset_t>((diag_[s].size() + lpan_[s].size()) *
+                                   sizeof(real_t));
+  return bytes;
+}
+
+void factorize_cholesky(CholeskyFactors& F) {
+  const BlockStructure& bs = F.structure();
+  std::vector<real_t> scratch;
+  std::vector<index_t> pos;
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    const index_t ns = bs.snode_size(s);
+    if (ns == 0) continue;
+    dense::potrf_lower(ns, F.diag(s).data(), ns);
+    const auto m = static_cast<index_t>(F.panel_rows(s).size());
+    if (m == 0) continue;
+    dense::trsm_right_lower_trans(ns, m, F.diag(s).data(), ns,
+                                  F.lpanel(s).data(), m);
+
+    // Symmetric Schur update: only block pairs (bi >= bj) have targets in
+    // the lower triangle.
+    const auto panel = bs.lpanel(s);
+    for (const PanelBlock& bi : panel) {
+      const auto [oi, mi] = F.block_range(s, bi.snode);
+      for (const PanelBlock& bj : panel) {
+        if (bj.snode > bi.snode) break;
+        const auto [oj, mj] = F.block_range(s, bj.snode);
+        scratch.assign(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj), 0.0);
+        dense::gemm_minus_nt(mi, mj, ns, F.lpanel(s).data() + oi, m,
+                             F.lpanel(s).data() + oj, m, scratch.data(), mi);
+
+        // Scatter-add into the lower-triangular target.
+        if (bi.snode == bj.snode) {
+          auto d = F.diag(bi.snode);
+          const index_t f = bs.first_col(bi.snode);
+          const index_t nd = bs.snode_size(bi.snode);
+          for (index_t c = 0; c < mj; ++c) {
+            const index_t tc = bj.rows[static_cast<std::size_t>(c)] - f;
+            for (index_t r = 0; r < mi; ++r)
+              d[static_cast<std::size_t>((bi.rows[static_cast<std::size_t>(r)] - f) +
+                                         tc * nd)] +=
+                  scratch[static_cast<std::size_t>(r + c * mi)];
+          }
+        } else {
+          const auto rows = F.panel_rows(bj.snode);
+          auto lp = F.lpanel(bj.snode);
+          const index_t f = bs.first_col(bj.snode);
+          const auto mt = static_cast<index_t>(rows.size());
+          const auto [off, cnt] = F.block_range(bj.snode, bi.snode);
+          SLU3D_CHECK(off >= 0, "target L block missing");
+          pos.assign(static_cast<std::size_t>(mi), 0);
+          locate_sorted_subset(bi.rows,
+                               rows.subspan(static_cast<std::size_t>(off),
+                                            static_cast<std::size_t>(cnt)),
+                               pos);
+          for (index_t c = 0; c < mj; ++c) {
+            const index_t tc = bj.rows[static_cast<std::size_t>(c)] - f;
+            for (index_t r = 0; r < mi; ++r)
+              lp[static_cast<std::size_t>((off + pos[static_cast<std::size_t>(r)]) +
+                                          tc * mt)] +=
+                  scratch[static_cast<std::size_t>(r + c * mi)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void solve_cholesky(const CholeskyFactors& F, std::span<real_t> x) {
+  const BlockStructure& bs = F.structure();
+  SLU3D_CHECK(x.size() == static_cast<std::size_t>(bs.n()), "x size");
+
+  // Forward: L y = b.
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    const index_t ns = bs.snode_size(s);
+    if (ns == 0) continue;
+    const index_t f = bs.first_col(s);
+    real_t* xs = x.data() + f;
+    dense::trsv_lower(ns, F.diag(s).data(), ns, xs);
+    const auto rows = F.panel_rows(s);
+    const auto lp = F.lpanel(s);
+    const auto m = static_cast<index_t>(rows.size());
+    for (index_t c = 0; c < ns; ++c) {
+      const real_t xc = xs[c];
+      if (xc == 0.0) continue;
+      for (index_t r = 0; r < m; ++r)
+        x[static_cast<std::size_t>(rows[static_cast<std::size_t>(r)])] -=
+            lp[static_cast<std::size_t>(r + c * m)] * xc;
+    }
+  }
+
+  // Backward: Lᵀ x = y (the panel acts transposed).
+  for (int s = bs.n_snodes() - 1; s >= 0; --s) {
+    const index_t ns = bs.snode_size(s);
+    if (ns == 0) continue;
+    const index_t f = bs.first_col(s);
+    real_t* xs = x.data() + f;
+    const auto rows = F.panel_rows(s);
+    const auto lp = F.lpanel(s);
+    const auto m = static_cast<index_t>(rows.size());
+    for (index_t c = 0; c < ns; ++c) {
+      real_t acc = 0.0;
+      for (index_t r = 0; r < m; ++r)
+        acc += lp[static_cast<std::size_t>(r + c * m)] *
+               x[static_cast<std::size_t>(rows[static_cast<std::size_t>(r)])];
+      xs[c] -= acc;
+    }
+    dense::trsv_lower_trans(ns, F.diag(s).data(), ns, xs);
+  }
+}
+
+SparseCholeskySolver::SparseCholeskySolver(const CsrMatrix& A,
+                                           const SolverOptions& options)
+    : A_(&A), options_(options) {
+  SLU3D_CHECK(A.n_rows() == A.n_cols(), "solver needs a square matrix");
+  SLU3D_CHECK(A.pattern_is_symmetric(), "Cholesky needs a symmetric pattern");
+  if (options.geometry.has_value()) {
+    SLU3D_CHECK(options.geometry->n() == A.n_rows(), "geometry mismatch");
+    tree_ = std::make_unique<SeparatorTree>(
+        geometric_nd(*options.geometry, options.nd));
+  } else {
+    tree_ = std::make_unique<SeparatorTree>(nested_dissection(A, options.nd));
+  }
+  pinv_ = invert_permutation(tree_->perm());
+  bs_ = std::make_unique<BlockStructure>(A, *tree_);
+  factors_ = std::make_unique<CholeskyFactors>(*bs_);
+  factors_->fill_from(A.permuted_symmetric(tree_->perm()));
+  factorize_cholesky(*factors_);
+}
+
+SolveReport SparseCholeskySolver::solve(std::span<const real_t> b,
+                                        std::span<real_t> x) const {
+  const auto n = static_cast<std::size_t>(A_->n_rows());
+  SLU3D_CHECK(b.size() == n && x.size() == n, "rhs size mismatch");
+  std::vector<real_t> pb(n);
+  auto apply = [&](std::span<const real_t> rhs, std::span<real_t> out) {
+    for (std::size_t i = 0; i < n; ++i)
+      pb[static_cast<std::size_t>(pinv_[i])] = rhs[i];
+    solve_cholesky(*factors_, pb);
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = pb[static_cast<std::size_t>(pinv_[i])];
+  };
+  apply(b, x);
+  SolveReport report;
+  report.final_residual_norm = relative_residual(*A_, x, b);
+  std::vector<real_t> r(n), dx(n);
+  for (int it = 0; it < options_.refinement_steps; ++it) {
+    A_->spmv(x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    apply(r, dx);
+    for (std::size_t i = 0; i < n; ++i) x[i] += dx[i];
+    const real_t res = relative_residual(*A_, x, b);
+    ++report.refinement_steps_used;
+    if (res >= report.final_residual_norm) break;
+    report.final_residual_norm = res;
+  }
+  return report;
+}
+
+offset_t SparseCholeskySolver::factor_nnz() const {
+  offset_t nnz = 0;
+  for (int s = 0; s < bs_->n_snodes(); ++s) {
+    const offset_t ns = bs_->snode_size(s);
+    nnz += ns * (ns + 1) / 2 + static_cast<offset_t>(bs_->panel_rows(s)) * ns;
+  }
+  return nnz;
+}
+
+}  // namespace slu3d

@@ -1,0 +1,59 @@
+#include "numeric/condition.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace slu3d {
+
+real_t norm1(const CsrMatrix& A) {
+  std::vector<real_t> colsum(static_cast<std::size_t>(A.n_cols()), 0.0);
+  for (index_t r = 0; r < A.n_rows(); ++r) {
+    const auto cols = A.row_cols(r);
+    const auto vals = A.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      colsum[static_cast<std::size_t>(cols[k])] += std::abs(vals[k]);
+  }
+  real_t best = 0.0;
+  for (real_t c : colsum) best = std::max(best, c);
+  return best;
+}
+
+real_t estimate_inverse_norm1(
+    index_t n, const std::function<void(std::span<real_t>)>& solve,
+    const std::function<void(std::span<real_t>)>& solve_transpose,
+    int max_iterations) {
+  SLU3D_CHECK(n > 0, "empty matrix");
+  const auto nu = static_cast<std::size_t>(n);
+
+  // Hager's algorithm: maximize ||A^{-1} x||_1 over the unit 1-norm ball.
+  std::vector<real_t> x(nu, 1.0 / static_cast<real_t>(n));
+  real_t estimate = 0.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    solve(x);  // x <- A^{-1} x
+    real_t nrm = 0.0;
+    for (real_t v : x) nrm += std::abs(v);
+    // Subgradient: z = A^{-T} sign(x).
+    for (auto& v : x) v = v >= 0 ? 1.0 : -1.0;
+    solve_transpose(x);  // x <- A^{-T} sign
+    // Pick the coordinate with the largest |z|; if no progress, stop.
+    std::size_t jmax = 0;
+    real_t zmax = 0.0;
+    for (std::size_t j = 0; j < nu; ++j)
+      if (std::abs(x[j]) > zmax) {
+        zmax = std::abs(x[j]);
+        jmax = j;
+      }
+    if (nrm <= estimate) {
+      estimate = std::max(estimate, nrm);
+      break;
+    }
+    estimate = nrm;
+    std::fill(x.begin(), x.end(), 0.0);
+    x[jmax] = 1.0;  // next unit vector e_jmax
+  }
+  return estimate;
+}
+
+}  // namespace slu3d

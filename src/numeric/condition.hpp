@@ -1,0 +1,23 @@
+// 1-norm condition-number estimation (Hager's algorithm, as LAPACK's
+// *gecon uses): estimates ||A^{-1}||_1 from a handful of solves with A and
+// Aᵀ, then kappa_1(A) ~ ||A||_1 * ||A^{-1}||_1. SuperLU_DIST exposes the
+// same estimate so users can judge how far static pivoting can be trusted.
+#pragma once
+
+#include <functional>
+
+#include "sparse/csr.hpp"
+
+namespace slu3d {
+
+/// Estimates ||A^{-1}||_1 given callbacks that solve A x = b and Aᵀ x = b
+/// (overwriting the argument in place). `n` is the dimension.
+real_t estimate_inverse_norm1(
+    index_t n, const std::function<void(std::span<real_t>)>& solve,
+    const std::function<void(std::span<real_t>)>& solve_transpose,
+    int max_iterations = 5);
+
+/// ||A||_1 (max absolute column sum).
+real_t norm1(const CsrMatrix& A);
+
+}  // namespace slu3d

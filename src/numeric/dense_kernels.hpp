@@ -1,0 +1,79 @@
+// Dense BLAS-3-style kernels (the MKL substitute). All matrices are
+// column-major with an explicit leading dimension, matching the interfaces
+// SuperLU_DIST calls (GETRF without pivoting, two TRSM variants, GEMM).
+#pragma once
+
+#include "support/types.hpp"
+
+namespace slu3d {
+namespace dense {
+
+/// In-place LU factorization without pivoting: A = L U with L unit lower
+/// triangular, both overwriting A. Throws if a diagonal entry collapses
+/// below `tiny` (static pivoting failure).
+void getrf_nopiv(index_t n, real_t* a, index_t lda, real_t tiny = 1e-300);
+
+/// B <- L^{-1} B where L is the unit-lower part of `a` (n x n), B is n x m.
+/// (SuperLU's "panel solve" for the U panel.)
+void trsm_left_lower_unit(index_t n, index_t m, const real_t* a, index_t lda,
+                          real_t* b, index_t ldb);
+
+/// B <- B U^{-1} where U is the upper part of `a` (n x n), B is m x n.
+/// (Panel solve for the L panel.)
+void trsm_right_upper(index_t n, index_t m, const real_t* a, index_t lda,
+                      real_t* b, index_t ldb);
+
+/// C <- C - A B with A (m x k), B (k x n), C (m x n).
+/// (The Schur-complement GEMM.)
+void gemm_minus(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
+                const real_t* b, index_t ldb, real_t* c, index_t ldc);
+
+/// y <- L^{-1} y for one vector (unit lower part of a).
+void trsv_lower_unit(index_t n, const real_t* a, index_t lda, real_t* y);
+
+// ---- Cholesky kernels (the LL^T variant, paper §VII) -------------------
+
+/// In-place Cholesky of the lower triangle: A = L L^T, L overwriting the
+/// lower part of A (the upper part is untouched). Throws if a pivot is
+/// not positive (matrix not SPD).
+void potrf_lower(index_t n, real_t* a, index_t lda);
+
+/// B <- B L^{-T} with L the (non-unit) lower part of `a`; B is m x n.
+/// (Cholesky panel solve.)
+void trsm_right_lower_trans(index_t n, index_t m, const real_t* a, index_t lda,
+                            real_t* b, index_t ldb);
+
+/// C <- C - A B^T with A (m x k), B (n x k), C (m x n).
+/// (Symmetric Schur update V = L_i L_j^T.)
+void gemm_minus_nt(index_t m, index_t n, index_t k, const real_t* a,
+                   index_t lda, const real_t* b, index_t ldb, real_t* c,
+                   index_t ldc);
+
+/// y <- L^{-1} y with non-unit lower triangular L.
+void trsv_lower(index_t n, const real_t* a, index_t lda, real_t* y);
+
+/// y <- L^{-T} y with non-unit lower triangular L.
+void trsv_lower_trans(index_t n, const real_t* a, index_t lda, real_t* y);
+
+inline offset_t potrf_flops(offset_t n) { return n * n * n / 3; }
+
+/// y <- U^{-1} y for one vector (upper part of a).
+void trsv_upper(index_t n, const real_t* a, index_t lda, real_t* y);
+
+/// y <- U^{-T} y (transpose solve with the upper part of a).
+void trsv_upper_trans(index_t n, const real_t* a, index_t lda, real_t* y);
+
+/// y <- L^{-T} y with *unit* lower triangular L.
+void trsv_lower_unit_trans(index_t n, const real_t* a, index_t lda, real_t* y);
+
+/// Flop counts used by the performance model and the simulator's logical
+/// clocks; they match the paper's accounting (Table III counts Schur +
+/// panel + diagonal work).
+inline offset_t getrf_flops(offset_t n) { return 2 * n * n * n / 3; }
+inline offset_t trsm_flops(offset_t n, offset_t m) { return static_cast<offset_t>(n) * n * m; }
+inline offset_t gemm_flops(offset_t m, offset_t n, offset_t k) {
+  return 2 * m * n * k;
+}
+
+}  // namespace dense
+}  // namespace slu3d

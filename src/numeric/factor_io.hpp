@@ -1,0 +1,40 @@
+// Binary serialization of matrices, separator trees, and numeric factors,
+// so a factorization can be computed once and reused across processes /
+// sessions (the "save the preconditioner" workflow). The format is a
+// simple tagged little-endian stream; files are not portable across
+// architectures with different endianness.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "numeric/supernodal_matrix.hpp"
+#include "order/separator_tree.hpp"
+#include "sparse/csr.hpp"
+
+namespace slu3d {
+
+void write_csr_binary(std::ostream& os, const CsrMatrix& A);
+CsrMatrix read_csr_binary(std::istream& is);
+
+void write_tree_binary(std::ostream& os, const SeparatorTree& tree);
+SeparatorTree read_tree_binary(std::istream& is);
+
+/// Writes the numeric content of `F` (diagonal blocks and panels). The
+/// reader reconstructs against a BlockStructure built from the same matrix
+/// pattern and tree; a structure fingerprint is checked on load.
+void write_factors_binary(std::ostream& os, const SupernodalMatrix& F);
+SupernodalMatrix read_factors_binary(std::istream& is, const BlockStructure& bs);
+
+// Convenience file wrappers.
+void save_factorization(const std::string& path, const SeparatorTree& tree,
+                        const SupernodalMatrix& F);
+/// Loads tree + factors; `A` must be the same matrix the factorization was
+/// computed from (its pattern rebuilds the block structure).
+std::pair<SeparatorTree, SupernodalMatrix> load_factorization(
+    const std::string& path, const CsrMatrix& A,
+    std::unique_ptr<BlockStructure>* bs_out);
+
+}  // namespace slu3d

@@ -1,0 +1,129 @@
+#include "numeric/krylov.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace slu3d {
+
+namespace {
+
+real_t dot(std::span<const real_t> a, std::span<const real_t> b) {
+  real_t s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+real_t norm2(std::span<const real_t> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace
+
+Preconditioner identity_preconditioner() {
+  return [](std::span<real_t>) {};
+}
+
+KrylovReport pcg(const CsrMatrix& A, std::span<const real_t> b,
+                 std::span<real_t> x, const Preconditioner& precond,
+                 const KrylovOptions& options) {
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  SLU3D_CHECK(b.size() == n && x.size() == n, "size mismatch");
+  KrylovReport report;
+  const real_t bnorm = norm2(b);
+  if (bnorm == 0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    report.converged = true;
+    return report;
+  }
+
+  std::vector<real_t> r(n), z(n), p(n), ap(n);
+  A.spmv(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  z.assign(r.begin(), r.end());
+  precond(z);
+  p = z;
+  real_t rz = dot(r, z);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    report.relative_residual = norm2(r) / bnorm;
+    if (report.relative_residual < options.tolerance) {
+      report.converged = true;
+      return report;
+    }
+    A.spmv(p, ap);
+    const real_t alpha = rz / dot(p, ap);
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    z.assign(r.begin(), r.end());
+    precond(z);
+    const real_t rz_new = dot(r, z);
+    const real_t beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    ++report.iterations;
+  }
+  report.relative_residual = norm2(r) / bnorm;
+  report.converged = report.relative_residual < options.tolerance;
+  return report;
+}
+
+KrylovReport bicgstab(const CsrMatrix& A, std::span<const real_t> b,
+                      std::span<real_t> x, const Preconditioner& precond,
+                      const KrylovOptions& options) {
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  SLU3D_CHECK(b.size() == n && x.size() == n, "size mismatch");
+  KrylovReport report;
+  const real_t bnorm = norm2(b);
+  if (bnorm == 0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    report.converged = true;
+    return report;
+  }
+
+  std::vector<real_t> r(n), r0(n), p(n), v(n), s(n), t(n), y(n), z(n);
+  A.spmv(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  r0 = r;
+  real_t rho = 1, alpha = 1, omega = 1;
+  std::fill(p.begin(), p.end(), 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    report.relative_residual = norm2(r) / bnorm;
+    if (report.relative_residual < options.tolerance) {
+      report.converged = true;
+      return report;
+    }
+    const real_t rho_new = dot(r0, r);
+    if (rho_new == 0) break;  // breakdown
+    const real_t beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    y = p;
+    precond(y);
+    A.spmv(y, v);
+    alpha = rho / dot(r0, v);
+    s = r;
+    axpy(-alpha, v, s);
+    z = s;
+    precond(z);
+    A.spmv(z, t);
+    const real_t tt = dot(t, t);
+    omega = tt > 0 ? dot(t, s) / tt : 0;
+    axpy(alpha, y, x);
+    axpy(omega, z, x);
+    r = s;
+    axpy(-omega, t, r);
+    ++report.iterations;
+    if (omega == 0) break;  // breakdown
+  }
+  report.relative_residual = norm2(r) / bnorm;
+  report.converged = report.relative_residual < options.tolerance;
+  return report;
+}
+
+}  // namespace slu3d

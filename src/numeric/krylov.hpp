@@ -1,0 +1,44 @@
+// Preconditioned Krylov solvers that use a (possibly approximate) sparse
+// factorization as the preconditioner — the standard deployment of a
+// direct solver inside an iterative loop (e.g. factor a nearby/simplified
+// matrix once, then iterate on the true operator). Provides CG for SPD
+// systems and BiCGSTAB for general ones.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace slu3d {
+
+struct KrylovOptions {
+  int max_iterations = 200;
+  real_t tolerance = 1e-12;  ///< on ||r||_2 / ||b||_2
+};
+
+struct KrylovReport {
+  int iterations = 0;
+  real_t relative_residual = 0;
+  bool converged = false;
+};
+
+/// Applies M^{-1} to a vector in place (e.g. a SparseLuSolver /
+/// SparseCholeskySolver solve, or the identity).
+using Preconditioner = std::function<void(std::span<real_t>)>;
+
+/// Identity preconditioner (plain CG / BiCGSTAB).
+Preconditioner identity_preconditioner();
+
+/// Preconditioned conjugate gradients for SPD A. `x` holds the initial
+/// guess on entry and the solution on exit.
+KrylovReport pcg(const CsrMatrix& A, std::span<const real_t> b,
+                 std::span<real_t> x, const Preconditioner& precond,
+                 const KrylovOptions& options = {});
+
+/// Preconditioned BiCGSTAB for general A.
+KrylovReport bicgstab(const CsrMatrix& A, std::span<const real_t> b,
+                      std::span<real_t> x, const Preconditioner& precond,
+                      const KrylovOptions& options = {});
+
+}  // namespace slu3d

@@ -1,0 +1,88 @@
+#include "numeric/schur.hpp"
+
+#include "support/check.hpp"
+
+namespace slu3d {
+
+void locate_sorted_subset(std::span<const index_t> sub,
+                          std::span<const index_t> super,
+                          std::span<index_t> positions_out) {
+  SLU3D_CHECK(positions_out.size() == sub.size(), "positions size");
+  std::size_t p = 0;
+  for (std::size_t k = 0; k < sub.size(); ++k) {
+    while (p < super.size() && super[p] < sub[k]) ++p;
+    SLU3D_CHECK(p < super.size() && super[p] == sub[k],
+                "update index missing from target symbolic structure");
+    positions_out[k] = static_cast<index_t>(p);
+  }
+}
+
+void schur_scatter_add(SupernodalMatrix& F, int bi, int bj,
+                       std::span<const index_t> rows_i,
+                       std::span<const index_t> cols_j,
+                       std::span<const real_t> v) {
+  const BlockStructure& bs = F.structure();
+  const auto mi = static_cast<index_t>(rows_i.size());
+  const auto mj = static_cast<index_t>(cols_j.size());
+  SLU3D_CHECK(v.size() == static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj),
+              "V extent mismatch");
+  if (mi == 0 || mj == 0) return;
+
+  if (bi == bj) {
+    // Diagonal block of bi.
+    SLU3D_CHECK(F.has_snode(bi), "target diagonal block not allocated");
+    auto d = F.diag(bi);
+    const index_t f = bs.first_col(bi);
+    const index_t ns = bs.snode_size(bi);
+    for (index_t c = 0; c < mj; ++c) {
+      const index_t tc = cols_j[static_cast<std::size_t>(c)] - f;
+      for (index_t r = 0; r < mi; ++r)
+        d[static_cast<std::size_t>((rows_i[static_cast<std::size_t>(r)] - f) + tc * ns)] +=
+            v[static_cast<std::size_t>(r + c * mi)];
+    }
+    return;
+  }
+
+  if (bi > bj) {
+    // L panel of bj: columns are bj's own columns, rows live in block bi.
+    SLU3D_CHECK(F.has_snode(bj), "target L panel not allocated");
+    const auto rows = F.panel_rows(bj);
+    auto lp = F.lpanel(bj);
+    const index_t f = bs.first_col(bj);
+    const auto m = static_cast<index_t>(rows.size());
+    const auto [off, cnt] = F.block_range(bj, bi);
+    SLU3D_CHECK(off >= 0, "target L block missing");
+    std::vector<index_t> pos(static_cast<std::size_t>(mi));
+    locate_sorted_subset(rows_i, rows.subspan(static_cast<std::size_t>(off),
+                                              static_cast<std::size_t>(cnt)),
+                         pos);
+    for (index_t c = 0; c < mj; ++c) {
+      const index_t tc = cols_j[static_cast<std::size_t>(c)] - f;
+      for (index_t r = 0; r < mi; ++r)
+        lp[static_cast<std::size_t>((off + pos[static_cast<std::size_t>(r)]) + tc * m)] +=
+            v[static_cast<std::size_t>(r + c * mi)];
+    }
+    return;
+  }
+
+  // bi < bj: U panel of bi — rows are bi's own columns, columns live in bj.
+  SLU3D_CHECK(F.has_snode(bi), "target U panel not allocated");
+  const auto cols = F.panel_rows(bi);  // same index set by pattern symmetry
+  auto up = F.upanel(bi);
+  const index_t f = bs.first_col(bi);
+  const index_t ns = bs.snode_size(bi);
+  const auto [off, cnt] = F.block_range(bi, bj);
+  SLU3D_CHECK(off >= 0, "target U block missing");
+  std::vector<index_t> pos(static_cast<std::size_t>(mj));
+  locate_sorted_subset(cols_j, cols.subspan(static_cast<std::size_t>(off),
+                                            static_cast<std::size_t>(cnt)),
+                       pos);
+  for (index_t c = 0; c < mj; ++c) {
+    const auto tc = static_cast<std::size_t>(off + pos[static_cast<std::size_t>(c)]);
+    for (index_t r = 0; r < mi; ++r)
+      up[static_cast<std::size_t>(rows_i[static_cast<std::size_t>(r)] - f) + tc * static_cast<std::size_t>(ns)] +=
+          v[static_cast<std::size_t>(r + c * mi)];
+  }
+}
+
+}  // namespace slu3d

@@ -1,0 +1,31 @@
+// The Schur-complement scatter: maps a dense GEMM product V back into the
+// supernodal block that owns the target region ("the mapping from V back to
+// A_ij", §II-E). Shared by the sequential, 2D, and 3D factorizations.
+#pragma once
+
+#include <span>
+
+#include "numeric/supernodal_matrix.hpp"
+
+namespace slu3d {
+
+/// Adds `v` (|rows_i| x |cols_j|, column-major) into the factor storage at
+/// global positions (rows_i x cols_j). All of rows_i must lie in supernode
+/// `bi`'s column range and all of cols_j in `bj`'s:
+///   bi == bj : target is the diagonal block of bi,
+///   bi >  bj : target is L panel block (bi) of supernode bj,
+///   bi <  bj : target is U panel block (bj) of supernode bi.
+/// The target block must be allocated in `F` and must symbolically contain
+/// every (i, j) position (guaranteed by BlockStructure's fill computation).
+void schur_scatter_add(SupernodalMatrix& F, int bi, int bj,
+                       std::span<const index_t> rows_i,
+                       std::span<const index_t> cols_j,
+                       std::span<const real_t> v);
+
+/// Positions of each element of `sub` (sorted) within `super` (sorted,
+/// sub ⊆ super); used to translate update rows into target-panel offsets.
+void locate_sorted_subset(std::span<const index_t> sub,
+                          std::span<const index_t> super,
+                          std::span<index_t> positions_out);
+
+}  // namespace slu3d

@@ -1,0 +1,118 @@
+#include "numeric/schur_complement.hpp"
+
+#include "numeric/dense_kernels.hpp"
+#include "numeric/seq_lu.hpp"
+#include "support/check.hpp"
+
+namespace slu3d {
+
+SchurComplementResult eliminate_leading_block(SupernodalMatrix& F,
+                                              index_t split_col) {
+  const BlockStructure& bs = F.structure();
+  SLU3D_CHECK(split_col > 0 && split_col <= bs.n(), "split out of range");
+
+  SchurComplementResult out;
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    const index_t end = bs.first_col(s) + bs.snode_size(s);
+    if (end <= split_col)
+      out.eliminated.push_back(s);
+    else
+      out.interface.push_back(s);
+  }
+  SLU3D_CHECK(out.interface.empty() ||
+                  bs.first_col(out.interface.front()) >= split_col ||
+                  bs.snode_size(out.interface.front()) == 0 ||
+                  bs.first_col(out.interface.front()) +
+                          bs.snode_size(out.interface.front()) >
+                      split_col,
+              "split must align with supernode boundaries");
+  // The true interface starts at the first non-eliminated column.
+  const index_t iface_first =
+      out.interface.empty() ? bs.n() : bs.first_col(out.interface.front());
+  out.interface_dim = bs.n() - iface_first;
+
+  factorize_snodes_sequential(F, out.eliminated);
+
+  // Extract the (updated) trailing blocks into CSR over compacted indices.
+  CooMatrix coo(out.interface_dim, out.interface_dim);
+  for (int t : out.interface) {
+    const index_t ns = bs.snode_size(t);
+    if (ns == 0) continue;
+    const index_t f = bs.first_col(t);
+    const auto d = F.diag(t);
+    for (index_t c = 0; c < ns; ++c)
+      for (index_t r = 0; r < ns; ++r) {
+        const real_t v = d[static_cast<std::size_t>(r + c * ns)];
+        if (v != 0.0) coo.add(f + r - iface_first, f + c - iface_first, v);
+      }
+    const auto rows = F.panel_rows(t);
+    const auto lp = F.lpanel(t);
+    const auto up = F.upanel(t);
+    const auto m = static_cast<index_t>(rows.size());
+    for (index_t c = 0; c < ns; ++c)
+      for (index_t r = 0; r < m; ++r) {
+        const real_t v = lp[static_cast<std::size_t>(r + c * m)];
+        if (v != 0.0)
+          coo.add(rows[static_cast<std::size_t>(r)] - iface_first,
+                  f + c - iface_first, v);
+      }
+    for (index_t c = 0; c < m; ++c)
+      for (index_t r = 0; r < ns; ++r) {
+        const real_t v =
+            up[static_cast<std::size_t>(r) + static_cast<std::size_t>(c) *
+                                                 static_cast<std::size_t>(ns)];
+        if (v != 0.0)
+          coo.add(f + r - iface_first,
+                  rows[static_cast<std::size_t>(c)] - iface_first, v);
+      }
+  }
+  out.schur = CsrMatrix::from_coo(coo);
+  return out;
+}
+
+void forward_eliminated(const SupernodalMatrix& F, std::span<const int> elim,
+                        std::span<real_t> x) {
+  const BlockStructure& bs = F.structure();
+  SLU3D_CHECK(x.size() == static_cast<std::size_t>(bs.n()), "x size");
+  for (int s : elim) {
+    const index_t ns = bs.snode_size(s);
+    if (ns == 0) continue;
+    const index_t f = bs.first_col(s);
+    real_t* xs = x.data() + f;
+    dense::trsv_lower_unit(ns, F.diag(s).data(), ns, xs);
+    const auto rows = F.panel_rows(s);
+    const auto lp = F.lpanel(s);
+    const auto m = static_cast<index_t>(rows.size());
+    for (index_t c = 0; c < ns; ++c) {
+      const real_t xc = xs[c];
+      if (xc == 0.0) continue;
+      for (index_t r = 0; r < m; ++r)
+        x[static_cast<std::size_t>(rows[static_cast<std::size_t>(r)])] -=
+            lp[static_cast<std::size_t>(r + c * m)] * xc;
+    }
+  }
+}
+
+void backward_eliminated(const SupernodalMatrix& F, std::span<const int> elim,
+                         std::span<real_t> x) {
+  const BlockStructure& bs = F.structure();
+  SLU3D_CHECK(x.size() == static_cast<std::size_t>(bs.n()), "x size");
+  for (auto it = elim.rbegin(); it != elim.rend(); ++it) {
+    const int s = *it;
+    const index_t ns = bs.snode_size(s);
+    if (ns == 0) continue;
+    const index_t f = bs.first_col(s);
+    real_t* xs = x.data() + f;
+    const auto cols = F.panel_rows(s);
+    const auto up = F.upanel(s);
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const real_t xc = x[static_cast<std::size_t>(cols[c])];
+      if (xc == 0.0) continue;
+      for (index_t r = 0; r < ns; ++r)
+        xs[r] -= up[static_cast<std::size_t>(r) + c * static_cast<std::size_t>(ns)] * xc;
+    }
+    dense::trsv_upper(ns, F.diag(s).data(), ns, xs);
+  }
+}
+
+}  // namespace slu3d

@@ -1,0 +1,47 @@
+// Partial factorization with an explicit trailing Schur complement:
+// eliminate only the supernodes of the leading principal block and expose
+//   S = A22 - A21 A11^{-1} A12
+// on the remaining block — the building block of hybrid direct/iterative
+// solvers (e.g. PDSLin, which couples exactly this operation with an
+// iterative solve on S; the paper's authors' companion line of work).
+#pragma once
+
+#include <vector>
+
+#include "numeric/supernodal_matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace slu3d {
+
+struct SchurComplementResult {
+  /// The eliminated supernodes (ascending) — the "interior".
+  std::vector<int> eliminated;
+  /// Supernodes of the Schur block (ascending) — the "interface".
+  std::vector<int> interface;
+  /// S as a sparse matrix in the *global permuted* index space restricted
+  /// to interface columns/rows (indices are the original permuted ones).
+  CsrMatrix schur;
+  index_t interface_dim = 0;
+};
+
+/// Partially factorizes F in place: eliminates every supernode whose
+/// column range ends at or before `split_col`, leaving the (updated)
+/// trailing blocks as the Schur complement, which is extracted into a CSR
+/// matrix over the interface indices (compacted to 0..interface_dim).
+/// F must hold the permuted matrix values (fill_from already applied).
+SchurComplementResult eliminate_leading_block(SupernodalMatrix& F,
+                                              index_t split_col);
+
+/// Forward substitution restricted to the eliminated supernodes:
+/// y1 = L11^{-1} b1, and b2 <- b2 - L21 y1 (the interface right-hand side
+/// for the Schur system). `x` holds the full permuted rhs in place.
+void forward_eliminated(const SupernodalMatrix& F, std::span<const int> elim,
+                        std::span<real_t> x);
+
+/// Backward substitution restricted to the eliminated supernodes, given
+/// the interface solution already stored in x's trailing entries:
+/// x1 = U11^{-1} (y1 - U12 x2).
+void backward_eliminated(const SupernodalMatrix& F, std::span<const int> elim,
+                         std::span<real_t> x);
+
+}  // namespace slu3d

@@ -1,0 +1,137 @@
+#include "numeric/supernodal_matrix.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace slu3d {
+
+SupernodalMatrix::SupernodalMatrix(const BlockStructure& bs)
+    : SupernodalMatrix(bs, std::vector<bool>(static_cast<std::size_t>(bs.n_snodes()), true)) {}
+
+SupernodalMatrix::SupernodalMatrix(const BlockStructure& bs,
+                                   const std::vector<bool>& want_snode)
+    : bs_(&bs) {
+  const auto nsn = static_cast<std::size_t>(bs.n_snodes());
+  SLU3D_CHECK(want_snode.size() == nsn, "want_snode size mismatch");
+  diag_.resize(nsn);
+  lpan_.resize(nsn);
+  upan_.resize(nsn);
+  rows_.resize(nsn);
+  block_offsets_.resize(nsn);
+  for (int s = 0; s < bs.n_snodes(); ++s)
+    if (want_snode[static_cast<std::size_t>(s)]) allocate(s);
+}
+
+void SupernodalMatrix::allocate(int s) {
+  const auto ns = static_cast<std::size_t>(bs_->snode_size(s));
+  const auto m = static_cast<std::size_t>(bs_->panel_rows(s));
+  diag_[static_cast<std::size_t>(s)].assign(ns * ns, 0.0);
+  lpan_[static_cast<std::size_t>(s)].assign(m * ns, 0.0);
+  upan_[static_cast<std::size_t>(s)].assign(ns * m, 0.0);
+  auto& rows = rows_[static_cast<std::size_t>(s)];
+  auto& offs = block_offsets_[static_cast<std::size_t>(s)];
+  rows.reserve(m);
+  for (const PanelBlock& blk : bs_->lpanel(s)) {
+    offs.emplace_back(blk.snode, static_cast<index_t>(rows.size()));
+    rows.insert(rows.end(), blk.rows.begin(), blk.rows.end());
+  }
+}
+
+std::pair<index_t, index_t> SupernodalMatrix::block_range(int s, int a) const {
+  const auto& offs = block_offsets_[static_cast<std::size_t>(s)];
+  const auto it = std::lower_bound(
+      offs.begin(), offs.end(), a,
+      [](const std::pair<int, index_t>& p, int key) { return p.first < key; });
+  if (it == offs.end() || it->first != a) return {-1, 0};
+  const auto next = it + 1;
+  const index_t end = next == offs.end()
+                          ? static_cast<index_t>(rows_[static_cast<std::size_t>(s)].size())
+                          : next->second;
+  return {it->second, end - it->second};
+}
+
+void SupernodalMatrix::fill_from(const CsrMatrix& Ap) {
+  SLU3D_CHECK(Ap.n_rows() == bs_->n(), "matrix size mismatch");
+  for (index_t i = 0; i < Ap.n_rows(); ++i) {
+    const int si = bs_->col_to_snode(i);
+    const auto cols = Ap.row_cols(i);
+    const auto vals = Ap.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const index_t j = cols[k];
+      const real_t v = vals[k];
+      const int sj = bs_->col_to_snode(j);
+      if (si == sj) {
+        if (!has_snode(si)) continue;
+        const index_t f = bs_->first_col(si);
+        const index_t ns = bs_->snode_size(si);
+        diag_[static_cast<std::size_t>(si)][static_cast<std::size_t>((i - f) + (j - f) * ns)] += v;
+      } else if (sj < si) {
+        // Below-diagonal: row i of L panel of supernode sj.
+        if (!has_snode(sj)) continue;
+        const auto& rows = rows_[static_cast<std::size_t>(sj)];
+        const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+        SLU3D_CHECK(it != rows.end() && *it == i,
+                    "A entry outside symbolic L structure");
+        const auto r = static_cast<std::size_t>(it - rows.begin());
+        const auto m = rows.size();
+        const index_t f = bs_->first_col(sj);
+        lpan_[static_cast<std::size_t>(sj)][r + static_cast<std::size_t>(j - f) * m] += v;
+      } else {
+        // Above-diagonal: column j of U panel of supernode si.
+        if (!has_snode(si)) continue;
+        const auto& cols_of = rows_[static_cast<std::size_t>(si)];
+        const auto it = std::lower_bound(cols_of.begin(), cols_of.end(), j);
+        SLU3D_CHECK(it != cols_of.end() && *it == j,
+                    "A entry outside symbolic U structure");
+        const auto c = static_cast<std::size_t>(it - cols_of.begin());
+        const auto ns = static_cast<std::size_t>(bs_->snode_size(si));
+        upan_[static_cast<std::size_t>(si)][static_cast<std::size_t>(i - bs_->first_col(si)) + c * ns] += v;
+      }
+    }
+  }
+}
+
+real_t SupernodalMatrix::l_entry(index_t i, index_t j) const {
+  SLU3D_CHECK(i >= j, "l_entry needs i >= j");
+  const int sj = bs_->col_to_snode(j);
+  const index_t f = bs_->first_col(sj);
+  if (bs_->col_to_snode(i) == sj) {
+    if (i == j) return 1.0;  // unit diagonal of L
+    const index_t ns = bs_->snode_size(sj);
+    return diag_[static_cast<std::size_t>(sj)][static_cast<std::size_t>((i - f) + (j - f) * ns)];
+  }
+  const auto& rows = rows_[static_cast<std::size_t>(sj)];
+  const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+  if (it == rows.end() || *it != i) return 0.0;
+  const auto r = static_cast<std::size_t>(it - rows.begin());
+  return lpan_[static_cast<std::size_t>(sj)][r + static_cast<std::size_t>(j - f) * rows.size()];
+}
+
+real_t SupernodalMatrix::u_entry(index_t i, index_t j) const {
+  SLU3D_CHECK(i <= j, "u_entry needs i <= j");
+  const int si = bs_->col_to_snode(i);
+  const index_t f = bs_->first_col(si);
+  if (bs_->col_to_snode(j) == si) {
+    const index_t ns = bs_->snode_size(si);
+    return diag_[static_cast<std::size_t>(si)][static_cast<std::size_t>((i - f) + (j - f) * ns)];
+  }
+  const auto& cols = rows_[static_cast<std::size_t>(si)];
+  const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+  if (it == cols.end() || *it != j) return 0.0;
+  const auto c = static_cast<std::size_t>(it - cols.begin());
+  const auto ns = static_cast<std::size_t>(bs_->snode_size(si));
+  return upan_[static_cast<std::size_t>(si)][static_cast<std::size_t>(i - f) + c * ns];
+}
+
+offset_t SupernodalMatrix::allocated_bytes() const {
+  offset_t bytes = 0;
+  for (std::size_t s = 0; s < diag_.size(); ++s) {
+    bytes += static_cast<offset_t>(
+        (diag_[s].size() + lpan_[s].size() + upan_[s].size()) * sizeof(real_t));
+    bytes += static_cast<offset_t>(rows_[s].size() * sizeof(index_t));
+  }
+  return bytes;
+}
+
+}  // namespace slu3d

@@ -1,0 +1,79 @@
+// Numeric storage for a supernodal LU factorization, shared between the
+// sequential reference solver and the distributed 2D/3D algorithms (the
+// distributed versions instantiate the same block layout, populated only
+// with locally owned blocks).
+//
+// Per supernode s (size ns, panel rows m):
+//   diag : ns x ns dense column-major — holds A_ss, later L_ss \ U_ss.
+//   L    : m  x ns dense column-major — rows are the symbolic rowset(s).
+//   U    : ns x m  dense column-major — columns are the same index set
+//          (pattern-symmetric factorization).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "symbolic/block_structure.hpp"
+
+namespace slu3d {
+
+class SupernodalMatrix {
+ public:
+  /// Allocates zeroed block storage for every supernode in `bs`.
+  /// `want(s)` filters which supernodes get storage (distributed layouts
+  /// allocate only what the rank owns); default allocates everything.
+  explicit SupernodalMatrix(const BlockStructure& bs);
+  SupernodalMatrix(const BlockStructure& bs,
+                   const std::vector<bool>& want_snode);
+
+  const BlockStructure& structure() const { return *bs_; }
+
+  bool has_snode(int s) const { return !diag_[static_cast<std::size_t>(s)].empty(); }
+
+  /// Dense ns x ns diagonal block (column-major).
+  std::span<real_t> diag(int s) { return diag_[static_cast<std::size_t>(s)]; }
+  std::span<const real_t> diag(int s) const { return diag_[static_cast<std::size_t>(s)]; }
+
+  /// Dense m x ns L panel (column-major, rows = concatenated rowset).
+  std::span<real_t> lpanel(int s) { return lpan_[static_cast<std::size_t>(s)]; }
+  std::span<const real_t> lpanel(int s) const { return lpan_[static_cast<std::size_t>(s)]; }
+
+  /// Dense ns x m U panel (column-major, columns = concatenated rowset).
+  std::span<real_t> upanel(int s) { return upan_[static_cast<std::size_t>(s)]; }
+  std::span<const real_t> upanel(int s) const { return upan_[static_cast<std::size_t>(s)]; }
+
+  /// Concatenated symbolic rowset of panel s (sorted global indices).
+  std::span<const index_t> panel_rows(int s) const {
+    return rows_[static_cast<std::size_t>(s)];
+  }
+
+  /// Offset of ancestor supernode `a`'s block within panel s's rowset, and
+  /// its row count; {-1, 0} when the panel has no block for `a`.
+  std::pair<index_t, index_t> block_range(int s, int a) const;
+
+  /// Scatter the entries of the permuted matrix `Ap` (already P A Pᵀ) into
+  /// the allocated blocks; unallocated supernodes are skipped.
+  void fill_from(const CsrMatrix& Ap);
+
+  /// Entry accessors for tests / gather (global permuted indices). Returns
+  /// 0 for positions outside the symbolic structure.
+  real_t l_entry(index_t i, index_t j) const;  ///< i >= j, unit diagonal NOT implied
+  real_t u_entry(index_t i, index_t j) const;  ///< i <= j
+
+  /// Bytes of numeric storage actually allocated (the paper's memory
+  /// metric, Fig. 11).
+  offset_t allocated_bytes() const;
+
+ private:
+  void allocate(int s);
+
+  const BlockStructure* bs_;
+  std::vector<std::vector<real_t>> diag_;
+  std::vector<std::vector<real_t>> lpan_;
+  std::vector<std::vector<real_t>> upan_;
+  std::vector<std::vector<index_t>> rows_;  // concatenated rowsets
+  // Per snode: sorted (ancestor snode, offset) pairs for block_range.
+  std::vector<std::vector<std::pair<int, index_t>>> block_offsets_;
+};
+
+}  // namespace slu3d

@@ -1,0 +1,27 @@
+// Zero-free-diagonal row permutation — the role MC64 plays in
+// SuperLU_DIST's static-pivoting pipeline. Finds a row permutation that
+// puts a (large) nonzero on every diagonal position, via maximum
+// bipartite matching (Hopcroft–Karp) over the nonzero pattern, greedily
+// seeded with the largest-magnitude entry per column.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace slu3d {
+
+/// Returns `rowperm` with rowperm[new_row] = old_row such that
+/// B(i, :) = A(rowperm[i], :) has a structurally nonzero diagonal, or
+/// nullopt if the matrix is structurally singular (no perfect matching).
+std::optional<std::vector<index_t>> zero_free_diagonal_permutation(
+    const CsrMatrix& A);
+
+/// Applies a row permutation: B(i, :) = A(rowperm[i], :).
+CsrMatrix permute_rows(const CsrMatrix& A, std::span<const index_t> rowperm);
+
+/// True if every diagonal entry of A is structurally present.
+bool has_zero_free_diagonal(const CsrMatrix& A);
+
+}  // namespace slu3d

@@ -1,0 +1,69 @@
+#include "order/separator_tree.hpp"
+
+#include <algorithm>
+
+namespace slu3d {
+
+std::vector<int> SeparatorTree::postorder() const {
+  std::vector<int> out;
+  out.reserve(nodes_.size());
+  // Iterative postorder: push node, then visit children first.
+  std::vector<std::pair<int, bool>> stack;  // (node, children_done)
+  stack.push_back({root_, false});
+  while (!stack.empty()) {
+    auto [v, done] = stack.back();
+    stack.pop_back();
+    if (done) {
+      out.push_back(v);
+      continue;
+    }
+    stack.push_back({v, true});
+    const auto& nd = node(v);
+    if (nd.right >= 0) stack.push_back({nd.right, false});
+    if (nd.left >= 0) stack.push_back({nd.left, false});
+  }
+  return out;
+}
+
+int SeparatorTree::height() const {
+  int best = 0;
+  for (int i = 0; i < n_nodes(); ++i) best = std::max(best, depth(i) + 1);
+  return best;
+}
+
+int SeparatorTree::depth(int i) const {
+  int d = 0;
+  for (int v = i; node(v).parent >= 0; v = node(v).parent) ++d;
+  return d;
+}
+
+void SeparatorTree::validate() const {
+  SLU3D_CHECK(!nodes_.empty(), "empty separator tree");
+  SLU3D_CHECK(root_ >= 0 && root_ < n_nodes(), "bad root index");
+  SLU3D_CHECK(node(root_).parent == -1, "root has a parent");
+  SLU3D_CHECK(node(root_).subtree_first == 0 && node(root_).sep_last == n(),
+              "root must span all vertices");
+  index_t covered = 0;
+  for (int i = 0; i < n_nodes(); ++i) {
+    const auto& nd = node(i);
+    SLU3D_CHECK(nd.subtree_first <= nd.sep_first && nd.sep_first <= nd.sep_last,
+                "node ranges out of order");
+    SLU3D_CHECK((nd.left < 0) == (nd.right < 0),
+                "nodes must have zero or two children");
+    covered += nd.block_size();
+    if (!nd.is_leaf()) {
+      const auto& l = node(nd.left);
+      const auto& r = node(nd.right);
+      SLU3D_CHECK(l.parent == i && r.parent == i, "child parent link broken");
+      SLU3D_CHECK(l.subtree_first == nd.subtree_first, "left child range");
+      SLU3D_CHECK(l.sep_last == r.subtree_first, "children must be adjacent");
+      SLU3D_CHECK(r.sep_last == nd.sep_first, "separator must follow children");
+    } else {
+      SLU3D_CHECK(nd.sep_first == nd.subtree_first,
+                  "leaf owns its whole range");
+    }
+  }
+  SLU3D_CHECK(covered == n(), "blocks must partition all vertices");
+}
+
+}  // namespace slu3d

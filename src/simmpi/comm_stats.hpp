@@ -1,0 +1,42 @@
+// Per-rank accounting. Communication is split by plane exactly as the
+// paper's Fig. 10 splits it: XY = messages inside a 2D process grid during
+// factorization (W_fact), Z = ancestor-reduction messages along the third
+// grid axis (W_red). Compute is split by kernel so Fig. 9's
+// T_scu / T_comm decomposition can be reported.
+#pragma once
+
+#include <array>
+
+#include "support/types.hpp"
+
+namespace slu3d::sim {
+
+enum class CommPlane : int { XY = 0, Z = 1 };
+enum class ComputeKind : int { DiagFactor = 0, PanelSolve = 1, SchurUpdate = 2, Other = 3 };
+
+inline constexpr int kNumPlanes = 2;
+inline constexpr int kNumComputeKinds = 4;
+
+struct RankStats {
+  std::array<offset_t, kNumPlanes> bytes_sent{};
+  std::array<offset_t, kNumPlanes> bytes_received{};
+  std::array<offset_t, kNumPlanes> messages_sent{};
+  std::array<offset_t, kNumPlanes> messages_received{};
+  std::array<double, kNumComputeKinds> compute_seconds{};
+  std::array<offset_t, kNumComputeKinds> flops{};
+  double clock = 0.0;  ///< final logical time of the rank
+
+  offset_t total_bytes_sent() const {
+    return bytes_sent[0] + bytes_sent[1];
+  }
+  double total_compute_seconds() const {
+    double t = 0;
+    for (double c : compute_seconds) t += c;
+    return t;
+  }
+  /// Non-overlapped communication + synchronization time (the paper's
+  /// T_comm): whatever part of the rank's final clock is not compute.
+  double comm_seconds() const { return clock - total_compute_seconds(); }
+};
+
+}  // namespace slu3d::sim

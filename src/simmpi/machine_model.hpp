@@ -1,0 +1,25 @@
+// The alpha-beta-gamma machine model that drives the simulator's logical
+// clocks. Defaults approximate a Cray XC30 (Edison) node as used in the
+// paper: per-message MPI latency alpha, inverse bandwidth beta, and inverse
+// compute rate gamma for one MPI process (2 cores / 4 hyperthreads in the
+// paper's 4-OpenMP-threads-per-process configuration).
+#pragma once
+
+#include "support/types.hpp"
+
+namespace slu3d::sim {
+
+struct MachineModel {
+  double alpha = 2.0e-6;   ///< seconds per message
+  double beta = 1.5e-10;   ///< seconds per byte (~6.7 GB/s effective)
+  double gamma = 6.0e-11;  ///< seconds per flop (~17 GFLOP/s per process)
+
+  double message_time(offset_t bytes) const {
+    return alpha + beta * static_cast<double>(bytes);
+  }
+  double compute_time(offset_t flops) const {
+    return gamma * static_cast<double>(flops);
+  }
+};
+
+}  // namespace slu3d::sim

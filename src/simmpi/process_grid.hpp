@@ -1,0 +1,84 @@
+// 2D and 3D logical process grids over a Comm, mirroring SuperLU_DIST's
+// layout: a 2D grid of Px x Py ranks with per-row and per-column
+// sub-communicators, and the paper's 3D grid = Pz stacked 2D grids with a
+// z-axis sub-communicator for ancestor reduction.
+#pragma once
+
+#include "simmpi/runtime.hpp"
+#include "support/check.hpp"
+
+namespace slu3d::sim {
+
+class ProcessGrid2D {
+ public:
+  static ProcessGrid2D create(Comm& comm, int Px, int Py) {
+    SLU3D_CHECK(comm.size() == Px * Py, "comm size must equal Px*Py");
+    const int px = comm.rank() / Py;
+    const int py = comm.rank() % Py;
+    Comm row = comm.split(/*color=*/px, /*key=*/py);
+    Comm col = comm.split(/*color=*/py, /*key=*/px);
+    SLU3D_CHECK(row.size() == Py && col.size() == Px, "grid split failed");
+    return ProcessGrid2D(comm, std::move(row), std::move(col), Px, Py, px, py);
+  }
+
+  /// All Px*Py ranks; rank = px*Py + py (row-major).
+  Comm& grid() { return grid_; }
+  /// Ranks sharing my px (size Py).
+  Comm& row() { return row_; }
+  /// Ranks sharing my py (size Px).
+  Comm& col() { return col_; }
+
+  int Px() const { return Px_; }
+  int Py() const { return Py_; }
+  int px() const { return px_; }
+  int py() const { return py_; }
+
+  /// Owner (as a grid rank) of supernodal block (i, j) under the 2D
+  /// block-cyclic distribution.
+  int owner(int i, int j) const { return (i % Px_) * Py_ + (j % Py_); }
+  bool owns(int i, int j) const { return owner(i, j) == grid_.rank(); }
+  int owner_prow(int i) const { return i % Px_; }  ///< process-row of block row i
+  int owner_pcol(int j) const { return j % Py_; }  ///< process-col of block col j
+
+ private:
+  ProcessGrid2D(Comm grid, Comm row, Comm col, int Px, int Py, int px, int py)
+      : grid_(std::move(grid)), row_(std::move(row)), col_(std::move(col)),
+        Px_(Px), Py_(Py), px_(px), py_(py) {}
+
+  Comm grid_;
+  Comm row_;
+  Comm col_;
+  int Px_, Py_, px_, py_;
+};
+
+class ProcessGrid3D {
+ public:
+  static ProcessGrid3D create(Comm& world, int Px, int Py, int Pz) {
+    SLU3D_CHECK(world.size() == Px * Py * Pz, "world size must equal Px*Py*Pz");
+    const int pxy = Px * Py;
+    const int pz = world.rank() / pxy;
+    Comm plane_comm = world.split(/*color=*/pz, /*key=*/world.rank() % pxy);
+    ProcessGrid2D plane = ProcessGrid2D::create(plane_comm, Px, Py);
+    Comm zline = world.split(/*color=*/world.rank() % pxy, /*key=*/pz);
+    SLU3D_CHECK(zline.size() == Pz, "z split failed");
+    return ProcessGrid3D(std::move(plane), std::move(zline), Pz, pz);
+  }
+
+  /// My 2D grid (all ranks with my pz).
+  ProcessGrid2D& plane() { return plane_; }
+  /// Ranks sharing my (px, py), ordered by pz — the ancestor-reduction axis.
+  Comm& zline() { return zline_; }
+
+  int Pz() const { return Pz_; }
+  int pz() const { return pz_; }
+
+ private:
+  ProcessGrid3D(ProcessGrid2D plane, Comm zline, int Pz, int pz)
+      : plane_(std::move(plane)), zline_(std::move(zline)), Pz_(Pz), pz_(pz) {}
+
+  ProcessGrid2D plane_;
+  Comm zline_;
+  int Pz_, pz_;
+};
+
+}  // namespace slu3d::sim

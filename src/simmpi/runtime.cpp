@@ -1,0 +1,488 @@
+#include "simmpi/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace slu3d::sim {
+
+namespace detail {
+
+namespace {
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Operation kinds occupy high tag bits so a collective cannot match a
+// point-to-point message that reuses the same user tag.
+enum class Op : int { P2P = 0, Coll = 1, Setup = 2 };
+constexpr int kMaxUserTag = (1 << 26) - 1;
+int full_tag(Op op, int tag) {
+  SLU3D_CHECK(tag >= 0 && tag <= kMaxUserTag, "tag out of range");
+  return (static_cast<int>(op) << 26) | tag;
+}
+}  // namespace
+
+struct MsgKey {
+  std::uint64_t comm_id;
+  int src_world;
+  int tag;
+  auto operator<=>(const MsgKey&) const = default;
+};
+
+struct Envelope {
+  std::vector<real_t> payload;
+  double arrival;
+};
+
+class Context {
+ public:
+  Context(int n, const MachineModel& m) : model(m), stats(static_cast<std::size_t>(n)) {
+    for (int i = 0; i < n; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
+  }
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<MsgKey, std::deque<Envelope>> queues;
+  };
+
+  void deliver(int dst_world, const MsgKey& key, Envelope env) {
+    Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
+    {
+      const std::lock_guard<std::mutex> lock(mb.mu);
+      mb.queues[key].push_back(std::move(env));
+    }
+    mb.cv.notify_all();
+  }
+
+  Envelope take(int dst_world, const MsgKey& key) {
+    Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
+    std::unique_lock<std::mutex> lock(mb.mu);
+    mb.cv.wait(lock, [&] {
+      if (aborted.load(std::memory_order_relaxed)) return true;
+      const auto it = mb.queues.find(key);
+      return it != mb.queues.end() && !it->second.empty();
+    });
+    if (aborted.load(std::memory_order_relaxed))
+      throw Error("simmpi: run aborted by a failing rank");
+    const auto it = mb.queues.find(key);
+    Envelope env = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) mb.queues.erase(it);
+    return env;
+  }
+
+  void abort_all() {
+    aborted.store(true, std::memory_order_relaxed);
+    for (auto& mb : mailboxes) {
+      const std::lock_guard<std::mutex> lock(mb->mu);
+      mb->cv.notify_all();
+    }
+  }
+
+  MachineModel model;
+  std::vector<RankStats> stats;
+  std::vector<RankTrace> traces;  // sized only when tracing is enabled
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::atomic<bool> aborted{false};
+
+  void record(int world_rank, TraceEvent ev) {
+    if (traces.empty()) return;
+    traces[static_cast<std::size_t>(world_rank)].push_back(ev);
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::Op;
+
+offset_t payload_bytes(std::size_t n_reals) {
+  return static_cast<offset_t>(n_reals * sizeof(real_t));
+}
+
+}  // namespace
+
+int Comm::world_rank() const { return members_[static_cast<std::size_t>(rank_)]; }
+
+const MachineModel& Comm::model() const { return ctx_->model; }
+
+RankStats& Comm::stats() {
+  return ctx_->stats[static_cast<std::size_t>(world_rank())];
+}
+
+double Comm::clock() const {
+  return ctx_->stats[static_cast<std::size_t>(world_rank())].clock;
+}
+
+void Comm::advance_clock_to(double t) {
+  auto& st = stats();
+  st.clock = std::max(st.clock, t);
+}
+
+void Comm::add_compute(offset_t flops, ComputeKind kind) {
+  const double dt = ctx_->model.compute_time(flops);
+  auto& st = stats();
+  ctx_->record(world_rank(), {TraceEvent::Kind::Compute, st.clock,
+                              st.clock + dt, -1, 0, kind});
+  st.clock += dt;
+  st.compute_seconds[static_cast<std::size_t>(kind)] += dt;
+  st.flops[static_cast<std::size_t>(kind)] += flops;
+}
+
+void Comm::add_seconds(double seconds, ComputeKind kind) {
+  auto& st = stats();
+  st.clock += seconds;
+  st.compute_seconds[static_cast<std::size_t>(kind)] += seconds;
+}
+
+namespace {
+
+/// Uncharged internal send/recv used by split(); charged ones below.
+struct Wire {
+  detail::Context* ctx;
+  std::uint64_t comm_id;
+
+  void send_free(int src_world, int dst_world, int tag,
+                 std::vector<real_t> payload) const {
+    ctx->deliver(dst_world, {comm_id, src_world, tag},
+                 {std::move(payload), /*arrival=*/0.0});
+  }
+  std::vector<real_t> recv_free(int dst_world, int src_world, int tag) const {
+    return ctx->take(dst_world, {comm_id, src_world, tag}).payload;
+  }
+};
+
+}  // namespace
+
+void Comm::send(int dst, int tag, std::span<const real_t> payload,
+                CommPlane plane) {
+  SLU3D_CHECK(dst >= 0 && dst < size(), "send: bad destination rank");
+  const int ft = detail::full_tag(Op::P2P, tag);
+  auto& st = stats();
+  const offset_t bytes = payload_bytes(payload.size());
+  // Store-and-forward: the sender is occupied for the full message time,
+  // and the payload is available to the receiver at that same instant.
+  const double t0 = st.clock;
+  st.clock += ctx_->model.message_time(bytes);
+  const double arrival = st.clock;
+  const int dst_world = members_[static_cast<std::size_t>(dst)];
+  ctx_->record(world_rank(),
+               {TraceEvent::Kind::Send, t0, st.clock, dst_world, bytes,
+                ComputeKind::Other});
+  st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
+  st.messages_sent[static_cast<std::size_t>(plane)] += 1;
+  ctx_->deliver(dst_world, {comm_id_, world_rank(), ft},
+                {std::vector<real_t>(payload.begin(), payload.end()), arrival});
+}
+
+std::vector<real_t> Comm::recv(int src, int tag, CommPlane plane) {
+  SLU3D_CHECK(src >= 0 && src < size(), "recv: bad source rank");
+  const int ft = detail::full_tag(Op::P2P, tag);
+  const int src_world = members_[static_cast<std::size_t>(src)];
+  detail::Envelope env = ctx_->take(world_rank(), {comm_id_, src_world, ft});
+  auto& st = stats();
+  const double t0 = st.clock;
+  st.clock = std::max(st.clock, env.arrival);
+  ctx_->record(world_rank(),
+               {TraceEvent::Kind::Recv, t0, st.clock, src_world,
+                payload_bytes(env.payload.size()), ComputeKind::Other});
+  st.bytes_received[static_cast<std::size_t>(plane)] +=
+      payload_bytes(env.payload.size());
+  st.messages_received[static_cast<std::size_t>(plane)] += 1;
+  return env.payload;
+}
+
+namespace {
+
+/// Charged collective-channel send/recv shared by the tree algorithms.
+void coll_send(Comm& c, detail::Context* ctx, std::uint64_t comm_id,
+               std::span<const int> members, int me_world, int dst, int tag,
+               std::span<const real_t> payload, CommPlane plane) {
+  const int ft = detail::full_tag(Op::Coll, tag);
+  auto& st = c.stats();
+  const offset_t bytes = payload_bytes(payload.size());
+  const double t0 = st.clock;
+  st.clock += ctx->model.message_time(bytes);
+  const double arrival = st.clock;
+  const int dst_world = members[static_cast<std::size_t>(dst)];
+  ctx->record(me_world, {TraceEvent::Kind::Send, t0, st.clock, dst_world,
+                         bytes, ComputeKind::Other});
+  st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
+  st.messages_sent[static_cast<std::size_t>(plane)] += 1;
+  ctx->deliver(dst_world, {comm_id, me_world, ft},
+               {std::vector<real_t>(payload.begin(), payload.end()), arrival});
+}
+
+std::vector<real_t> coll_recv(Comm& c, detail::Context* ctx,
+                              std::uint64_t comm_id, std::span<const int> members,
+                              int me_world, int src, int tag, CommPlane plane) {
+  const int ft = detail::full_tag(Op::Coll, tag);
+  const int src_world = members[static_cast<std::size_t>(src)];
+  detail::Envelope env = ctx->take(me_world, {comm_id, src_world, ft});
+  auto& st = c.stats();
+  const double t0 = st.clock;
+  st.clock = std::max(st.clock, env.arrival);
+  ctx->record(me_world, {TraceEvent::Kind::Recv, t0, st.clock, src_world,
+                         payload_bytes(env.payload.size()), ComputeKind::Other});
+  st.bytes_received[static_cast<std::size_t>(plane)] +=
+      payload_bytes(env.payload.size());
+  st.messages_received[static_cast<std::size_t>(plane)] += 1;
+  return env.payload;
+}
+
+}  // namespace
+
+void Comm::bcast(int root, int tag, std::span<real_t> buf, CommPlane plane) {
+  const int p = size();
+  SLU3D_CHECK(root >= 0 && root < p, "bcast: bad root");
+  if (p == 1) return;
+  const int vrank = (rank_ - root + p) % p;
+  // Binomial tree: receive from parent (clears lowest set bit), then send
+  // to children.
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int src = ((vrank - mask) + root) % p;
+      const auto payload = coll_recv(*this, ctx_, comm_id_, members_,
+                                     world_rank(), src, tag, plane);
+      SLU3D_CHECK(payload.size() == buf.size(), "bcast size mismatch");
+      std::copy(payload.begin(), payload.end(), buf.begin());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int dst = ((vrank + mask) + root) % p;
+      coll_send(*this, ctx_, comm_id_, members_, world_rank(), dst, tag, buf,
+                plane);
+    }
+    mask >>= 1;
+  }
+}
+
+namespace {
+enum class RedOp { Sum, Max };
+}
+
+void Comm::reduce_sum(int root, int tag, std::span<real_t> buf, CommPlane plane) {
+  const int p = size();
+  SLU3D_CHECK(root >= 0 && root < p, "reduce: bad root");
+  if (p == 1) return;
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) == 0) {
+      const int vpartner = vrank | mask;
+      if (vpartner < p) {
+        const int src = (vpartner + root) % p;
+        const auto payload = coll_recv(*this, ctx_, comm_id_, members_,
+                                       world_rank(), src, tag, plane);
+        SLU3D_CHECK(payload.size() == buf.size(), "reduce size mismatch");
+        for (std::size_t i = 0; i < buf.size(); ++i) buf[i] += payload[i];
+      }
+    } else {
+      const int dst = ((vrank & ~mask) + root) % p;
+      coll_send(*this, ctx_, comm_id_, members_, world_rank(), dst, tag, buf,
+                plane);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::allreduce_sum(int tag, std::span<real_t> buf, CommPlane plane) {
+  reduce_sum(0, tag, buf, plane);
+  bcast(0, tag, buf, plane);
+}
+
+double Comm::allreduce_max(int tag, double value, CommPlane plane) {
+  // Max-reduce expressed over the sum machinery would be wrong; do a small
+  // gather-to-0 + bcast instead (collectives here are O(P) messages at
+  // rank 0, fine for a scalar used only in tests/reports).
+  std::vector<real_t> v{value};
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      const auto payload = coll_recv(*this, ctx_, comm_id_, members_,
+                                     world_rank(), r, tag, plane);
+      v[0] = std::max(v[0], payload[0]);
+    }
+  } else {
+    coll_send(*this, ctx_, comm_id_, members_, world_rank(), 0, tag, v, plane);
+  }
+  bcast(0, tag, v, plane);
+  return v[0];
+}
+
+std::vector<real_t> Comm::allgatherv(int tag, std::span<const real_t> mine,
+                                     CommPlane plane) {
+  const int p = size();
+  if (p == 1) return std::vector<real_t>(mine.begin(), mine.end());
+  // Gather sizes and payloads onto rank 0, then broadcast the result.
+  std::vector<real_t> sizes(static_cast<std::size_t>(p), 0.0);
+  sizes[static_cast<std::size_t>(rank_)] = static_cast<real_t>(mine.size());
+  std::vector<real_t> all;
+  if (rank_ == 0) {
+    all.assign(mine.begin(), mine.end());
+    for (int r = 1; r < p; ++r) {
+      const auto payload = coll_recv(*this, ctx_, comm_id_, members_,
+                                     world_rank(), r, tag, plane);
+      sizes[static_cast<std::size_t>(r)] = static_cast<real_t>(payload.size());
+      all.insert(all.end(), payload.begin(), payload.end());
+    }
+  } else {
+    coll_send(*this, ctx_, comm_id_, members_, world_rank(), 0, tag, mine,
+              plane);
+  }
+  bcast(0, tag, sizes, plane);
+  std::size_t total = 0;
+  for (real_t s : sizes) total += static_cast<std::size_t>(s);
+  all.resize(total);
+  bcast(0, tag, all, plane);
+  return all;
+}
+
+void Comm::barrier(int tag, CommPlane plane) {
+  std::vector<real_t> empty;
+  reduce_sum(0, tag, empty, plane);
+  bcast(0, tag, empty, plane);
+}
+
+Comm Comm::split(int color, int key) const {
+  // Exchange (color, key) via zero-cost setup messages: gather to member 0,
+  // broadcast the full table, then each rank filters its own group.
+  const Wire wire{ctx_, comm_id_};
+  const int setup_tag = detail::full_tag(Op::Setup, 0);
+  const int p = size();
+  std::vector<real_t> table;  // triples (old_rank, color, key)
+  if (rank_ == 0) {
+    table.reserve(static_cast<std::size_t>(p) * 3);
+    table.insert(table.end(), {0.0, static_cast<real_t>(color), static_cast<real_t>(key)});
+    // Receive in rank order for determinism.
+    std::vector<std::vector<real_t>> rows(static_cast<std::size_t>(p));
+    for (int r = 1; r < p; ++r)
+      rows[static_cast<std::size_t>(r)] = wire.recv_free(
+          world_rank(), members_[static_cast<std::size_t>(r)], setup_tag);
+    for (int r = 1; r < p; ++r) {
+      table.push_back(static_cast<real_t>(r));
+      table.push_back(rows[static_cast<std::size_t>(r)][0]);
+      table.push_back(rows[static_cast<std::size_t>(r)][1]);
+    }
+    for (int r = 1; r < p; ++r)
+      wire.send_free(world_rank(), members_[static_cast<std::size_t>(r)],
+                     setup_tag + 1, table);
+  } else {
+    wire.send_free(world_rank(), members_[0], setup_tag,
+                   {static_cast<real_t>(color), static_cast<real_t>(key)});
+    table = wire.recv_free(world_rank(), members_[0], setup_tag + 1);
+  }
+
+  struct Row {
+    int old_rank;
+    int color;
+    int key;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i + 2 < table.size(); i += 3)
+    rows.push_back({static_cast<int>(table[i]), static_cast<int>(table[i + 1]),
+                    static_cast<int>(table[i + 2])});
+  std::vector<Row> mine;
+  for (const Row& r : rows)
+    if (r.color == color) mine.push_back(r);
+  std::stable_sort(mine.begin(), mine.end(), [](const Row& a, const Row& b) {
+    return a.key != b.key ? a.key < b.key : a.old_rank < b.old_rank;
+  });
+  std::vector<int> new_members;
+  int new_rank = -1;
+  for (const Row& r : mine) {
+    if (r.old_rank == rank_) new_rank = static_cast<int>(new_members.size());
+    new_members.push_back(members_[static_cast<std::size_t>(r.old_rank)]);
+  }
+  SLU3D_CHECK(new_rank >= 0, "split: caller missing from its own group");
+  const std::uint64_t new_id = detail::mix64(
+      comm_id_ * std::uint64_t{0x9e3779b97f4a7c15} +
+      static_cast<std::uint64_t>(color) + std::uint64_t{0x1234567});
+  return Comm(ctx_, new_id, std::move(new_members), new_rank);
+}
+
+double RunResult::max_clock() const {
+  double best = 0;
+  for (const auto& r : ranks) best = std::max(best, r.clock);
+  return best;
+}
+
+offset_t RunResult::max_bytes_sent(CommPlane plane) const {
+  offset_t best = 0;
+  for (const auto& r : ranks)
+    best = std::max(best, r.bytes_sent[static_cast<std::size_t>(plane)]);
+  return best;
+}
+
+offset_t RunResult::max_bytes_received(CommPlane plane) const {
+  offset_t best = 0;
+  for (const auto& r : ranks)
+    best = std::max(best, r.bytes_received[static_cast<std::size_t>(plane)]);
+  return best;
+}
+
+offset_t RunResult::total_bytes_sent(CommPlane plane) const {
+  offset_t total = 0;
+  for (const auto& r : ranks)
+    total += r.bytes_sent[static_cast<std::size_t>(plane)];
+  return total;
+}
+
+double RunResult::max_compute_seconds(ComputeKind kind) const {
+  double best = 0;
+  for (const auto& r : ranks)
+    best = std::max(best, r.compute_seconds[static_cast<std::size_t>(kind)]);
+  return best;
+}
+
+struct RuntimeAccess {
+  static Comm make_world(detail::Context* ctx, int n_ranks, int rank) {
+    std::vector<int> members(static_cast<std::size_t>(n_ranks));
+    for (int i = 0; i < n_ranks; ++i) members[static_cast<std::size_t>(i)] = i;
+    return Comm(ctx, /*comm_id=*/1, std::move(members), rank);
+  }
+};
+
+RunResult run_ranks(int n_ranks, const MachineModel& model,
+                    const std::function<void(Comm&)>& body,
+                    const RunOptions& options) {
+  SLU3D_CHECK(n_ranks > 0, "need at least one rank");
+  detail::Context ctx(n_ranks, model);
+  if (options.trace) ctx.traces.resize(static_cast<std::size_t>(n_ranks));
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_ranks));
+  threads.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm world = RuntimeAccess::make_world(&ctx, n_ranks, r);
+        body(world);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        ctx.abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return RunResult{std::move(ctx.stats), std::move(ctx.traces)};
+}
+
+}  // namespace slu3d::sim

@@ -1,0 +1,124 @@
+// The message-passing runtime (the MPI substitute; see DESIGN.md).
+//
+// `run_ranks(P, model, body)` runs `body` once per rank, each on its own
+// thread. Ranks communicate only through Comm: blocking typed send/recv
+// plus binomial-tree collectives, with MPI point-to-point matching
+// semantics (FIFO per (communicator, source, tag)).
+//
+// Every rank carries a LogGP-style logical clock: compute advances it by
+// gamma*flops, a message by alpha + beta*bytes, and a receive completes at
+// max(local clock, sender's clock at send + message time). The maximum
+// final clock across ranks is the simulated parallel runtime; per-rank
+// byte counters split by plane reproduce the paper's W_fact / W_red.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "simmpi/comm_stats.hpp"
+#include "simmpi/machine_model.hpp"
+#include "simmpi/trace.hpp"
+#include "support/types.hpp"
+
+namespace slu3d::sim {
+
+namespace detail {
+class Context;  // shared mailboxes + stats, defined in runtime.cpp
+}
+
+/// A communicator: an ordered group of ranks with a private matching
+/// context. Copyable; all copies refer to the same runtime context.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  int world_rank() const;
+
+  /// Blocking point-to-point send/recv of a real_t payload. `dst`/`src`
+  /// are ranks within this communicator. Matching is FIFO per
+  /// (communicator, src, tag).
+  void send(int dst, int tag, std::span<const real_t> payload, CommPlane plane);
+  std::vector<real_t> recv(int src, int tag, CommPlane plane);
+
+  /// Binomial-tree broadcast of `buf` from `root` (buf must be presized on
+  /// every rank; contents only matter on the root).
+  void bcast(int root, int tag, std::span<real_t> buf, CommPlane plane);
+
+  /// Binomial-tree element-wise sum-reduction onto `root`.
+  void reduce_sum(int root, int tag, std::span<real_t> buf, CommPlane plane);
+
+  /// Allreduce (reduce to rank 0, then broadcast).
+  void allreduce_sum(int tag, std::span<real_t> buf, CommPlane plane);
+  double allreduce_max(int tag, double value, CommPlane plane);
+
+  /// Variable-size allgather: every rank contributes `mine` and receives
+  /// the concatenation in rank order (gather to rank 0, then broadcast of
+  /// sizes and data).
+  std::vector<real_t> allgatherv(int tag, std::span<const real_t> mine,
+                                 CommPlane plane);
+
+  void barrier(int tag, CommPlane plane);
+
+  /// MPI_Comm_split: ranks with equal `color` form a new communicator,
+  /// ordered by (key, old rank).
+  Comm split(int color, int key) const;
+
+  /// Advance the logical clock by the model cost of `flops`.
+  void add_compute(offset_t flops, ComputeKind kind);
+  /// Advance the logical clock by raw seconds (e.g. imbalance injection).
+  void add_seconds(double seconds, ComputeKind kind);
+
+  double clock() const;
+  /// Force the clock to at least `t` (used by tests).
+  void advance_clock_to(double t);
+
+  const MachineModel& model() const;
+  /// This rank's statistics (mutable live view).
+  RankStats& stats();
+
+ private:
+  friend struct RuntimeAccess;
+  Comm(detail::Context* ctx, std::uint64_t comm_id, std::vector<int> members,
+       int rank)
+      : ctx_(ctx), comm_id_(comm_id), members_(std::move(members)), rank_(rank) {}
+
+  detail::Context* ctx_;
+  std::uint64_t comm_id_;
+  std::vector<int> members_;  ///< member world ranks, in rank order
+  int rank_;                  ///< my rank within this communicator
+};
+
+struct RunResult {
+  std::vector<RankStats> ranks;
+  /// Per-rank event timelines; empty unless tracing was enabled.
+  std::vector<RankTrace> traces;
+
+  double max_clock() const;
+  /// Max over ranks of bytes sent in `plane`. Note: tree collectives make
+  /// intermediate ranks forward payloads, so sent bytes overcount the
+  /// algorithmic volume; prefer max_bytes_received for the paper's W.
+  offset_t max_bytes_sent(CommPlane plane) const;
+  /// Max over ranks of bytes received in `plane` — each rank receives every
+  /// block it needs exactly once, so this matches the paper's "per-process
+  /// communication volume on the critical path" (Eq. 2 / Fig. 10).
+  offset_t max_bytes_received(CommPlane plane) const;
+  offset_t total_bytes_sent(CommPlane plane) const;
+  double max_compute_seconds(ComputeKind kind) const;
+};
+
+struct RunOptions {
+  /// Record a TraceEvent for every compute region, send, and receive.
+  bool trace = false;
+};
+
+/// Runs `body(comm)` on `n_ranks` threads and returns per-rank statistics.
+/// Any exception thrown by a rank is rethrown here (after all threads are
+/// joined); remaining ranks blocked in recv are woken with an error.
+RunResult run_ranks(int n_ranks, const MachineModel& model,
+                    const std::function<void(Comm&)>& body,
+                    const RunOptions& options = {});
+
+}  // namespace slu3d::sim

@@ -1,0 +1,53 @@
+#include "simmpi/trace.hpp"
+
+#include <ostream>
+
+namespace slu3d::sim {
+
+namespace {
+
+const char* event_name(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceEvent::Kind::Send:
+      return "send";
+    case TraceEvent::Kind::Recv:
+      return "recv";
+    case TraceEvent::Kind::Compute:
+      switch (ev.compute) {
+        case ComputeKind::DiagFactor:
+          return "diag-factor";
+        case ComputeKind::PanelSolve:
+          return "panel-solve";
+        case ComputeKind::SchurUpdate:
+          return "schur-update";
+        case ComputeKind::Other:
+          return "compute";
+      }
+  }
+  return "event";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& traces) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t rank = 0; rank < traces.size(); ++rank) {
+    for (const TraceEvent& ev : traces[rank]) {
+      if (!first) os << ",";
+      first = false;
+      // ts/dur in microseconds of logical time; minimum visible duration.
+      const double ts = ev.t0 * 1e6;
+      const double dur = std::max((ev.t1 - ev.t0) * 1e6, 1e-3);
+      os << "{\"name\":\"" << event_name(ev) << "\",\"ph\":\"X\",\"pid\":0,"
+         << "\"tid\":" << rank << ",\"ts\":" << ts << ",\"dur\":" << dur;
+      if (ev.peer >= 0)
+        os << ",\"args\":{\"peer\":" << ev.peer << ",\"bytes\":" << ev.bytes
+           << "}";
+      os << "}";
+    }
+  }
+  os << "]}\n";
+}
+
+}  // namespace slu3d::sim

@@ -1,0 +1,33 @@
+// Execution tracing for the simulated runtime: when enabled, every
+// compute region, send, and receive is recorded against the rank's
+// logical clock and can be exported in the Chrome tracing (chrome://
+// tracing / Perfetto) JSON format — giving the same timeline view HPC
+// profilers give for real MPI runs.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "simmpi/comm_stats.hpp"
+#include "support/types.hpp"
+
+namespace slu3d::sim {
+
+struct TraceEvent {
+  enum class Kind : char { Compute = 'C', Send = 'S', Recv = 'R' };
+  Kind kind;
+  double t0 = 0;        ///< logical seconds at event start
+  double t1 = 0;        ///< logical seconds at event end
+  int peer = -1;        ///< world rank of the peer (send/recv)
+  offset_t bytes = 0;   ///< payload bytes (send/recv)
+  ComputeKind compute = ComputeKind::Other;  ///< category (compute)
+};
+
+using RankTrace = std::vector<TraceEvent>;
+
+/// Writes the Chrome tracing JSON ("traceEvents" array, complete 'X'
+/// events; ts/dur in microseconds of logical time; tid = rank).
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<RankTrace>& traces);
+
+}  // namespace slu3d::sim

@@ -1,0 +1,38 @@
+// Coordinate-format sparse matrix: the assembly format. Generators and the
+// MatrixMarket reader produce COO; everything else consumes CSR.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace slu3d {
+
+struct CooEntry {
+  index_t row;
+  index_t col;
+  real_t value;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(index_t n_rows, index_t n_cols) : n_rows_(n_rows), n_cols_(n_cols) {}
+
+  void add(index_t row, index_t col, real_t value) {
+    entries_.push_back({row, col, value});
+  }
+
+  void reserve(std::size_t nnz) { entries_.reserve(nnz); }
+
+  index_t n_rows() const { return n_rows_; }
+  index_t n_cols() const { return n_cols_; }
+  const std::vector<CooEntry>& entries() const { return entries_; }
+
+ private:
+  index_t n_rows_ = 0;
+  index_t n_cols_ = 0;
+  std::vector<CooEntry> entries_;
+};
+
+}  // namespace slu3d

@@ -1,0 +1,79 @@
+#include "sparse/equilibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace slu3d {
+
+Equilibration compute_equilibration(const CsrMatrix& A) {
+  const auto n_rows = static_cast<std::size_t>(A.n_rows());
+  const auto n_cols = static_cast<std::size_t>(A.n_cols());
+  Equilibration eq;
+  eq.row_scale.assign(n_rows, 0.0);
+  eq.col_scale.assign(n_cols, 0.0);
+
+  // Row pass: largest magnitude per row.
+  real_t rmin = 1e300, rmax = 0.0;
+  for (index_t r = 0; r < A.n_rows(); ++r) {
+    real_t mx = 0.0;
+    for (real_t v : A.row_vals(r)) mx = std::max(mx, std::abs(v));
+    SLU3D_CHECK(mx > 0.0, "equilibration: exactly zero row");
+    eq.row_scale[static_cast<std::size_t>(r)] = 1.0 / mx;
+    rmin = std::min(rmin, mx);
+    rmax = std::max(rmax, mx);
+  }
+  eq.row_ratio = rmin / rmax;
+
+  // Column pass on the row-scaled matrix.
+  for (index_t r = 0; r < A.n_rows(); ++r) {
+    const auto cols = A.row_cols(r);
+    const auto vals = A.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const real_t v =
+          std::abs(vals[k]) * eq.row_scale[static_cast<std::size_t>(r)];
+      auto& c = eq.col_scale[static_cast<std::size_t>(cols[k])];
+      c = std::max(c, v);
+    }
+  }
+  real_t cmin = 1e300, cmax = 0.0;
+  for (auto& c : eq.col_scale) {
+    SLU3D_CHECK(c > 0.0, "equilibration: exactly zero column");
+    cmin = std::min(cmin, c);
+    cmax = std::max(cmax, c);
+    c = 1.0 / c;
+  }
+  eq.col_ratio = cmin / cmax;
+  return eq;
+}
+
+CsrMatrix apply_equilibration(const CsrMatrix& A, const Equilibration& eq) {
+  SLU3D_CHECK(eq.row_scale.size() == static_cast<std::size_t>(A.n_rows()) &&
+                  eq.col_scale.size() == static_cast<std::size_t>(A.n_cols()),
+              "equilibration size mismatch");
+  std::vector<offset_t> rp(A.row_ptr().begin(), A.row_ptr().end());
+  std::vector<index_t> ci(A.col_idx().begin(), A.col_idx().end());
+  std::vector<real_t> va(A.values().begin(), A.values().end());
+  for (index_t r = 0; r < A.n_rows(); ++r) {
+    const real_t rs = eq.row_scale[static_cast<std::size_t>(r)];
+    for (offset_t k = A.row_ptr()[static_cast<std::size_t>(r)];
+         k < A.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k)
+      va[static_cast<std::size_t>(k)] *=
+          rs * eq.col_scale[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+  }
+  return CsrMatrix::from_raw(A.n_rows(), A.n_cols(), std::move(rp),
+                             std::move(ci), std::move(va));
+}
+
+void scale_rhs(const Equilibration& eq, std::span<real_t> b) {
+  SLU3D_CHECK(b.size() == eq.row_scale.size(), "rhs size mismatch");
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] *= eq.row_scale[i];
+}
+
+void unscale_solution(const Equilibration& eq, std::span<real_t> x) {
+  SLU3D_CHECK(x.size() == eq.col_scale.size(), "solution size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= eq.col_scale[i];
+}
+
+}  // namespace slu3d

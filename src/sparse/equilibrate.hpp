@@ -1,0 +1,33 @@
+// Row/column equilibration — SuperLU_DIST's pdgsequ preprocessing step.
+// Static (no) pivoting is only safe when the matrix is well scaled;
+// equilibration brings every row and column's largest magnitude to ~1.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace slu3d {
+
+struct Equilibration {
+  std::vector<real_t> row_scale;  ///< R: diag scaling applied to rows
+  std::vector<real_t> col_scale;  ///< C: diag scaling applied to columns
+  real_t row_ratio = 1.0;  ///< min/max row magnitude before scaling
+  real_t col_ratio = 1.0;  ///< min/max column magnitude after row scaling
+};
+
+/// Computes R and C such that B = R A C has max-magnitude ~1 in every row
+/// and column (one pass of row scaling then column scaling, as LAPACK's
+/// *geequ). Throws on an exactly zero row or column.
+Equilibration compute_equilibration(const CsrMatrix& A);
+
+/// Returns R A C.
+CsrMatrix apply_equilibration(const CsrMatrix& A, const Equilibration& eq);
+
+/// Solves A x = b given a solver for B = R A C: transforms b' = R b,
+/// solves B y = b', returns x = C y. These helpers implement the two
+/// vector transforms.
+void scale_rhs(const Equilibration& eq, std::span<real_t> b);
+void unscale_solution(const Equilibration& eq, std::span<real_t> x);
+
+}  // namespace slu3d

@@ -1,0 +1,296 @@
+#include "sparse/generators.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace slu3d {
+
+namespace {
+
+/// Adds a symmetric edge pair (u, v) with weight w to `coo` and accumulates
+/// |w| into both diagonal accumulators (to build diagonal dominance).
+void add_edge(CooMatrix& coo, std::vector<real_t>& diag, index_t u, index_t v,
+              real_t w) {
+  coo.add(u, v, w);
+  coo.add(v, u, w);
+  diag[static_cast<std::size_t>(u)] += std::abs(w);
+  diag[static_cast<std::size_t>(v)] += std::abs(w);
+}
+
+CsrMatrix finish_graph_matrix(CooMatrix& coo, std::vector<real_t>& diag,
+                              real_t diag_boost) {
+  for (index_t i = 0; i < static_cast<index_t>(diag.size()); ++i)
+    coo.add(i, i, diag[static_cast<std::size_t>(i)] * (1.0 + diag_boost) + diag_boost);
+  return CsrMatrix::from_coo(coo);
+}
+
+}  // namespace
+
+CsrMatrix grid2d_laplacian(GridGeometry geom, Stencil2D stencil,
+                           real_t diag_boost) {
+  SLU3D_CHECK(geom.nz == 1, "grid2d needs nz == 1");
+  SLU3D_CHECK(geom.nx > 0 && geom.ny > 0, "empty grid");
+  const index_t n = geom.n();
+  CooMatrix coo(n, n);
+  std::vector<real_t> diag(static_cast<std::size_t>(n), 0.0);
+  for (index_t y = 0; y < geom.ny; ++y) {
+    for (index_t x = 0; x < geom.nx; ++x) {
+      const index_t v = geom.vertex(x, y, 0);
+      if (x + 1 < geom.nx) add_edge(coo, diag, v, geom.vertex(x + 1, y, 0), -1.0);
+      if (y + 1 < geom.ny) add_edge(coo, diag, v, geom.vertex(x, y + 1, 0), -1.0);
+      if (stencil == Stencil2D::NinePoint) {
+        if (x + 1 < geom.nx && y + 1 < geom.ny)
+          add_edge(coo, diag, v, geom.vertex(x + 1, y + 1, 0), -0.5);
+        if (x > 0 && y + 1 < geom.ny)
+          add_edge(coo, diag, v, geom.vertex(x - 1, y + 1, 0), -0.5);
+      }
+    }
+  }
+  return finish_graph_matrix(coo, diag, diag_boost);
+}
+
+CsrMatrix grid3d_laplacian(GridGeometry geom, Stencil3D stencil,
+                           real_t diag_boost) {
+  SLU3D_CHECK(geom.nx > 0 && geom.ny > 0 && geom.nz > 0, "empty grid");
+  const index_t n = geom.n();
+  CooMatrix coo(n, n);
+  std::vector<real_t> diag(static_cast<std::size_t>(n), 0.0);
+  for (index_t z = 0; z < geom.nz; ++z) {
+    for (index_t y = 0; y < geom.ny; ++y) {
+      for (index_t x = 0; x < geom.nx; ++x) {
+        const index_t v = geom.vertex(x, y, z);
+        if (stencil == Stencil3D::SevenPoint) {
+          if (x + 1 < geom.nx) add_edge(coo, diag, v, geom.vertex(x + 1, y, z), -1.0);
+          if (y + 1 < geom.ny) add_edge(coo, diag, v, geom.vertex(x, y + 1, z), -1.0);
+          if (z + 1 < geom.nz) add_edge(coo, diag, v, geom.vertex(x, y, z + 1), -1.0);
+        } else {
+          // 27-point: all neighbours in the forward half-space, weights
+          // decaying with Chebyshev distance.
+          for (index_t dz = 0; dz <= 1; ++dz) {
+            for (index_t dy = (dz == 0 ? 0 : -1); dy <= 1; ++dy) {
+              for (index_t dx = ((dz == 0 && dy == 0) ? 1 : -1); dx <= 1; ++dx) {
+                const index_t X = x + dx, Y = y + dy, Z = z + dz;
+                if (X < 0 || X >= geom.nx || Y < 0 || Y >= geom.ny || Z < 0 ||
+                    Z >= geom.nz)
+                  continue;
+                const int dist = std::abs(dx) + std::abs(dy) + std::abs(dz);
+                add_edge(coo, diag, v, geom.vertex(X, Y, Z),
+                         dist == 1 ? -1.0 : (dist == 2 ? -0.5 : -0.25));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return finish_graph_matrix(coo, diag, diag_boost);
+}
+
+CsrMatrix grid2d_convection_diffusion(GridGeometry geom, real_t convection,
+                                      real_t diag_boost) {
+  SLU3D_CHECK(geom.nz == 1, "grid2d needs nz == 1");
+  SLU3D_CHECK(std::abs(convection) < 1.0, "convection must be < 1 for dominance");
+  const index_t n = geom.n();
+  CooMatrix coo(n, n);
+  std::vector<real_t> diag(static_cast<std::size_t>(n), 0.0);
+  auto add_dir = [&](index_t u, index_t v, real_t w) {
+    coo.add(u, v, w);
+    diag[static_cast<std::size_t>(u)] += std::abs(w);
+  };
+  for (index_t y = 0; y < geom.ny; ++y) {
+    for (index_t x = 0; x < geom.nx; ++x) {
+      const index_t v = geom.vertex(x, y, 0);
+      // Upwinded convection along +x: downstream and upstream coefficients
+      // differ, producing a genuinely nonsymmetric matrix.
+      if (x + 1 < geom.nx) {
+        add_dir(v, geom.vertex(x + 1, y, 0), -1.0 + convection);
+        add_dir(geom.vertex(x + 1, y, 0), v, -1.0 - convection);
+      }
+      if (y + 1 < geom.ny) {
+        add_dir(v, geom.vertex(x, y + 1, 0), -1.0);
+        add_dir(geom.vertex(x, y + 1, 0), v, -1.0);
+      }
+    }
+  }
+  return finish_graph_matrix(coo, diag, diag_boost);
+}
+
+CsrMatrix grid2d_anisotropic(GridGeometry geom, real_t epsilon,
+                             real_t diag_boost) {
+  SLU3D_CHECK(geom.nz == 1, "grid2d needs nz == 1");
+  SLU3D_CHECK(epsilon > 0, "anisotropy must be positive");
+  const index_t n = geom.n();
+  CooMatrix coo(n, n);
+  std::vector<real_t> diag(static_cast<std::size_t>(n), 0.0);
+  for (index_t y = 0; y < geom.ny; ++y)
+    for (index_t x = 0; x < geom.nx; ++x) {
+      const index_t v = geom.vertex(x, y, 0);
+      if (x + 1 < geom.nx)
+        add_edge(coo, diag, v, geom.vertex(x + 1, y, 0), -epsilon);
+      if (y + 1 < geom.ny) add_edge(coo, diag, v, geom.vertex(x, y + 1, 0), -1.0);
+    }
+  return finish_graph_matrix(coo, diag, diag_boost);
+}
+
+CsrMatrix grid2d_helmholtz(GridGeometry geom, real_t shift) {
+  // Plain 5-point Laplacian (diag = degree), then subtract the shift.
+  CsrMatrix A = grid2d_laplacian(geom, Stencil2D::FivePoint, /*diag_boost=*/0.0);
+  auto vals = A.values();
+  const auto rp = A.row_ptr();
+  const auto ci = A.col_idx();
+  for (index_t r = 0; r < A.n_rows(); ++r)
+    for (offset_t k = rp[static_cast<std::size_t>(r)];
+         k < rp[static_cast<std::size_t>(r) + 1]; ++k)
+      if (ci[static_cast<std::size_t>(k)] == r)
+        vals[static_cast<std::size_t>(k)] -= shift;
+  return A;
+}
+
+CsrMatrix circuit2d(GridGeometry geom, index_t extra_edges, std::uint64_t seed,
+                    real_t diag_boost) {
+  SLU3D_CHECK(geom.nz == 1, "circuit2d needs nz == 1");
+  const index_t n = geom.n();
+  CooMatrix coo(n, n);
+  std::vector<real_t> diag(static_cast<std::size_t>(n), 0.0);
+  for (index_t y = 0; y < geom.ny; ++y) {
+    for (index_t x = 0; x < geom.nx; ++x) {
+      const index_t v = geom.vertex(x, y, 0);
+      if (x + 1 < geom.nx) add_edge(coo, diag, v, geom.vertex(x + 1, y, 0), -1.0);
+      if (y + 1 < geom.ny) add_edge(coo, diag, v, geom.vertex(x, y + 1, 0), -1.0);
+    }
+  }
+  // Random short-range branches: endpoints within a bounded window so the
+  // graph keeps good (near-planar) separators, like real circuit matrices.
+  Rng rng(seed);
+  const index_t window = 4;
+  for (index_t e = 0; e < extra_edges; ++e) {
+    const index_t x = rng.next_index(geom.nx);
+    const index_t y = rng.next_index(geom.ny);
+    const index_t dx = rng.next_index(2 * window + 1) - window;
+    const index_t dy = rng.next_index(2 * window + 1) - window;
+    const index_t X = std::min(std::max<index_t>(0, x + dx), geom.nx - 1);
+    const index_t Y = std::min(std::max<index_t>(0, y + dy), geom.ny - 1);
+    const index_t u = geom.vertex(x, y, 0), v = geom.vertex(X, Y, 0);
+    if (u == v) continue;
+    add_edge(coo, diag, u, v, -rng.uniform(0.1, 1.0));
+  }
+  return finish_graph_matrix(coo, diag, diag_boost);
+}
+
+CsrMatrix kkt3d(GridGeometry geom, std::uint64_t seed) {
+  const index_t np = geom.n();  // primal variables, one per grid point
+  const index_t n = 2 * np;     // plus one dual variable per grid point
+  CooMatrix coo(n, n);
+  Rng rng(seed);
+  // H block: 7-point Laplacian + shift (rows/cols 0..np-1).
+  std::vector<real_t> hdiag(static_cast<std::size_t>(np), 0.0);
+  auto h_edge = [&](index_t u, index_t v, real_t w) {
+    coo.add(u, v, w);
+    coo.add(v, u, w);
+    hdiag[static_cast<std::size_t>(u)] += std::abs(w);
+    hdiag[static_cast<std::size_t>(v)] += std::abs(w);
+  };
+  for (index_t z = 0; z < geom.nz; ++z)
+    for (index_t y = 0; y < geom.ny; ++y)
+      for (index_t x = 0; x < geom.nx; ++x) {
+        const index_t v = geom.vertex(x, y, z);
+        if (x + 1 < geom.nx) h_edge(v, geom.vertex(x + 1, y, z), -1.0);
+        if (y + 1 < geom.ny) h_edge(v, geom.vertex(x, y + 1, z), -1.0);
+        if (z + 1 < geom.nz) h_edge(v, geom.vertex(x, y, z + 1), -1.0);
+      }
+  // A block (rows np..n-1, cols 0..np-1) and its transpose: each constraint
+  // couples a grid point and its forward neighbours with small weights.
+  std::vector<real_t> arowsum(static_cast<std::size_t>(np), 0.0);
+  std::vector<real_t> acolsum(static_cast<std::size_t>(np), 0.0);
+  auto a_entry = [&](index_t c, index_t p, real_t w) {
+    coo.add(np + c, p, w);   // A
+    coo.add(p, np + c, w);   // Aᵀ
+    arowsum[static_cast<std::size_t>(c)] += std::abs(w);
+    acolsum[static_cast<std::size_t>(p)] += std::abs(w);
+  };
+  for (index_t z = 0; z < geom.nz; ++z)
+    for (index_t y = 0; y < geom.ny; ++y)
+      for (index_t x = 0; x < geom.nx; ++x) {
+        const index_t v = geom.vertex(x, y, z);
+        a_entry(v, v, rng.uniform(0.2, 0.5));
+        if (x + 1 < geom.nx)
+          a_entry(v, geom.vertex(x + 1, y, z), rng.uniform(-0.3, 0.3));
+        if (y + 1 < geom.ny)
+          a_entry(v, geom.vertex(x, y + 1, z), rng.uniform(-0.3, 0.3));
+        if (z + 1 < geom.nz)
+          a_entry(v, geom.vertex(x, y, z + 1), rng.uniform(-0.3, 0.3));
+      }
+  // Diagonals: make each row strictly dominant, including the A / Aᵀ mass.
+  for (index_t p = 0; p < np; ++p)
+    coo.add(p, p, hdiag[static_cast<std::size_t>(p)] +
+                      acolsum[static_cast<std::size_t>(p)] + 1.0);
+  for (index_t c = 0; c < np; ++c)
+    coo.add(np + c, np + c, -(arowsum[static_cast<std::size_t>(c)] + 1.0));
+  return CsrMatrix::from_coo(coo);
+}
+
+std::vector<TestMatrix> paper_test_suite(int scale) {
+  SLU3D_CHECK(scale >= 0 && scale <= 2, "scale in {0,1,2}");
+  // Grid edge lengths per scale level.
+  const index_t g2 = scale == 0 ? 16 : (scale == 1 ? 64 : 128);   // 2D grids
+  const index_t g3 = scale == 0 ? 6 : (scale == 1 ? 14 : 20);     // 3D grids
+  std::vector<TestMatrix> suite;
+
+  auto add2d = [&](std::string name, CsrMatrix A, GridGeometry g) {
+    suite.push_back({std::move(name), std::move(A), g, /*planar=*/true});
+  };
+  auto add3d = [&](std::string name, CsrMatrix A, GridGeometry g) {
+    suite.push_back({std::move(name), std::move(A), g, /*planar=*/false});
+  };
+
+  {  // K2D5pt — large 2D 5-point Poisson (planar)
+    GridGeometry g{2 * g2, 2 * g2, 1};
+    add2d("K2D5pt", grid2d_laplacian(g, Stencil2D::FivePoint), g);
+  }
+  {  // S2D9pt — 2D 9-point Poisson (planar)
+    GridGeometry g{g2 + g2 / 2, g2 + g2 / 2, 1};
+    add2d("S2D9pt", grid2d_laplacian(g, Stencil2D::NinePoint), g);
+  }
+  {  // G3_circuit-class (planar-ish; random branches). The branches cross
+     // width-1 grid separators, so no grid geometry is attached: ordering
+     // must use general-graph nested dissection.
+    GridGeometry g{g2, g2, 1};
+    suite.push_back({"circuit2d", circuit2d(g, g.n() / 8, /*seed=*/42u),
+                     GridGeometry{}, /*planar=*/true});
+  }
+  {  // ecology1-class: plain 5-pt grid at a different size (planar)
+    GridGeometry g{g2, 2 * g2, 1};
+    add2d("ecology2d", grid2d_laplacian(g, Stencil2D::FivePoint), g);
+  }
+  {  // Serena-class: 3D 7-point (non-planar)
+    GridGeometry g{g3, g3, g3};
+    add3d("serena3d", grid3d_laplacian(g, Stencil3D::SevenPoint), g);
+  }
+  {  // audikw_1-class: 3D 27-point, denser rows (non-planar)
+    GridGeometry g{g3, g3, g3};
+    add3d("audikw3d", grid3d_laplacian(g, Stencil3D::TwentySevenPoint), g);
+  }
+  {  // ldoor-class: thin slab, "nearly planar" 3D object
+    GridGeometry g{2 * g3, 2 * g3, std::max<index_t>(2, g3 / 4)};
+    add3d("ldoor_slab", grid3d_laplacian(g, Stencil3D::SevenPoint), g);
+  }
+  {  // CoupCons3D-class: 3D 7-pt with convective asymmetry via KKT omitted;
+     // use an elongated 3D bar.
+    GridGeometry g{2 * g3, g3, g3};
+    add3d("coupcons3d", grid3d_laplacian(g, Stencil3D::SevenPoint), g);
+  }
+  {  // nlpkkt80-class: KKT saddle point on a 3D grid (non-planar)
+    GridGeometry g{g3, g3, g3};
+    TestMatrix t{"nlpkkt3d", kkt3d(g, /*seed=*/7u), GridGeometry{}, false};
+    suite.push_back(std::move(t));
+  }
+  {  // dielFilterV3-class: 3D 27-pt on a flattened box (non-planar)
+    GridGeometry g{2 * g3, g3, std::max<index_t>(2, g3 / 2)};
+    add3d("dielfilter3d", grid3d_laplacian(g, Stencil3D::TwentySevenPoint), g);
+  }
+  return suite;
+}
+
+}  // namespace slu3d

@@ -1,0 +1,22 @@
+// MatrixMarket coordinate-format I/O, so the real SuiteSparse matrices from
+// the paper's Table III can be dropped in when available.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace slu3d {
+
+/// Reads a MatrixMarket `matrix coordinate real|integer|pattern
+/// general|symmetric` stream. Symmetric inputs are expanded to full storage;
+/// pattern inputs get value 1.0.
+CsrMatrix read_matrix_market(std::istream& in);
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes `coordinate real general` format.
+void write_matrix_market(std::ostream& out, const CsrMatrix& A);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& A);
+
+}  // namespace slu3d

@@ -1,0 +1,41 @@
+// Precondition / invariant checking. SLU3D_CHECK is always on (these guard
+// API misuse and data-format errors, not hot loops); SLU3D_ASSERT compiles
+// out in release builds and may be used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace slu3d {
+
+/// Thrown on contract violations and malformed inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace slu3d
+
+#define SLU3D_CHECK(cond, msg)                                     \
+  do {                                                             \
+    if (!(cond)) ::slu3d::detail::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifndef NDEBUG
+#define SLU3D_ASSERT(cond) SLU3D_CHECK(cond, "")
+#else
+#define SLU3D_ASSERT(cond) \
+  do {                     \
+  } while (false)
+#endif

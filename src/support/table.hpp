@@ -1,0 +1,63 @@
+// Minimal fixed-width text table writer used by the bench harness to print
+// paper-style tables.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace slu3d {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    SLU3D_CHECK(cells.size() == headers_.size(), "row arity mismatch");
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with `prec` significant-ish digits (fixed).
+  static std::string num(double v, int prec = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  static std::string sci(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        os << (c ? "  " : "") << std::setw(static_cast<int>(width[c]))
+           << std::left << cells[c];
+      os << '\n';
+    };
+    line(headers_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slu3d

@@ -1,0 +1,25 @@
+// Wall-clock timing for the sequential reference paths (distributed timing
+// uses simmpi's logical clocks instead).
+#pragma once
+
+#include <chrono>
+
+namespace slu3d {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slu3d

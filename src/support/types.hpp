@@ -1,0 +1,19 @@
+// Fundamental scalar and index types shared by every slu3d module.
+#pragma once
+
+#include <cstdint>
+
+namespace slu3d {
+
+/// Vertex / row / column index. 32-bit: the largest problems this build
+/// targets are a few million unknowns.
+using index_t = std::int32_t;
+
+/// Offsets into nonzero arrays and anything that counts entries of L+U,
+/// flops, or bytes; these overflow 32 bits quickly.
+using offset_t = std::int64_t;
+
+/// Matrix value type.
+using real_t = double;
+
+}  // namespace slu3d

@@ -1,0 +1,93 @@
+// Supernodal block symbolic factorization. The separator tree's node
+// blocks are the supernodes; this computes, for each supernode, the exact
+// row structure of its L panel (and by pattern symmetry the column
+// structure of its U panel), the supernodal elimination tree, and the
+// flop / storage statistics that the paper's cost analysis (§IV) is built
+// on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "order/separator_tree.hpp"
+#include "sparse/csr.hpp"
+#include "support/types.hpp"
+
+namespace slu3d {
+
+/// One off-diagonal block of a supernode's L panel: the rows of ancestor
+/// supernode `snode` that are structurally nonzero in this panel.
+/// By pattern symmetry the U panel block U(s, snode) has these as columns.
+struct PanelBlock {
+  int snode = -1;              ///< ancestor supernode id
+  std::vector<index_t> rows;   ///< global (permuted) indices, sorted
+
+  index_t n_rows() const { return static_cast<index_t>(rows.size()); }
+};
+
+/// Complete block symbolic structure for a pattern-symmetric LU
+/// factorization. Supernode ids are the separator-tree nodes renumbered in
+/// column order (== postorder), so ascending id order is a valid
+/// elimination order.
+class BlockStructure {
+ public:
+  /// Computes the structure for matrix `A` permuted by `tree.perm()`.
+  /// (A is the *unpermuted* matrix; the structure refers to permuted
+  /// indices.)
+  BlockStructure(const CsrMatrix& A, const SeparatorTree& tree);
+
+  int n_snodes() const { return n_snodes_; }
+  index_t n() const { return n_; }
+
+  /// Column range of supernode s: [first(s), first(s+1)).
+  index_t first_col(int s) const { return snode_first_[static_cast<std::size_t>(s)]; }
+  index_t snode_size(int s) const {
+    return snode_first_[static_cast<std::size_t>(s) + 1] -
+           snode_first_[static_cast<std::size_t>(s)];
+  }
+  int col_to_snode(index_t col) const {
+    return col_to_snode_[static_cast<std::size_t>(col)];
+  }
+
+  /// Parent of s in the separator (ND) tree, as a supernode id; -1 for the
+  /// root. This is the dependence tree the 2D/3D schedulers walk (§II-D).
+  int nd_parent(int s) const { return nd_parent_[static_cast<std::size_t>(s)]; }
+  /// Children of s in the ND tree (0 or 2 entries).
+  std::span<const int> nd_children(int s) const {
+    return nd_children_[static_cast<std::size_t>(s)];
+  }
+
+  /// L panel of supernode s: blocks strictly below the diagonal, in
+  /// ascending ancestor order.
+  std::span<const PanelBlock> lpanel(int s) const {
+    return lpanel_[static_cast<std::size_t>(s)];
+  }
+
+  /// Total rows below the diagonal block in panel s.
+  index_t panel_rows(int s) const { return panel_rows_[static_cast<std::size_t>(s)]; }
+
+  // ---- statistics (per supernode and totals) -------------------------
+  /// Flops to factor supernode s: dense diagonal LU + two triangular
+  /// panel solves + the Schur-complement GEMM.
+  offset_t snode_flops(int s) const { return flops_[static_cast<std::size_t>(s)]; }
+  /// Stored entries owned by supernode s (dense diagonal + L and U panels).
+  offset_t snode_nnz(int s) const { return nnz_[static_cast<std::size_t>(s)]; }
+  offset_t total_flops() const { return total_flops_; }
+  offset_t total_nnz() const { return total_nnz_; }
+
+ private:
+  index_t n_ = 0;
+  int n_snodes_ = 0;
+  std::vector<index_t> snode_first_;
+  std::vector<int> col_to_snode_;
+  std::vector<int> nd_parent_;
+  std::vector<std::vector<int>> nd_children_;
+  std::vector<std::vector<PanelBlock>> lpanel_;
+  std::vector<index_t> panel_rows_;
+  std::vector<offset_t> flops_;
+  std::vector<offset_t> nnz_;
+  offset_t total_flops_ = 0;
+  offset_t total_nnz_ = 0;
+};
+
+}  // namespace slu3d

@@ -1,0 +1,35 @@
+// Scalar elimination tree and scalar symbolic fill — the exact (unrelaxed)
+// reference used to validate the supernodal block structure and to measure
+// ordering quality.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/types.hpp"
+
+namespace slu3d {
+
+/// Liu's elimination tree of the pattern of A + Aᵀ (parent[i] = -1 for
+/// roots). A must be square; the diagonal is implicit.
+std::vector<index_t> elimination_tree(const CsrMatrix& A);
+
+/// A postorder of a forest given as a parent array (children before
+/// parents; result[k] = k-th vertex to eliminate).
+std::vector<index_t> tree_postorder(std::span<const index_t> parent);
+
+/// Height of the forest (single vertex = 1).
+int tree_height(std::span<const index_t> parent);
+
+/// Exact scalar symbolic Cholesky of the pattern of A + Aᵀ: returns the row
+/// structure of every column of L (strictly below the diagonal, sorted).
+/// O(|L|) time and memory.
+std::vector<std::vector<index_t>> symbolic_fill(const CsrMatrix& A);
+
+/// Number of nonzeros in L (strictly lower) + the diagonal, from
+/// symbolic_fill. nnz(L + U) for a pattern-symmetric factorization is
+/// 2 * (this) - n.
+offset_t scalar_factor_nnz(const CsrMatrix& A);
+
+}  // namespace slu3d

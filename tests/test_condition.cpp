@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/condition.hpp"
+#include "numeric/seq_lu.hpp"
+#include "numeric/solver.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace slu3d {
+namespace {
+
+TEST(Norm1, MaxAbsColumnSum) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1);
+  coo.add(1, 0, -2);
+  coo.add(2, 1, 4);
+  coo.add(0, 2, -1);
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+  EXPECT_DOUBLE_EQ(norm1(A), 4.0);  // column 1
+}
+
+TEST(TransposeSolve, MatchesTransposedSystem) {
+  const GridGeometry g{7, 9, 1};
+  const CsrMatrix A = grid2d_convection_diffusion(g, 0.6);
+  const CsrMatrix At = A.transposed();
+  const SparseLuSolver solver(A);
+
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(61);
+  std::vector<real_t> xref(n), b(n), x(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  At.spmv(xref, b);  // b = Aᵀ xref
+  solver.solve_transpose(b, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-9);
+}
+
+TEST(TransposeSolve, WorksWithPreprocessing) {
+  // Shuffled rows + scaling: the transpose transforms must invert exactly.
+  const GridGeometry g{8, 8, 1};
+  const CsrMatrix A0 = grid2d_convection_diffusion(g, 0.3);
+  std::vector<index_t> shuffle(static_cast<std::size_t>(A0.n_rows()));
+  for (std::size_t i = 0; i < shuffle.size(); ++i)
+    shuffle[i] = static_cast<index_t>((i + 9) % shuffle.size());
+  CooMatrix coo(A0.n_rows(), A0.n_cols());
+  for (index_t r = 0; r < A0.n_rows(); ++r) {
+    const auto cols = A0.row_cols(shuffle[static_cast<std::size_t>(r)]);
+    const auto vals = A0.row_vals(shuffle[static_cast<std::size_t>(r)]);
+    for (std::size_t k = 0; k < cols.size(); ++k) coo.add(r, cols[k], vals[k]);
+  }
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+
+  SolverOptions opt;
+  opt.equilibrate = true;
+  const SparseLuSolver solver(A, opt);
+  const CsrMatrix At = A.transposed();
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(67);
+  std::vector<real_t> xref(n), b(n), x(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  At.spmv(xref, b);
+  solver.solve_transpose(b, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-8);
+}
+
+TEST(ConditionEstimate, ExactForDiagonalMatrix) {
+  // kappa_1(diag(d)) = max|d| / min|d|, and Hager is exact here.
+  CooMatrix coo(4, 4);
+  coo.add(0, 0, 10.0);
+  coo.add(1, 1, -2.0);
+  coo.add(2, 2, 0.5);
+  coo.add(3, 3, 5.0);
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+  const SparseLuSolver solver(A);
+  EXPECT_NEAR(solver.estimate_condition_number(), 10.0 / 0.5, 1e-10);
+}
+
+TEST(ConditionEstimate, LowerBoundsAndApproximatesDenseTruth) {
+  const GridGeometry g{6, 6, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SparseLuSolver solver(A);
+  // Exact ||A^{-1}||_1 by solving for every unit vector.
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  real_t exact_inv = 0;
+  std::vector<real_t> e(n), col(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[j] = 1.0;
+    solver.solve(e, col);
+    real_t s = 0;
+    for (real_t v : col) s += std::abs(v);
+    exact_inv = std::max(exact_inv, s);
+  }
+  const real_t exact = exact_inv * norm1(A);
+  const real_t est = solver.estimate_condition_number();
+  EXPECT_LE(est, exact * (1 + 1e-8));  // Hager never overestimates
+  EXPECT_GE(est, 0.3 * exact);         // and is usually within a small factor
+}
+
+TEST(ConditionEstimate, GrowsWithIllConditioning) {
+  // Same grid, shrinking diagonal boost: the matrix approaches the
+  // singular graph Laplacian and the estimate must blow up accordingly.
+  // (The solver keeps a reference to A, so the matrices must outlive it.)
+  const GridGeometry g{16, 16, 1};
+  const CsrMatrix Agood =
+      grid2d_laplacian(g, Stencil2D::FivePoint, /*diag_boost=*/0.5);
+  const CsrMatrix Abad =
+      grid2d_laplacian(g, Stencil2D::FivePoint, /*diag_boost=*/1e-5);
+  const SparseLuSolver s_good(Agood);
+  const SparseLuSolver s_bad(Abad);
+  EXPECT_GT(s_bad.estimate_condition_number(),
+            10.0 * s_good.estimate_condition_number());
+}
+
+}  // namespace
+}  // namespace slu3d

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <numeric>
+
+#include "lu3d/factor3d.hpp"
+#include "lu3d/factor3d_chol.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace slu3d {
+namespace {
+
+using sim::MachineModel;
+using sim::ProcessGrid2D;
+using sim::ProcessGrid3D;
+using sim::run_ranks;
+
+const MachineModel kModel{};
+
+/// 2D distributed Cholesky must match the sequential Cholesky entry-wise.
+void check_chol2d(const CsrMatrix& A, const SeparatorTree& tree, int Px, int Py,
+                  int lookahead = 8) {
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+
+  CholeskyFactors ref(bs);
+  ref.fill_from(Ap);
+  factorize_cholesky(ref);
+
+  // Gather by running the 3D machinery with Pz = 1 (pure 2D).
+  const ForestPartition part(bs, 1);
+  std::unique_ptr<CholeskyFactors> gathered;
+  std::mutex mu;
+  run_ranks(Px * Py, kModel, [&](sim::Comm& world) {
+    auto grid = ProcessGrid3D::create(world, Px, Py, 1);
+    DistCholFactors F = make_3d_chol_factors(bs, grid, part, Ap);
+    Chol3dOptions opt;
+    opt.chol2d.lookahead = lookahead;
+    factorize_3d_cholesky(F, grid, part, opt);
+    auto full = gather_3d_cholesky(F, world, grid, part);
+    if (full.has_value()) {
+      const std::lock_guard<std::mutex> lock(mu);
+      gathered = std::make_unique<CholeskyFactors>(std::move(*full));
+    }
+  });
+
+  ASSERT_TRUE(gathered != nullptr);
+  for (index_t i = 0; i < bs.n(); ++i)
+    for (index_t j = 0; j <= i; ++j)
+      ASSERT_NEAR(gathered->l_entry(i, j), ref.l_entry(i, j), 1e-11)
+          << "L(" << i << "," << j << ") " << Px << "x" << Py;
+}
+
+void check_chol3d(const CsrMatrix& A, const SeparatorTree& tree, int Px, int Py,
+                  int Pz) {
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  const ForestPartition part(bs, Pz);
+
+  CholeskyFactors ref(bs);
+  ref.fill_from(Ap);
+  factorize_cholesky(ref);
+
+  std::unique_ptr<CholeskyFactors> gathered;
+  std::mutex mu;
+  run_ranks(Px * Py * Pz, kModel, [&](sim::Comm& world) {
+    auto grid = ProcessGrid3D::create(world, Px, Py, Pz);
+    DistCholFactors F = make_3d_chol_factors(bs, grid, part, Ap);
+    factorize_3d_cholesky(F, grid, part, {});
+    auto full = gather_3d_cholesky(F, world, grid, part);
+    if (full.has_value()) {
+      const std::lock_guard<std::mutex> lock(mu);
+      gathered = std::make_unique<CholeskyFactors>(std::move(*full));
+    }
+  });
+
+  ASSERT_TRUE(gathered != nullptr);
+  for (index_t i = 0; i < bs.n(); ++i)
+    for (index_t j = 0; j <= i; ++j)
+      ASSERT_NEAR(gathered->l_entry(i, j), ref.l_entry(i, j), 1e-11)
+          << "L(" << i << "," << j << ") " << Px << "x" << Py << "x" << Pz;
+}
+
+struct GridCase {
+  int Px, Py, Pz;
+};
+
+class Chol3dGrids : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(Chol3dGrids, MatchesSequentialCholesky) {
+  const auto [Px, Py, Pz] = GetParam();
+  const GridGeometry g{11, 10, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  check_chol3d(A, nested_dissection(A, {.leaf_size = 8}), Px, Py, Pz);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, Chol3dGrids,
+    ::testing::Values(GridCase{1, 1, 2}, GridCase{2, 2, 1}, GridCase{2, 1, 2},
+                      GridCase{1, 2, 2}, GridCase{2, 2, 2}, GridCase{2, 2, 4},
+                      GridCase{3, 2, 2}, GridCase{1, 1, 8}),
+    [](const auto& pi) {
+      return std::to_string(pi.param.Px) + "x" + std::to_string(pi.param.Py) +
+             "x" + std::to_string(pi.param.Pz);
+    });
+
+TEST(Chol2d, VariousPlaneShapes) {
+  const GridGeometry g{9, 12, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::NinePoint);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = 8});
+  check_chol2d(A, tree, 1, 1);
+  check_chol2d(A, tree, 2, 3, 0);
+  check_chol2d(A, tree, 3, 2, 4);
+}
+
+TEST(Chol3d, NonplanarSpd) {
+  const GridGeometry g{4, 4, 4};
+  const CsrMatrix A = grid3d_laplacian(g, Stencil3D::SevenPoint);
+  check_chol3d(A, geometric_nd(g, {.leaf_size = 8}), 2, 2, 2);
+}
+
+TEST(Chol2dSolve, DistributedSolveMatchesTruth) {
+  const GridGeometry g{12, 12, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = geometric_nd(g, {.leaf_size = 8});
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  const auto pinv = invert_permutation(tree.perm());
+
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(83);
+  std::vector<real_t> xref(n), b(n), pb(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+  for (std::size_t i = 0; i < n; ++i)
+    pb[static_cast<std::size_t>(pinv[i])] = b[i];
+
+  std::vector<std::vector<real_t>> per_rank(6);
+  run_ranks(6, kModel, [&](sim::Comm& world) {
+    auto grid = ProcessGrid2D::create(world, 2, 3);
+    DistCholFactors F(bs, 2, 3, grid.px(), grid.py());
+    F.fill_from(Ap);
+    std::vector<int> all(static_cast<std::size_t>(bs.n_snodes()));
+    std::iota(all.begin(), all.end(), 0);
+    factorize_2d_cholesky(F, grid, all, {});
+    std::vector<real_t> x(pb);
+    solve_2d_cholesky(F, grid, x);
+    per_rank[static_cast<std::size_t>(world.rank())] = std::move(x);
+  });
+
+  for (const auto& px : per_rank) {
+    ASSERT_EQ(px.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(px[static_cast<std::size_t>(pinv[i])], xref[i], 1e-8);
+  }
+}
+
+TEST(Chol3d, HalvesReductionVolumeAndMemoryVsLuVariant) {
+  // The symmetric factorization replicates and reduces only the lower
+  // triangle: the ancestor-reduction (z) volume and the factor memory are
+  // roughly half of the LU variant's on the same problem and grid.
+  const GridGeometry g{16, 16, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = geometric_nd(g, {.leaf_size = 8});
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  const ForestPartition part(bs, 2);
+
+  std::vector<offset_t> chol_mem(8, 0), lu_mem(8, 0);
+  const auto chol = run_ranks(8, kModel, [&](sim::Comm& world) {
+    auto grid = ProcessGrid3D::create(world, 2, 2, 2);
+    DistCholFactors F = make_3d_chol_factors(bs, grid, part, Ap);
+    chol_mem[static_cast<std::size_t>(world.rank())] = F.allocated_bytes();
+    factorize_3d_cholesky(F, grid, part, {});
+  });
+  // LU variant on the same configuration for comparison (Cholesky moves
+  // only one triangle of panel data).
+  const auto lu = run_ranks(8, kModel, [&](sim::Comm& world) {
+    auto grid = ProcessGrid3D::create(world, 2, 2, 2);
+    auto F = make_3d_factors(bs, grid, part, Ap);
+    lu_mem[static_cast<std::size_t>(world.rank())] = F.allocated_bytes();
+    factorize_3d(F, grid, part, {});
+  });
+  EXPECT_LT(chol.total_bytes_sent(sim::CommPlane::Z),
+            static_cast<offset_t>(0.7 * static_cast<double>(
+                lu.total_bytes_sent(sim::CommPlane::Z))));
+  offset_t cm = 0, lm = 0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    cm += chol_mem[r];
+    lm += lu_mem[r];
+  }
+  EXPECT_LT(cm, 2 * lm / 3);
+}
+
+class Chol3dFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Chol3dFuzz, RandomSpdSystemsAcrossGrids) {
+  // Random SPD matrices (random graph + dominance, symmetric values)
+  // through the full 3D Cholesky, random grid shape per seed.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 677 + 5);
+  const index_t nn = 30 + rng.next_index(50);
+  CooMatrix coo(nn, nn);
+  std::vector<real_t> diag(static_cast<std::size_t>(nn), 0.0);
+  // Spanning path + random extra symmetric edges.
+  for (index_t i = 0; i + 1 < nn; ++i) {
+    const real_t w = -rng.uniform(0.2, 1.0);
+    coo.add(i, i + 1, w);
+    coo.add(i + 1, i, w);
+    diag[static_cast<std::size_t>(i)] += -w;
+    diag[static_cast<std::size_t>(i + 1)] += -w;
+  }
+  for (index_t e = 0; e < nn; ++e) {
+    const index_t u = rng.next_index(nn), v = rng.next_index(nn);
+    if (u == v) continue;
+    const real_t w = -rng.uniform(0.1, 0.8);
+    coo.add(u, v, w);
+    coo.add(v, u, w);
+    diag[static_cast<std::size_t>(u)] += -w;
+    diag[static_cast<std::size_t>(v)] += -w;
+  }
+  for (index_t i = 0; i < nn; ++i)
+    coo.add(i, i, diag[static_cast<std::size_t>(i)] + 0.5);
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+
+  const int shapes[][3] = {{1, 1, 2}, {2, 1, 2}, {1, 2, 4}, {2, 2, 2}};
+  const auto& s = shapes[seed % 4];
+  check_chol3d(A, nested_dissection(A, {.leaf_size = 6}), s[0], s[1], s[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Chol3dFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace slu3d

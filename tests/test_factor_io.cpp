@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "numeric/factor_io.hpp"
+#include "numeric/seq_lu.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace slu3d {
+namespace {
+
+TEST(FactorIo, CsrRoundTrip) {
+  const GridGeometry g{7, 9, 1};
+  const CsrMatrix A = grid2d_convection_diffusion(g, 0.4);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_csr_binary(ss, A);
+  const CsrMatrix B = read_csr_binary(ss);
+  ASSERT_EQ(B.n_rows(), A.n_rows());
+  ASSERT_EQ(B.nnz(), A.nnz());
+  for (index_t i = 0; i < A.n_rows(); ++i)
+    for (index_t j : A.row_cols(i)) EXPECT_DOUBLE_EQ(B.at(i, j), A.at(i, j));
+}
+
+TEST(FactorIo, TreeRoundTrip) {
+  const GridGeometry g{10, 10, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = 8});
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_tree_binary(ss, tree);
+  const SeparatorTree t2 = read_tree_binary(ss);
+  ASSERT_EQ(t2.n_nodes(), tree.n_nodes());
+  ASSERT_EQ(t2.root(), tree.root());
+  for (std::size_t i = 0; i < tree.perm().size(); ++i)
+    EXPECT_EQ(t2.perm()[i], tree.perm()[i]);
+  for (int v = 0; v < tree.n_nodes(); ++v) {
+    EXPECT_EQ(t2.node(v).sep_first, tree.node(v).sep_first);
+    EXPECT_EQ(t2.node(v).parent, tree.node(v).parent);
+  }
+}
+
+TEST(FactorIo, FactorizationSaveLoadSolve) {
+  const GridGeometry g{9, 8, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = 8});
+  const BlockStructure bs(A, tree);
+  SupernodalMatrix F(bs);
+  F.fill_from(A.permuted_symmetric(tree.perm()));
+  factorize_sequential(F);
+
+  const std::string path = "/tmp/slu3d_factor_io_test.bin";
+  save_factorization(path, tree, F);
+
+  std::unique_ptr<BlockStructure> bs2;
+  auto [tree2, F2] = load_factorization(path, A, &bs2);
+
+  // Loaded factors must solve the system exactly like the originals.
+  const auto pinv = invert_permutation(tree2.perm());
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(97);
+  std::vector<real_t> xref(n), b(n), pb(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+  for (std::size_t i = 0; i < n; ++i)
+    pb[static_cast<std::size_t>(pinv[i])] = b[i];
+  solve_factored(F2, pb);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(pb[static_cast<std::size_t>(pinv[i])], xref[i], 1e-10);
+}
+
+TEST(FactorIo, RejectsMismatchedStructure) {
+  const GridGeometry g{8, 8, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree t1 = nested_dissection(A, {.leaf_size = 8});
+  const BlockStructure b1(A, t1);
+  SupernodalMatrix F(b1);
+  F.fill_from(A.permuted_symmetric(t1.perm()));
+
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_factors_binary(ss, F);
+  // Different leaf size -> different structure -> fingerprint mismatch.
+  const SeparatorTree t2 = nested_dissection(A, {.leaf_size = 16});
+  const BlockStructure b2(A, t2);
+  EXPECT_THROW(read_factors_binary(ss, b2), Error);
+}
+
+TEST(FactorIo, RejectsGarbageStream) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss << "this is not a factor file";
+  const GridGeometry g{4, 4, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const BlockStructure bs(A, nested_dissection(A));
+  EXPECT_THROW(read_factors_binary(ss, bs), Error);
+  EXPECT_THROW(read_csr_binary(ss), Error);
+}
+
+TEST(MultiRhsSolve, MatchesSingleRhsSolves) {
+  const GridGeometry g{10, 9, 1};
+  const CsrMatrix A = grid2d_convection_diffusion(g, 0.3);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = 8});
+  const BlockStructure bs(A, tree);
+  SupernodalMatrix F(bs);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  F.fill_from(Ap);
+  factorize_sequential(F);
+
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  const index_t nrhs = 5;
+  Rng rng(101);
+  std::vector<real_t> X(n * static_cast<std::size_t>(nrhs));
+  for (auto& v : X) v = rng.uniform(-1, 1);
+  auto X0 = X;
+
+  solve_factored_multi(F, X, nrhs);
+  for (index_t k = 0; k < nrhs; ++k) {
+    std::vector<real_t> col(X0.begin() + static_cast<std::ptrdiff_t>(k) * static_cast<std::ptrdiff_t>(n),
+                            X0.begin() + static_cast<std::ptrdiff_t>(k + 1) * static_cast<std::ptrdiff_t>(n));
+    solve_factored(F, col);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(X[static_cast<std::size_t>(k) * n + i], col[i], 1e-12)
+          << "rhs " << k << " row " << i;
+  }
+}
+
+TEST(MultiRhsSolve, SingleColumnDegeneratesToVectorSolve) {
+  const GridGeometry g{6, 6, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = 8});
+  const BlockStructure bs(A, tree);
+  SupernodalMatrix F(bs);
+  F.fill_from(A.permuted_symmetric(tree.perm()));
+  factorize_sequential(F);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  std::vector<real_t> a(n, 1.0), b(n, 1.0);
+  solve_factored_multi(F, a, 1);
+  solve_factored(F, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace slu3d

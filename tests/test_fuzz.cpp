@@ -1,0 +1,170 @@
+// Randomized property tests: random sparse matrices, random orderings,
+// random process-grid shapes — every configuration must produce factors
+// identical to the sequential reference and machine-precision solves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lu3d/solver3d.hpp"
+#include "numeric/seq_lu.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace slu3d {
+namespace {
+
+/// Random sparse matrix with symmetric pattern, (possibly) nonsymmetric
+/// values, strict diagonal dominance, and a connected-ish structure:
+/// a random spanning path plus `extra` random edges.
+CsrMatrix random_matrix(index_t n, index_t extra, std::uint64_t seed,
+                        bool symmetric_values) {
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  std::vector<real_t> diag(static_cast<std::size_t>(n), 0.0);
+  auto add_pair = [&](index_t u, index_t v) {
+    if (u == v) return;
+    const real_t a = rng.uniform(-1.0, 1.0);
+    const real_t b = symmetric_values ? a : rng.uniform(-1.0, 1.0);
+    coo.add(u, v, a);
+    coo.add(v, u, b);
+    diag[static_cast<std::size_t>(u)] += std::abs(a);
+    diag[static_cast<std::size_t>(v)] += std::abs(b);
+  };
+  // Random spanning path over a shuffled vertex order.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(rng.next_index(i + 1))]);
+  for (index_t i = 0; i + 1 < n; ++i)
+    add_pair(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(i + 1)]);
+  for (index_t e = 0; e < extra; ++e)
+    add_pair(rng.next_index(n), rng.next_index(n));
+  for (index_t i = 0; i < n; ++i)
+    coo.add(i, i, diag[static_cast<std::size_t>(i)] * 1.1 + 0.5);
+  return CsrMatrix::from_coo(coo);
+}
+
+class RandomMatrixFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMatrixFuzz, SequentialFactorReconstructs) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 1000 + 1);
+  const index_t n = 30 + rng.next_index(60);
+  const CsrMatrix A = random_matrix(n, n, seed, (seed % 2) == 0);
+  const index_t leaf = 4 + rng.next_index(12);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = leaf});
+  ASSERT_TRUE(is_permutation(tree.perm()));
+  const BlockStructure bs(A, tree);
+  SupernodalMatrix F(bs);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  F.fill_from(Ap);
+  factorize_sequential(F);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      real_t acc = 0.0;
+      const index_t kmax = std::min(i, j);
+      for (index_t k = 0; k <= kmax; ++k)
+        acc += F.l_entry(i, k) * F.u_entry(k, j);
+      ASSERT_NEAR(acc, Ap.at(i, j), 1e-8)
+          << "seed " << seed << " at (" << i << "," << j << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixFuzz, ::testing::Range(0, 12));
+
+class RandomPipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPipelineFuzz, Distributed3dSolvesRandomSystem) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 7919 + 13);
+  const index_t n = 40 + rng.next_index(80);
+  const CsrMatrix A = random_matrix(n, 2 * n, seed + 100, false);
+
+  Solver3dOptions opt;
+  const int shapes[][3] = {{1, 1, 2}, {2, 1, 2}, {1, 2, 4}, {2, 2, 1},
+                           {2, 2, 2}, {1, 3, 2}, {3, 1, 1}, {2, 3, 1}};
+  const auto& s = shapes[seed % 8];
+  opt.Px = s[0];
+  opt.Py = s[1];
+  opt.Pz = s[2];
+  opt.nd.leaf_size = 4 + rng.next_index(10);
+  opt.lu3d.lu2d.lookahead = static_cast<int>(rng.next_index(12));
+
+  const auto nu = static_cast<std::size_t>(n);
+  std::vector<real_t> xref(nu), b(nu), x(nu);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+  const auto rep = solve_distributed_3d(A, b, x, opt);
+  EXPECT_LT(rep.residual, 1e-11) << "seed " << seed;
+  for (std::size_t i = 0; i < nu; ++i)
+    ASSERT_NEAR(x[i], xref[i], 1e-6) << "seed " << seed << " i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineFuzz, ::testing::Range(0, 16));
+
+TEST(Fuzz, DenseLeafMatrixSingleSupernode) {
+  // Matrix small enough to be one relaxed leaf: the whole pipeline
+  // degenerates to a dense factorization.
+  const CsrMatrix A = random_matrix(12, 40, 77, false);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = 64});
+  EXPECT_EQ(tree.n_nodes(), 1);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  std::vector<real_t> b(n, 1.0), x(n);
+  Solver3dOptions opt;
+  opt.Px = 2;
+  opt.Py = 2;
+  opt.Pz = 1;
+  opt.nd.leaf_size = 64;
+  const auto rep = solve_distributed_3d(A, b, x, opt);
+  EXPECT_LT(rep.residual, 1e-12);
+}
+
+TEST(Fuzz, PathGraphDeepTree) {
+  // A pure path graph: the worst-case (deepest) elimination tree shape.
+  const index_t n = 120;
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i + 1 < n; ++i) {
+    coo.add(i, i + 1, -1.0);
+    coo.add(i + 1, i, -1.0);
+  }
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 2.5);
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+  const auto nu = static_cast<std::size_t>(n);
+  std::vector<real_t> b(nu, 1.0), x(nu);
+  Solver3dOptions opt;
+  opt.Px = 1;
+  opt.Py = 2;
+  opt.Pz = 4;
+  opt.nd.leaf_size = 4;
+  const auto rep = solve_distributed_3d(A, b, x, opt);
+  EXPECT_LT(rep.residual, 1e-13);
+}
+
+TEST(Fuzz, ManyIslandsForestPartition) {
+  // Heavily disconnected input: exercises empty separators and the
+  // component-balancing path of the partitioner at every level.
+  const index_t k = 14, m = 9;  // 14 path islands of 9 vertices
+  CooMatrix coo(k * m, k * m);
+  for (index_t c = 0; c < k; ++c)
+    for (index_t i = 0; i + 1 < m; ++i) {
+      coo.add(c * m + i, c * m + i + 1, -1.0);
+      coo.add(c * m + i + 1, c * m + i, -1.0);
+    }
+  for (index_t i = 0; i < k * m; ++i) coo.add(i, i, 3.0);
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+  const auto nu = static_cast<std::size_t>(A.n_rows());
+  std::vector<real_t> b(nu, 1.0), x(nu);
+  Solver3dOptions opt;
+  opt.Px = 2;
+  opt.Py = 2;
+  opt.Pz = 4;
+  opt.nd.leaf_size = 4;
+  const auto rep = solve_distributed_3d(A, b, x, opt);
+  EXPECT_LT(rep.residual, 1e-13);
+}
+
+}  // namespace
+}  // namespace slu3d

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/generators.hpp"
+
+namespace slu3d {
+namespace {
+
+bool strictly_diagonally_dominant(const CsrMatrix& A) {
+  for (index_t r = 0; r < A.n_rows(); ++r) {
+    real_t offsum = 0.0, diag = 0.0;
+    const auto cols = A.row_cols(r);
+    const auto vals = A.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r)
+        diag = std::abs(vals[k]);
+      else
+        offsum += std::abs(vals[k]);
+    }
+    if (diag <= offsum) return false;
+  }
+  return true;
+}
+
+TEST(Generators, Grid2dFivePointShape) {
+  const GridGeometry g{5, 4, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  EXPECT_EQ(A.n_rows(), 20);
+  // Interior vertex has 5 entries; corners 3.
+  EXPECT_EQ(A.row_nnz(g.vertex(2, 2, 0)), 5);
+  EXPECT_EQ(A.row_nnz(g.vertex(0, 0, 0)), 3);
+  EXPECT_TRUE(A.pattern_is_symmetric());
+  EXPECT_TRUE(strictly_diagonally_dominant(A));
+}
+
+TEST(Generators, Grid2dNinePointShape) {
+  const GridGeometry g{6, 6, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::NinePoint);
+  EXPECT_EQ(A.row_nnz(g.vertex(3, 3, 0)), 9);
+  EXPECT_TRUE(A.pattern_is_symmetric());
+  EXPECT_TRUE(strictly_diagonally_dominant(A));
+}
+
+TEST(Generators, Grid3dSevenPointShape) {
+  const GridGeometry g{4, 4, 4};
+  const CsrMatrix A = grid3d_laplacian(g, Stencil3D::SevenPoint);
+  EXPECT_EQ(A.n_rows(), 64);
+  EXPECT_EQ(A.row_nnz(g.vertex(1, 1, 1)), 7);
+  EXPECT_TRUE(A.pattern_is_symmetric());
+  EXPECT_TRUE(strictly_diagonally_dominant(A));
+}
+
+TEST(Generators, Grid3dTwentySevenPointShape) {
+  const GridGeometry g{5, 5, 5};
+  const CsrMatrix A = grid3d_laplacian(g, Stencil3D::TwentySevenPoint);
+  EXPECT_EQ(A.row_nnz(g.vertex(2, 2, 2)), 27);
+  EXPECT_TRUE(A.pattern_is_symmetric());
+  EXPECT_TRUE(strictly_diagonally_dominant(A));
+}
+
+TEST(Generators, ConvectionDiffusionIsNonsymmetricButDominant) {
+  const GridGeometry g{8, 8, 1};
+  const CsrMatrix A = grid2d_convection_diffusion(g, 0.5);
+  EXPECT_TRUE(A.pattern_is_symmetric());  // pattern symmetric...
+  bool value_asym = false;                // ...but values are not
+  for (index_t i = 0; i < A.n_rows() && !value_asym; ++i)
+    for (index_t j : A.row_cols(i))
+      if (std::abs(A.at(i, j) - A.at(j, i)) > 1e-12) {
+        value_asym = true;
+        break;
+      }
+  EXPECT_TRUE(value_asym);
+  EXPECT_TRUE(strictly_diagonally_dominant(A));
+}
+
+TEST(Generators, Circuit2dDeterministicAndDominant) {
+  const GridGeometry g{10, 10, 1};
+  const CsrMatrix A = circuit2d(g, 20, 99);
+  const CsrMatrix B = circuit2d(g, 20, 99);
+  EXPECT_EQ(A.nnz(), B.nnz());
+  EXPECT_TRUE(A.pattern_is_symmetric());
+  EXPECT_TRUE(strictly_diagonally_dominant(A));
+  // Extra branches really were added beyond the plain grid.
+  const CsrMatrix plain = grid2d_laplacian(g, Stencil2D::FivePoint);
+  EXPECT_GT(A.nnz(), plain.nnz());
+}
+
+TEST(Generators, Kkt3dShapeAndDominance) {
+  const GridGeometry g{3, 3, 3};
+  const CsrMatrix A = kkt3d(g, 1);
+  EXPECT_EQ(A.n_rows(), 2 * g.n());
+  EXPECT_TRUE(A.pattern_is_symmetric());
+  EXPECT_TRUE(strictly_diagonally_dominant(A));
+  // The (2,2) block diagonal is negative (saddle-point structure).
+  EXPECT_LT(A.at(g.n(), g.n()), 0.0);
+}
+
+TEST(Generators, PaperSuiteCoversPlanarAndNonplanar) {
+  const auto suite = paper_test_suite(0);
+  EXPECT_EQ(suite.size(), 10u);  // matches Table III's ten matrices
+  int planar = 0, nonplanar = 0;
+  for (const auto& t : suite) {
+    EXPECT_GT(t.A.n_rows(), 0);
+    EXPECT_FALSE(t.name.empty());
+    (t.planar ? planar : nonplanar)++;
+  }
+  EXPECT_EQ(planar, 4);     // paper: four planar matrices
+  EXPECT_EQ(nonplanar, 6);  // paper: six non-planar matrices
+}
+
+TEST(Generators, PaperSuiteScalesMonotonically) {
+  const auto s0 = paper_test_suite(0);
+  const auto s1 = paper_test_suite(1);
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    EXPECT_EQ(s0[i].name, s1[i].name);
+    EXPECT_LT(s0[i].A.n_rows(), s1[i].A.n_rows());
+  }
+}
+
+TEST(Generators, GeometryMatchesMatrixWhenPresent) {
+  for (const auto& t : paper_test_suite(0)) {
+    if (t.geom.nx > 0) {
+      EXPECT_EQ(t.geom.n(), t.A.n_rows());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slu3d

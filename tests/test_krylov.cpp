@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/cholesky.hpp"
+#include "numeric/krylov.hpp"
+#include "numeric/solver.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace slu3d {
+namespace {
+
+CsrMatrix perturbed(const CsrMatrix& A, real_t eps, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(A.n_rows(), A.n_cols());
+  for (index_t r = 0; r < A.n_rows(); ++r) {
+    const auto cols = A.row_cols(r);
+    const auto vals = A.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      coo.add(r, cols[k], vals[k] * (1.0 + eps * rng.uniform(-1, 1)));
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(Pcg, UnpreconditionedConvergesOnSpd) {
+  const GridGeometry g{12, 12, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(71);
+  std::vector<real_t> xref(n), b(n), x(n, 0.0);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+  const auto rep = pcg(A, b, x, identity_preconditioner());
+  EXPECT_TRUE(rep.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-8);
+}
+
+TEST(Pcg, ExactFactorPreconditionerConvergesInOneIteration) {
+  const GridGeometry g{10, 14, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SparseCholeskySolver chol(A);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  std::vector<real_t> b(n, 1.0), x(n, 0.0), tmp(n);
+  auto precond = [&](std::span<real_t> v) {
+    std::copy(v.begin(), v.end(), tmp.begin());
+    chol.solve(tmp, v);
+  };
+  const auto rep = pcg(A, b, x, precond);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_LE(rep.iterations, 2);  // exact preconditioner: immediate
+}
+
+TEST(Pcg, ApproximateFactorPreconditionerBeatsPlainCg) {
+  // Factor a perturbed copy of A once, iterate on the true A: the classic
+  // "direct solver as preconditioner" pattern.
+  const GridGeometry g{16, 16, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint, 1e-3);
+  const CsrMatrix M = perturbed(A, 0.05, 5);
+  const SparseLuSolver msolver(M);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(73);
+  std::vector<real_t> xref(n), b(n), x0(n, 0.0), x1(n, 0.0), tmp(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+
+  const auto plain = pcg(A, b, x0, identity_preconditioner());
+  auto precond = [&](std::span<real_t> v) {
+    std::copy(v.begin(), v.end(), tmp.begin());
+    msolver.solve(tmp, v);
+  };
+  const auto pre = pcg(A, b, x1, precond);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations / 2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], xref[i], 1e-7);
+}
+
+TEST(Bicgstab, SolvesNonsymmetricSystem) {
+  const GridGeometry g{12, 10, 1};
+  const CsrMatrix A = grid2d_convection_diffusion(g, 0.7);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(79);
+  std::vector<real_t> xref(n), b(n), x(n, 0.0), tmp(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+
+  const CsrMatrix M = perturbed(A, 0.02, 7);
+  const SparseLuSolver msolver(M);
+  auto precond = [&](std::span<real_t> v) {
+    std::copy(v.begin(), v.end(), tmp.begin());
+    msolver.solve(tmp, v);
+  };
+  const auto rep = bicgstab(A, b, x, precond);
+  EXPECT_TRUE(rep.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-7);
+}
+
+TEST(Krylov, ZeroRhsReturnsZero) {
+  const GridGeometry g{6, 6, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  std::vector<real_t> b(n, 0.0), x(n, 3.0);
+  const auto rep = pcg(A, b, x, identity_preconditioner());
+  EXPECT_TRUE(rep.converged);
+  for (real_t v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Krylov, ReportsNonConvergenceHonestly) {
+  const GridGeometry g{24, 24, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint, 1e-6);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  std::vector<real_t> b(n, 1.0), x(n, 0.0);
+  KrylovOptions opt;
+  opt.max_iterations = 3;  // far too few
+  const auto rep = pcg(A, b, x, identity_preconditioner(), opt);
+  EXPECT_FALSE(rep.converged);
+  EXPECT_GT(rep.relative_residual, 1e-12);
+}
+
+}  // namespace
+}  // namespace slu3d

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cost_model.hpp"
+#include "support/check.hpp"
+
+namespace slu3d::model {
+namespace {
+
+constexpr double kN = 1e6;
+constexpr double kP = 1024;
+
+TEST(PlanarModel, MatchesClosedFormsAtReference) {
+  const auto c2 = planar_2d_alg(kN, kP);
+  EXPECT_NEAR(c2.memory_words, kN / kP * std::log2(kN), 1e-6);
+  EXPECT_NEAR(c2.comm_words, kN * std::log2(kN) / std::sqrt(kP), 1e-3);
+  EXPECT_DOUBLE_EQ(c2.latency_msgs, kN);
+}
+
+TEST(PlanarModel, OptimalPzIsHalfLogN) {
+  EXPECT_NEAR(planar_optimal_pz(kN), 0.5 * std::log2(kN), 1e-12);
+  // Eq. (8): the optimum really minimizes the xy-communication term
+  // f(Pz) = 2 sqrt(Pz) + log n / sqrt(Pz).
+  const double opt = planar_optimal_pz(kN);
+  auto f = [&](double pz) { return 2 * std::sqrt(pz) + std::log2(kN) / std::sqrt(pz); };
+  EXPECT_LT(f(opt), f(opt * 1.3));
+  EXPECT_LT(f(opt), f(opt / 1.3));
+}
+
+TEST(PlanarModel, ThreeDBeatsTwoDInCommAndLatency) {
+  const auto c2 = planar_2d_alg(kN, kP);
+  const auto c3 = planar_3d_alg(kN, kP, planar_optimal_pz(kN));
+  EXPECT_LT(c3.comm_words, c2.comm_words);
+  EXPECT_LT(c3.latency_msgs, c2.latency_msgs / 5.0);  // ~ log n factor
+  // Memory grows only by a constant factor (paper §I).
+  EXPECT_LT(c3.memory_words, 4.0 * c2.memory_words);
+  EXPECT_GT(c3.memory_words, c2.memory_words);
+}
+
+TEST(PlanarModel, CommReductionGrowsWithN) {
+  // W2d / W3d ~ sqrt(log n): monotone in n.
+  auto ratio = [](double n) {
+    return planar_2d_alg(n, kP).comm_words /
+           planar_3d_alg(n, kP, planar_optimal_pz(n)).comm_words;
+  };
+  EXPECT_GT(ratio(1e6), ratio(1e4));
+  EXPECT_GT(ratio(1e8), ratio(1e6));
+}
+
+TEST(NonplanarModel, BestCaseCommReductionNearPaper) {
+  const NonplanarConstants k{};
+  const double pz = nonplanar_optimal_pz(k);
+  const double w2 = nonplanar_2d_alg(kN, kP).comm_words;
+  const double w3 = nonplanar_3d_alg(kN, kP, pz, k).comm_words;
+  EXPECT_NEAR(w2 / w3, 2.89, 0.15);  // paper: 2.89x
+}
+
+TEST(NonplanarModel, OptimalPzIsStationary) {
+  const NonplanarConstants k{};
+  const double pz = nonplanar_optimal_pz(k);
+  auto f = [&](double z) {
+    return k.kappa1 * std::sqrt(z) + (1 - k.kappa1) / std::pow(z, 4.0 / 3.0);
+  };
+  EXPECT_LT(f(pz), f(pz * 1.2));
+  EXPECT_LT(f(pz), f(pz / 1.2));
+}
+
+TEST(NonplanarModel, LatencyDropsAsPzGrows) {
+  const auto c1 = nonplanar_3d_alg(kN, kP, 1);
+  const auto c8 = nonplanar_3d_alg(kN, kP, 8);
+  EXPECT_LT(c8.latency_msgs, c1.latency_msgs);
+  // Memory grows with Pz (large top separators).
+  EXPECT_GT(c8.memory_words, c1.memory_words);
+}
+
+TEST(Model, FlopCounts) {
+  EXPECT_DOUBLE_EQ(planar_flops(1e6), 1e9);
+  EXPECT_DOUBLE_EQ(nonplanar_flops(1e6), 1e12);
+}
+
+TEST(Model, PredictedSecondsCombinesTerms) {
+  const sim::MachineModel m;
+  const CostEstimate c{/*memory=*/0, /*comm=*/1e6, /*latency=*/1e3};
+  const double t = predicted_seconds(m, /*flops=*/1e9, /*P=*/100, c);
+  EXPECT_NEAR(t,
+              m.gamma * 1e7 + m.beta * 1e6 * sizeof(real_t) + m.alpha * 1e3,
+              1e-12);
+}
+
+TEST(Model, RejectsBadArguments) {
+  EXPECT_THROW(planar_2d_alg(0.5, 4), slu3d::Error);
+  EXPECT_THROW(planar_3d_alg(kN, 4, 8), slu3d::Error);  // Pz > P
+}
+
+}  // namespace
+}  // namespace slu3d::model

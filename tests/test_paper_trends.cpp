@@ -1,0 +1,135 @@
+// Regression tests for the paper's headline *trends* (§V): these are the
+// properties EXPERIMENTS.md reports, pinned at small scale so a future
+// change that silently breaks the communication-avoiding behaviour fails
+// CI, not just the benchmarks.
+#include <gtest/gtest.h>
+
+#include "lu3d/factor3d.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+
+namespace slu3d {
+namespace {
+
+using sim::CommPlane;
+using sim::MachineModel;
+using sim::ProcessGrid3D;
+using sim::RunResult;
+using sim::run_ranks;
+
+struct Metrics {
+  double time = 0;
+  double t_scu = 0;
+  offset_t w_fact = 0;
+  offset_t w_red = 0;
+  offset_t mem_total = 0;
+};
+
+Metrics run(const BlockStructure& bs, const CsrMatrix& Ap, int Px, int Py,
+            int Pz) {
+  const ForestPartition part(bs, Pz);
+  const int P = Px * Py * Pz;
+  std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
+  const RunResult res = run_ranks(P, MachineModel{}, [&](sim::Comm& w) {
+    auto grid = ProcessGrid3D::create(w, Px, Py, Pz);
+    Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
+    mem[static_cast<std::size_t>(w.rank())] = F.allocated_bytes();
+    factorize_3d(F, grid, part, {});
+  });
+  Metrics m;
+  m.time = res.max_clock();
+  const sim::RankStats* crit = &res.ranks.front();
+  for (const auto& r : res.ranks)
+    if (r.clock > crit->clock) crit = &r;
+  m.t_scu = crit->compute_seconds[static_cast<int>(sim::ComputeKind::SchurUpdate)];
+  m.w_fact = res.max_bytes_received(CommPlane::XY);
+  m.w_red = res.max_bytes_received(CommPlane::Z);
+  for (offset_t b : mem) m.mem_total += b;
+  return m;
+}
+
+struct Problem {
+  BlockStructure bs;
+  CsrMatrix Ap;
+  Problem(const CsrMatrix& A, const SeparatorTree& tree)
+      : bs(A, tree), Ap(A.permuted_symmetric(tree.perm())) {}
+};
+
+Problem planar_problem() {
+  static const GridGeometry g{48, 48, 1};
+  static const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  return Problem(A, geometric_nd(g, {.leaf_size = 16}));
+}
+
+Problem nonplanar_problem() {
+  static const GridGeometry g{12, 12, 12};
+  static const CsrMatrix A = grid3d_laplacian(g, Stencil3D::SevenPoint);
+  return Problem(A, geometric_nd(g, {.leaf_size = 24}));
+}
+
+TEST(PaperTrends, PlanarSpeedupGrowsMonotonicallyWithPz) {
+  // Fig. 9, planar: at P = 16, each doubling of Pz must keep improving,
+  // and Pz = 8 must be at least 3x faster than 2D.
+  const Problem p = planar_problem();
+  double prev = run(p.bs, p.Ap, 4, 4, 1).time;
+  const double t2d = prev;
+  for (int Pz : {2, 4, 8}) {
+    const auto [px, py] = std::pair{Pz == 2 ? 2 : (Pz == 4 ? 2 : 1),
+                                    Pz == 2 ? 4 : 2};
+    const double t = run(p.bs, p.Ap, px, py, Pz).time;
+    EXPECT_LT(t, prev) << "Pz = " << Pz;
+    prev = t;
+  }
+  EXPECT_GT(t2d / prev, 3.0);
+}
+
+TEST(PaperTrends, NonplanarGainsAreModestAndScuBound) {
+  // Fig. 9, non-planar extreme: 3D helps but far less than planar, and
+  // the Schur-update share of the critical path grows as the 2D grids
+  // shrink.
+  const Problem p = nonplanar_problem();
+  const auto m2d = run(p.bs, p.Ap, 4, 4, 1);
+  const auto m3d = run(p.bs, p.Ap, 1, 2, 8);
+  const double speedup = m2d.time / m3d.time;
+  EXPECT_GT(speedup, 1.2);
+  EXPECT_LT(speedup, 6.0);  // nowhere near the planar gains
+  EXPECT_GT(m3d.t_scu / m3d.time, 2.0 * m2d.t_scu / m2d.time);
+}
+
+TEST(PaperTrends, CommVolumeShapesMatchFig10) {
+  // W_fact falls with Pz; W_red rises; the non-planar total crosses over
+  // (3D total at large Pz exceeds the 2D total) while the planar total
+  // stays below 2D through Pz = 8.
+  const Problem planar = planar_problem();
+  const auto p1 = run(planar.bs, planar.Ap, 4, 4, 1);
+  const auto p8 = run(planar.bs, planar.Ap, 1, 2, 8);
+  EXPECT_LT(p8.w_fact, p1.w_fact);
+  EXPECT_GT(p8.w_red, 0);
+  EXPECT_LT(p8.w_fact + p8.w_red, p1.w_fact);
+
+  const Problem np = nonplanar_problem();
+  const auto q1 = run(np.bs, np.Ap, 4, 4, 1);
+  const auto q8 = run(np.bs, np.Ap, 1, 2, 8);
+  EXPECT_LT(q8.w_fact, q1.w_fact);
+  EXPECT_GT(q8.w_fact + q8.w_red, q1.w_fact);  // the non-planar crossover
+}
+
+TEST(PaperTrends, MemoryOverheadPlanarSmallNonplanarLarge) {
+  // Fig. 11: replication overhead at Pz = 8 stays modest for planar
+  // matrices and is several times larger for non-planar ones.
+  const Problem planar = planar_problem();
+  const double po =
+      static_cast<double>(run(planar.bs, planar.Ap, 1, 2, 8).mem_total) /
+          static_cast<double>(run(planar.bs, planar.Ap, 4, 4, 1).mem_total) -
+      1.0;
+  const Problem np = nonplanar_problem();
+  const double no =
+      static_cast<double>(run(np.bs, np.Ap, 1, 2, 8).mem_total) /
+          static_cast<double>(run(np.bs, np.Ap, 4, 4, 1).mem_total) -
+      1.0;
+  EXPECT_LT(po, 0.60);       // planar: tens of percent
+  EXPECT_GT(no, 2.0 * po);   // non-planar: several times more
+}
+
+}  // namespace
+}  // namespace slu3d

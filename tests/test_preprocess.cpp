@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/solver.hpp"
+#include "order/diagonal_matching.hpp"
+#include "sparse/equilibrate.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace slu3d {
+namespace {
+
+CsrMatrix badly_scaled_grid(index_t side) {
+  // Grid Laplacian with rows/cols scaled by wildly varying powers of 10.
+  const GridGeometry g{side, side, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  CooMatrix coo(A.n_rows(), A.n_cols());
+  Rng rng(5);
+  std::vector<real_t> scale(static_cast<std::size_t>(A.n_rows()));
+  for (auto& s : scale) s = std::pow(10.0, rng.uniform(-6, 6));
+  for (index_t r = 0; r < A.n_rows(); ++r) {
+    const auto cols = A.row_cols(r);
+    const auto vals = A.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      coo.add(r, cols[k],
+              vals[k] * scale[static_cast<std::size_t>(r)] *
+                  scale[static_cast<std::size_t>(cols[k])]);
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(Equilibrate, NormalizesRowAndColumnMagnitudes) {
+  const CsrMatrix A = badly_scaled_grid(8);
+  const Equilibration eq = compute_equilibration(A);
+  EXPECT_LT(eq.row_ratio, 1e-3);  // the input really is badly scaled
+  const CsrMatrix B = apply_equilibration(A, eq);
+  for (index_t r = 0; r < B.n_rows(); ++r) {
+    real_t mx = 0;
+    for (real_t v : B.row_vals(r)) mx = std::max(mx, std::abs(v));
+    EXPECT_GT(mx, 0.05);
+    EXPECT_LE(mx, 1.0 + 1e-12);
+  }
+  const CsrMatrix Bt = B.transposed();
+  for (index_t c = 0; c < Bt.n_rows(); ++c) {
+    real_t mx = 0;
+    for (real_t v : Bt.row_vals(c)) mx = std::max(mx, std::abs(v));
+    EXPECT_GT(mx, 0.05);
+    EXPECT_LE(mx, 1.0 + 1e-12);
+  }
+}
+
+TEST(Equilibrate, RoundTripTransformsSolveTheOriginalSystem) {
+  const CsrMatrix A = badly_scaled_grid(6);
+  const Equilibration eq = compute_equilibration(A);
+  const CsrMatrix B = apply_equilibration(A, eq);
+  // Check B = R A C entry-wise.
+  for (index_t r = 0; r < A.n_rows(); ++r) {
+    const auto cols = A.row_cols(r);
+    const auto vals = A.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      EXPECT_NEAR(B.at(r, cols[k]),
+                  vals[k] * eq.row_scale[static_cast<std::size_t>(r)] *
+                      eq.col_scale[static_cast<std::size_t>(cols[k])],
+                  1e-14);
+  }
+}
+
+TEST(Equilibrate, RejectsZeroRow) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);  // row 1 is empty
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+  EXPECT_THROW(compute_equilibration(A), Error);
+}
+
+TEST(DiagonalMatching, DetectsExistingDiagonal) {
+  const GridGeometry g{5, 5, 1};
+  EXPECT_TRUE(has_zero_free_diagonal(grid2d_laplacian(g, Stencil2D::FivePoint)));
+}
+
+TEST(DiagonalMatching, RestoresShuffledDiagonal) {
+  // Row-shuffle a grid matrix so the diagonal is gone, then recover it.
+  const GridGeometry g{7, 6, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  std::vector<index_t> shuffle(static_cast<std::size_t>(A.n_rows()));
+  for (std::size_t i = 0; i < shuffle.size(); ++i)
+    shuffle[i] = static_cast<index_t>((i + 11) % shuffle.size());
+  const CsrMatrix S = permute_rows(A, shuffle);
+  EXPECT_FALSE(has_zero_free_diagonal(S));
+
+  const auto rp = zero_free_diagonal_permutation(S);
+  ASSERT_TRUE(rp.has_value());
+  EXPECT_TRUE(is_permutation(*rp));
+  EXPECT_TRUE(has_zero_free_diagonal(permute_rows(S, *rp)));
+}
+
+TEST(DiagonalMatching, ReportsStructuralSingularity) {
+  // Two rows share the only nonzero column: no perfect matching exists.
+  CooMatrix coo(3, 3);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(2, 2, 1.0);
+  EXPECT_FALSE(zero_free_diagonal_permutation(CsrMatrix::from_coo(coo)).has_value());
+}
+
+TEST(DiagonalMatching, GreedyPrefersLargeEntries) {
+  // With free choice, the matching should put the big entries on the
+  // diagonal (bottleneck-style behaviour via the greedy seed).
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 100.0);
+  coo.add(0, 1, 0.1);
+  coo.add(1, 0, 0.1);
+  coo.add(1, 1, 100.0);
+  const auto rp = zero_free_diagonal_permutation(CsrMatrix::from_coo(coo));
+  ASSERT_TRUE(rp.has_value());
+  EXPECT_EQ((*rp)[0], 0);
+  EXPECT_EQ((*rp)[1], 1);
+}
+
+TEST(Solver, EquilibrationRescuesBadlyScaledSystem) {
+  const CsrMatrix A = badly_scaled_grid(10);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(17);
+  std::vector<real_t> xref(n), b(n), x(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+
+  SolverOptions opt;
+  opt.equilibrate = true;
+  opt.refinement_steps = 2;
+  const SparseLuSolver solver(A, opt);
+  const auto rep = solver.solve(b, x);
+  EXPECT_LT(rep.final_residual_norm, 1e-12);
+  // The scaling spans 12 orders of magnitude, so the *forward* error is
+  // condition-limited; the residual above is the real acceptance test.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-3);
+}
+
+TEST(Solver, FixesStructurallyZeroDiagonal) {
+  // A shuffled grid system has structural zeros on the diagonal; the
+  // matching step must restore solvability under static pivoting.
+  const GridGeometry g{8, 8, 1};
+  const CsrMatrix A0 = grid2d_laplacian(g, Stencil2D::FivePoint);
+  std::vector<index_t> shuffle(static_cast<std::size_t>(A0.n_rows()));
+  for (std::size_t i = 0; i < shuffle.size(); ++i)
+    shuffle[i] = static_cast<index_t>((i + 7) % shuffle.size());
+  const CsrMatrix A = permute_rows(A0, shuffle);
+  ASSERT_FALSE(has_zero_free_diagonal(A));
+
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(23);
+  std::vector<real_t> xref(n), b(n), x(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+
+  SolverOptions opt;
+  opt.refinement_steps = 3;
+  const SparseLuSolver solver(A, opt);
+  const auto rep = solver.solve(b, x);
+  EXPECT_LT(rep.final_residual_norm, 1e-10);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-5);
+}
+
+TEST(Solver, CombinedEquilibrationAndMatching) {
+  const CsrMatrix A0 = badly_scaled_grid(8);
+  std::vector<index_t> shuffle(static_cast<std::size_t>(A0.n_rows()));
+  for (std::size_t i = 0; i < shuffle.size(); ++i)
+    shuffle[i] = static_cast<index_t>((i + 13) % shuffle.size());
+  const CsrMatrix A = permute_rows(A0, shuffle);
+
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(29);
+  std::vector<real_t> xref(n), b(n), x(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+
+  SolverOptions opt;
+  opt.equilibrate = true;
+  opt.refinement_steps = 3;
+  const SparseLuSolver solver(A, opt);
+  const auto rep = solver.solve(b, x);
+  EXPECT_LT(rep.final_residual_norm, 1e-10);
+}
+
+}  // namespace
+}  // namespace slu3d

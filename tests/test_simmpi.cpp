@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "simmpi/process_grid.hpp"
+#include "simmpi/runtime.hpp"
+#include "support/check.hpp"
+
+namespace slu3d::sim {
+namespace {
+
+const MachineModel kModel{};  // defaults
+
+TEST(Runtime, SingleRankRuns) {
+  const auto result = run_ranks(1, kModel, [](Comm& world) {
+    EXPECT_EQ(world.rank(), 0);
+    EXPECT_EQ(world.size(), 1);
+    world.add_compute(1000, ComputeKind::Other);
+  });
+  EXPECT_EQ(result.ranks.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.ranks[0].clock, kModel.compute_time(1000));
+}
+
+TEST(Runtime, PingPongDeliversPayloadAndAdvancesClocks) {
+  const auto result = run_ranks(2, kModel, [](Comm& world) {
+    if (world.rank() == 0) {
+      world.send(1, 5, std::vector<real_t>{1.5, 2.5}, CommPlane::XY);
+      const auto back = world.recv(1, 6, CommPlane::XY);
+      ASSERT_EQ(back.size(), 1u);
+      EXPECT_DOUBLE_EQ(back[0], 4.0);
+    } else {
+      const auto msg = world.recv(0, 5, CommPlane::XY);
+      ASSERT_EQ(msg.size(), 2u);
+      world.send(0, 6, std::vector<real_t>{msg[0] + msg[1]}, CommPlane::XY);
+    }
+  });
+  // Rank 1 received 2 doubles after one latency + transfer.
+  EXPECT_EQ(result.ranks[0].bytes_sent[0], 16);
+  EXPECT_EQ(result.ranks[1].bytes_received[0], 16);
+  EXPECT_EQ(result.ranks[0].messages_sent[0], 1);
+  // Clock of rank 0 >= two message times (round trip).
+  EXPECT_GE(result.max_clock(), 2 * kModel.alpha);
+}
+
+TEST(Runtime, MessagesMatchFifoPerTag) {
+  run_ranks(2, kModel, [](Comm& world) {
+    if (world.rank() == 0) {
+      world.send(1, 1, std::vector<real_t>{1}, CommPlane::XY);
+      world.send(1, 2, std::vector<real_t>{2}, CommPlane::XY);
+      world.send(1, 1, std::vector<real_t>{3}, CommPlane::XY);
+    } else {
+      // Receive the tag-2 message first; tag-1 messages stay ordered.
+      EXPECT_DOUBLE_EQ(world.recv(0, 2, CommPlane::XY)[0], 2);
+      EXPECT_DOUBLE_EQ(world.recv(0, 1, CommPlane::XY)[0], 1);
+      EXPECT_DOUBLE_EQ(world.recv(0, 1, CommPlane::XY)[0], 3);
+    }
+  });
+}
+
+TEST(Runtime, PlanesAreAccountedSeparately) {
+  const auto result = run_ranks(2, kModel, [](Comm& world) {
+    if (world.rank() == 0) {
+      world.send(1, 1, std::vector<real_t>(10), CommPlane::XY);
+      world.send(1, 2, std::vector<real_t>(20), CommPlane::Z);
+    } else {
+      world.recv(0, 1, CommPlane::XY);
+      world.recv(0, 2, CommPlane::Z);
+    }
+  });
+  EXPECT_EQ(result.ranks[0].bytes_sent[static_cast<int>(CommPlane::XY)], 80);
+  EXPECT_EQ(result.ranks[0].bytes_sent[static_cast<int>(CommPlane::Z)], 160);
+}
+
+class BcastSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BcastSizes, DeliversFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    run_ranks(p, kModel, [root](Comm& world) {
+      std::vector<real_t> buf(3, 0.0);
+      if (world.rank() == root) buf = {1.0, 2.0, 3.0};
+      world.bcast(root, 9, buf, CommPlane::XY);
+      EXPECT_DOUBLE_EQ(buf[0], 1.0);
+      EXPECT_DOUBLE_EQ(buf[2], 3.0);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOdd, BcastSizes, ::testing::Values(1, 2, 3, 4, 5, 8, 13));
+
+class ReduceSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceSizes, SumsOntoRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < std::min(p, 3); ++root) {
+    run_ranks(p, kModel, [root, p](Comm& world) {
+      std::vector<real_t> buf{static_cast<real_t>(world.rank() + 1), 1.0};
+      world.reduce_sum(root, 11, buf, CommPlane::XY);
+      if (world.rank() == root) {
+        EXPECT_DOUBLE_EQ(buf[0], p * (p + 1) / 2.0);
+        EXPECT_DOUBLE_EQ(buf[1], p);
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOdd, ReduceSizes, ::testing::Values(1, 2, 3, 4, 6, 8, 9));
+
+TEST(Runtime, AllreduceSumAndMax) {
+  run_ranks(5, kModel, [](Comm& world) {
+    std::vector<real_t> buf{1.0};
+    world.allreduce_sum(13, buf, CommPlane::XY);
+    EXPECT_DOUBLE_EQ(buf[0], 5.0);
+    const double mx = world.allreduce_max(14, world.rank() * 1.5, CommPlane::XY);
+    EXPECT_DOUBLE_EQ(mx, 6.0);
+  });
+}
+
+TEST(Runtime, AllgathervConcatenatesInRankOrder) {
+  run_ranks(4, kModel, [](Comm& world) {
+    // Rank r contributes r+1 copies of the value r.
+    std::vector<real_t> mine(static_cast<std::size_t>(world.rank() + 1),
+                             static_cast<real_t>(world.rank()));
+    const auto all = world.allgatherv(21, mine, CommPlane::XY);
+    ASSERT_EQ(all.size(), 1u + 2u + 3u + 4u);
+    std::size_t pos = 0;
+    for (int r = 0; r < 4; ++r)
+      for (int k = 0; k <= r; ++k) EXPECT_DOUBLE_EQ(all[pos++], r);
+  });
+}
+
+TEST(Runtime, AllgathervSingleRank) {
+  run_ranks(1, kModel, [](Comm& world) {
+    const auto all = world.allgatherv(22, std::vector<real_t>{1, 2}, CommPlane::XY);
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_DOUBLE_EQ(all[1], 2.0);
+  });
+}
+
+TEST(Runtime, BarrierSynchronizesClocks) {
+  const auto result = run_ranks(4, kModel, [](Comm& world) {
+    if (world.rank() == 2) world.add_compute(1000000000, ComputeKind::Other);
+    world.barrier(15, CommPlane::XY);
+    // Everyone's clock is now at least the slow rank's compute time.
+    EXPECT_GE(world.clock(), kModel.compute_time(1000000000));
+  });
+  EXPECT_GE(result.max_clock(), kModel.compute_time(1000000000));
+}
+
+TEST(Runtime, RecvArrivalRaisesReceiverClock) {
+  const auto result = run_ranks(2, kModel, [](Comm& world) {
+    if (world.rank() == 0) {
+      world.add_compute(2000000000, ComputeKind::Other);  // 0.12 s
+      world.send(1, 3, std::vector<real_t>(1000), CommPlane::XY);
+    } else {
+      world.recv(0, 3, CommPlane::XY);
+      EXPECT_GE(world.clock(), kModel.compute_time(2000000000));
+    }
+  });
+  (void)result;
+}
+
+TEST(Runtime, SplitFormsDisjointGroups) {
+  run_ranks(6, kModel, [](Comm& world) {
+    Comm half = world.split(world.rank() % 2, world.rank());
+    EXPECT_EQ(half.size(), 3);
+    // Communicate within the split comm only.
+    std::vector<real_t> v{static_cast<real_t>(world.rank())};
+    half.allreduce_sum(1, v, CommPlane::XY);
+    if (world.rank() % 2 == 0)
+      EXPECT_DOUBLE_EQ(v[0], 0 + 2 + 4);
+    else
+      EXPECT_DOUBLE_EQ(v[0], 1 + 3 + 5);
+  });
+}
+
+TEST(Runtime, SplitIsFreeOfCharge) {
+  const auto result = run_ranks(4, kModel, [](Comm& world) {
+    (void)world.split(world.rank() / 2, world.rank());
+  });
+  for (const auto& r : result.ranks) {
+    EXPECT_EQ(r.total_bytes_sent(), 0);
+    EXPECT_DOUBLE_EQ(r.clock, 0.0);
+  }
+}
+
+TEST(Runtime, RankExceptionPropagatesAndUnblocksOthers) {
+  EXPECT_THROW(run_ranks(3, kModel,
+                         [](Comm& world) {
+                           if (world.rank() == 1) throw Error("rank 1 died");
+                           // Other ranks block forever unless aborted.
+                           world.recv((world.rank() + 1) % 3, 1, CommPlane::XY);
+                         }),
+               Error);
+}
+
+TEST(ProcessGrid2D, LayoutAndSubComms) {
+  run_ranks(6, kModel, [](Comm& world) {
+    auto g = ProcessGrid2D::create(world, 2, 3);
+    EXPECT_EQ(g.px(), world.rank() / 3);
+    EXPECT_EQ(g.py(), world.rank() % 3);
+    EXPECT_EQ(g.row().size(), 3);
+    EXPECT_EQ(g.col().size(), 2);
+    EXPECT_EQ(g.row().rank(), g.py());
+    EXPECT_EQ(g.col().rank(), g.px());
+    // Block-cyclic ownership: block (i, j) on (i%2, j%3).
+    EXPECT_EQ(g.owner(4, 7), (4 % 2) * 3 + (7 % 3));
+    EXPECT_EQ(g.owns(g.px(), g.py()), true);
+  });
+}
+
+TEST(ProcessGrid3D, PlaneAndZLine) {
+  run_ranks(12, kModel, [](Comm& world) {
+    auto g = ProcessGrid3D::create(world, 2, 2, 3);
+    EXPECT_EQ(g.pz(), world.rank() / 4);
+    EXPECT_EQ(g.plane().grid().size(), 4);
+    EXPECT_EQ(g.zline().size(), 3);
+    EXPECT_EQ(g.zline().rank(), g.pz());
+    // z-line neighbours share (px, py): verify by exchanging coordinates.
+    std::vector<real_t> v{static_cast<real_t>(g.plane().px() * 10 + g.plane().py())};
+    std::vector<real_t> mine = v;
+    g.zline().allreduce_sum(1, v, CommPlane::Z);
+    EXPECT_DOUBLE_EQ(v[0], 3 * mine[0]);
+  });
+}
+
+TEST(Runtime, ManyRanksStress) {
+  // 64 rank-threads exchanging in a ring; exercises the mailbox machinery.
+  const int p = 64;
+  const auto result = run_ranks(p, kModel, [p](Comm& world) {
+    const int next = (world.rank() + 1) % p;
+    const int prev = (world.rank() + p - 1) % p;
+    world.send(next, 1, std::vector<real_t>{static_cast<real_t>(world.rank())},
+               CommPlane::XY);
+    const auto got = world.recv(prev, 1, CommPlane::XY);
+    EXPECT_DOUBLE_EQ(got[0], prev);
+  });
+  EXPECT_EQ(result.ranks.size(), 64u);
+}
+
+}  // namespace
+}  // namespace slu3d::sim

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <numeric>
+
+#include "lu2d/factor2d.hpp"
+#include "lu2d/solve2d.hpp"
+#include "numeric/solver.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace slu3d {
+namespace {
+
+using sim::MachineModel;
+using sim::ProcessGrid2D;
+using sim::run_ranks;
+
+const MachineModel kModel{};
+
+/// Factorizes and solves fully distributed; checks against the true
+/// solution of A x = b. Every rank must end up with the full solution.
+void check_distributed_solve(const CsrMatrix& A, const SeparatorTree& tree,
+                             int Px, int Py) {
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  const auto pinv = invert_permutation(tree.perm());
+
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  Rng rng(11);
+  std::vector<real_t> xref(n), b(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+  std::vector<real_t> pb(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pb[static_cast<std::size_t>(pinv[i])] = b[i];
+
+  std::vector<std::vector<real_t>> per_rank(static_cast<std::size_t>(Px * Py));
+  run_ranks(Px * Py, kModel, [&](sim::Comm& world) {
+    auto grid = ProcessGrid2D::create(world, Px, Py);
+    Dist2dFactors F(bs, Px, Py, grid.px(), grid.py());
+    F.fill_from(Ap);
+    std::vector<int> all(static_cast<std::size_t>(bs.n_snodes()));
+    std::iota(all.begin(), all.end(), 0);
+    factorize_2d(F, grid, all, {});
+
+    std::vector<real_t> x(pb);
+    solve_2d(F, grid, x);
+    per_rank[static_cast<std::size_t>(world.rank())] = std::move(x);
+  });
+
+  for (int r = 0; r < Px * Py; ++r) {
+    const auto& px = per_rank[static_cast<std::size_t>(r)];
+    ASSERT_EQ(px.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(px[static_cast<std::size_t>(pinv[i])], xref[i], 1e-8)
+          << "rank " << r << " component " << i;
+  }
+}
+
+struct GridCase {
+  int Px, Py;
+};
+
+class Solve2dGrids : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(Solve2dGrids, SolvesPlanarSystem) {
+  const auto [Px, Py] = GetParam();
+  const GridGeometry g{11, 9, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  check_distributed_solve(A, nested_dissection(A, {.leaf_size = 8}), Px, Py);
+}
+
+INSTANTIATE_TEST_SUITE_P(GridShapes, Solve2dGrids,
+                         ::testing::Values(GridCase{1, 1}, GridCase{1, 2},
+                                           GridCase{2, 1}, GridCase{2, 2},
+                                           GridCase{2, 3}, GridCase{3, 2},
+                                           GridCase{4, 2}),
+                         [](const auto& pi) {
+                           return "Px" + std::to_string(pi.param.Px) + "Py" +
+                                  std::to_string(pi.param.Py);
+                         });
+
+TEST(Solve2d, NonsymmetricValues) {
+  const GridGeometry g{7, 8, 1};
+  const CsrMatrix A = grid2d_convection_diffusion(g, 0.4);
+  check_distributed_solve(A, nested_dissection(A, {.leaf_size = 6}), 2, 2);
+}
+
+TEST(Solve2d, NonplanarMatrix) {
+  const GridGeometry g{4, 4, 4};
+  const CsrMatrix A = grid3d_laplacian(g, Stencil3D::SevenPoint);
+  check_distributed_solve(A, geometric_nd(g, {.leaf_size = 8}), 2, 2);
+}
+
+TEST(Solve2d, KktSystem) {
+  const GridGeometry g{3, 3, 2};
+  const CsrMatrix A = kkt3d(g, 3);
+  check_distributed_solve(A, nested_dissection(A, {.leaf_size = 8}), 3, 2);
+}
+
+TEST(Solve2d, RepeatedSolvesWithSameFactors) {
+  const GridGeometry g{10, 10, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = geometric_nd(g, {.leaf_size = 8});
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  const auto pinv = invert_permutation(tree.perm());
+  const auto n = static_cast<std::size_t>(A.n_rows());
+
+  std::vector<real_t> err(2, 1e300);
+  run_ranks(4, kModel, [&](sim::Comm& world) {
+    auto grid = ProcessGrid2D::create(world, 2, 2);
+    Dist2dFactors F(bs, 2, 2, grid.px(), grid.py());
+    F.fill_from(Ap);
+    std::vector<int> all(static_cast<std::size_t>(bs.n_snodes()));
+    std::iota(all.begin(), all.end(), 0);
+    factorize_2d(F, grid, all, {});
+
+    for (int rhs = 0; rhs < 2; ++rhs) {
+      Rng rng(static_cast<std::uint64_t>(100 + rhs));
+      std::vector<real_t> xref(n), b(n), x(n);
+      for (auto& v : xref) v = rng.uniform(-1, 1);
+      A.spmv(xref, b);
+      for (std::size_t i = 0; i < n; ++i)
+        x[static_cast<std::size_t>(pinv[i])] = b[i];
+      Solve2dOptions opt;
+      opt.tag_base = (1 << 24) + rhs * (1 << 20);  // distinct tag ranges
+      solve_2d(F, grid, x, opt);
+      if (world.rank() == 0) {
+        real_t e = 0;
+        for (std::size_t i = 0; i < n; ++i)
+          e = std::max(e, std::abs(x[static_cast<std::size_t>(pinv[i])] - xref[i]));
+        err[static_cast<std::size_t>(rhs)] = e;
+      }
+    }
+  });
+  EXPECT_LT(err[0], 1e-9);
+  EXPECT_LT(err[1], 1e-9);
+}
+
+}  // namespace
+}  // namespace slu3d

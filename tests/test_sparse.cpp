@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/csr.hpp"
+#include "sparse/matrix_market.hpp"
+#include "support/check.hpp"
+
+namespace slu3d {
+namespace {
+
+CsrMatrix small_example() {
+  // [ 4 -1  0 ]
+  // [-1  4 -2 ]
+  // [ 0  0  3 ]
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 4);
+  coo.add(0, 1, -1);
+  coo.add(1, 0, -1);
+  coo.add(1, 1, 4);
+  coo.add(1, 2, -2);
+  coo.add(2, 2, 3);
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(Csr, FromCooSortsAndStores) {
+  const CsrMatrix A = small_example();
+  EXPECT_EQ(A.n_rows(), 3);
+  EXPECT_EQ(A.nnz(), 6);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 4);
+  EXPECT_DOUBLE_EQ(A.at(1, 2), -2);
+  EXPECT_DOUBLE_EQ(A.at(2, 0), 0);  // absent entry
+}
+
+TEST(Csr, FromCooSumsDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.5);
+  coo.add(0, 1, 2.5);
+  coo.add(1, 0, -1);
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(A.nnz(), 2);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), 4.0);
+}
+
+TEST(Csr, FromCooRejectsOutOfRange) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 5, 1.0);
+  EXPECT_THROW(CsrMatrix::from_coo(coo), Error);
+}
+
+TEST(Csr, RowAccessorsAreConsistent) {
+  const CsrMatrix A = small_example();
+  const auto cols = A.row_cols(1);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[2], 2);
+  EXPECT_EQ(A.row_nnz(2), 1);
+}
+
+TEST(Csr, SpmvMatchesManual) {
+  const CsrMatrix A = small_example();
+  const std::vector<real_t> x{1, 2, 3};
+  std::vector<real_t> y(3);
+  A.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4 * 1 - 1 * 2);
+  EXPECT_DOUBLE_EQ(y[1], -1 + 8 - 6);
+  EXPECT_DOUBLE_EQ(y[2], 9);
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  const CsrMatrix A = small_example();
+  const CsrMatrix T = A.transposed();
+  EXPECT_DOUBLE_EQ(T.at(0, 1), -1);
+  EXPECT_DOUBLE_EQ(T.at(2, 1), -2);
+  const CsrMatrix B = T.transposed();
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(A.at(i, j), B.at(i, j));
+}
+
+TEST(Csr, SymmetrizedPatternAddsTransposePositions) {
+  const CsrMatrix A = small_example();
+  EXPECT_FALSE(A.pattern_is_symmetric());
+  const CsrMatrix S = A.symmetrized_pattern();
+  EXPECT_TRUE(S.pattern_is_symmetric());
+  EXPECT_DOUBLE_EQ(S.at(2, 1), 0.0);  // structural zero at transpose position
+  EXPECT_EQ(S.row_nnz(2), 2);         // gained (2,1)
+  // Values of A are preserved.
+  EXPECT_DOUBLE_EQ(S.at(1, 2), -2.0);
+}
+
+TEST(Csr, PermutedSymmetricRelocatesEntries) {
+  const CsrMatrix A = small_example();
+  const std::vector<index_t> perm{2, 0, 1};  // new k <- old perm[k]
+  const CsrMatrix B = A.permuted_symmetric(perm);
+  // B(pinv[i], pinv[j]) == A(i, j); pinv = {1, 2, 0}.
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 3; ++j) {
+      const std::vector<index_t> pinv{1, 2, 0};
+      EXPECT_DOUBLE_EQ(B.at(pinv[static_cast<std::size_t>(i)],
+                            pinv[static_cast<std::size_t>(j)]),
+                       A.at(i, j));
+    }
+}
+
+TEST(Csr, NormInf) {
+  const CsrMatrix A = small_example();
+  EXPECT_DOUBLE_EQ(A.norm_inf(), 7.0);  // row 1: 1 + 4 + 2
+}
+
+TEST(Permutation, InvertAndValidate) {
+  const std::vector<index_t> perm{2, 0, 3, 1};
+  EXPECT_TRUE(is_permutation(perm));
+  const auto pinv = invert_permutation(perm);
+  for (std::size_t k = 0; k < perm.size(); ++k)
+    EXPECT_EQ(pinv[static_cast<std::size_t>(perm[k])], static_cast<index_t>(k));
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, 5}));
+}
+
+TEST(MatrixMarket, RoundTripGeneral) {
+  const CsrMatrix A = small_example();
+  std::stringstream ss;
+  write_matrix_market(ss, A);
+  const CsrMatrix B = read_matrix_market(ss);
+  ASSERT_EQ(B.n_rows(), A.n_rows());
+  ASSERT_EQ(B.nnz(), A.nnz());
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(A.at(i, j), B.at(i, j));
+}
+
+TEST(MatrixMarket, ReadsSymmetricExpanded) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% a comment line\n"
+     << "3 3 4\n"
+     << "1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 1.0\n";
+  const CsrMatrix A = read_matrix_market(ss);
+  EXPECT_EQ(A.nnz(), 5);  // off-diagonal mirrored
+  EXPECT_DOUBLE_EQ(A.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), -1.0);
+}
+
+TEST(MatrixMarket, ReadsPatternAsOnes) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate pattern general\n"
+     << "2 2 2\n"
+     << "1 1\n2 2\n";
+  const CsrMatrix A = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a matrix market file\n";
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+}  // namespace
+}  // namespace slu3d

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "lu3d/factor3d.hpp"
+#include "order/nested_dissection.hpp"
+#include "simmpi/trace.hpp"
+#include "sparse/generators.hpp"
+
+namespace slu3d::sim {
+namespace {
+
+const MachineModel kModel{};
+
+TEST(Trace, DisabledByDefault) {
+  const auto res = run_ranks(2, kModel, [](Comm& world) {
+    if (world.rank() == 0)
+      world.send(1, 1, std::vector<real_t>{1.0}, CommPlane::XY);
+    else
+      world.recv(0, 1, CommPlane::XY);
+  });
+  EXPECT_TRUE(res.traces.empty());
+}
+
+TEST(Trace, RecordsComputeSendRecvWithConsistentTimes) {
+  RunOptions opt;
+  opt.trace = true;
+  const auto res = run_ranks(
+      2, kModel,
+      [](Comm& world) {
+        world.add_compute(1000000, ComputeKind::SchurUpdate);
+        if (world.rank() == 0)
+          world.send(1, 1, std::vector<real_t>(100), CommPlane::XY);
+        else
+          world.recv(0, 1, CommPlane::XY);
+      },
+      opt);
+  ASSERT_EQ(res.traces.size(), 2u);
+  // Rank 0: compute then send.
+  const auto& t0 = res.traces[0];
+  ASSERT_EQ(t0.size(), 2u);
+  EXPECT_EQ(t0[0].kind, TraceEvent::Kind::Compute);
+  EXPECT_EQ(t0[0].compute, ComputeKind::SchurUpdate);
+  EXPECT_EQ(t0[1].kind, TraceEvent::Kind::Send);
+  EXPECT_EQ(t0[1].peer, 1);
+  EXPECT_EQ(t0[1].bytes, 800);
+  // Events are ordered and non-overlapping on each rank's clock.
+  for (const auto& trace : res.traces) {
+    double last = 0;
+    for (const auto& ev : trace) {
+      EXPECT_GE(ev.t0, last - 1e-15);
+      EXPECT_GE(ev.t1, ev.t0);
+      last = ev.t1;
+    }
+  }
+  // Rank 1's recv ends no earlier than rank 0's send.
+  const auto& t1 = res.traces[1];
+  ASSERT_EQ(t1.size(), 2u);
+  EXPECT_EQ(t1[1].kind, TraceEvent::Kind::Recv);
+  EXPECT_GE(t1[1].t1, t0[1].t1 - 1e-15);
+}
+
+TEST(Trace, ChromeJsonExportIsWellFormedIsh) {
+  RunOptions opt;
+  opt.trace = true;
+  const GridGeometry g{8, 8, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = geometric_nd(g, {.leaf_size = 8});
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  const ForestPartition part(bs, 2);
+  const auto res = run_ranks(
+      4, kModel,
+      [&](Comm& world) {
+        auto grid = ProcessGrid3D::create(world, 2, 1, 2);
+        Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
+        factorize_3d(F, grid, part, {});
+      },
+      opt);
+  std::size_t events = 0;
+  for (const auto& t : res.traces) events += t.size();
+  EXPECT_GT(events, 50u);  // a real factorization produces many events
+
+  std::ostringstream os;
+  write_chrome_trace(os, res.traces);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("schur-update"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces (crude well-formedness check).
+  const auto opens = static_cast<long>(std::count(json.begin(), json.end(), '{'));
+  const auto closes = static_cast<long>(std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(opens, closes);
+}
+
+}  // namespace
+}  // namespace slu3d::sim
