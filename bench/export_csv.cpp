@@ -1,12 +1,22 @@
 // Exports the paper's figure data as CSV files (one per figure), so the
 // plots can be regenerated with tools/plot_results.py or any spreadsheet.
 //
-//   $ ./export_csv [output_dir]      (default: ./results)
+// Also emits BENCH_kernels.json: GFLOP/s of the blocked dense substrate
+// and the dense::ref oracle per kernel per size, the acceptance artifact
+// for the micro-kernel work.
+//
+//   $ ./export_csv [output_dir]                (default: ./results)
+//   $ ./export_csv --kernels-only [output_dir] (skip the slow figure CSVs)
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "numeric/dense_kernels.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -66,14 +76,129 @@ void export_fig12(const std::string& dir) {
   }
 }
 
+// ---- dense kernel GFLOP/s export ----------------------------------------
+
+std::vector<real_t> random_dominant_matrix(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<real_t> a(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (index_t i = 0; i < n; ++i)
+    a[static_cast<std::size_t>(i) * static_cast<std::size_t>(n + 1)] +=
+        static_cast<real_t>(n);
+  return a;
+}
+
+/// Best-of-reps GFLOP/s of `body`, which performs `flops` flops per call.
+double measure_gflops(offset_t flops, const std::function<void()>& body) {
+  using clock = std::chrono::steady_clock;
+  // Calibrate the inner repeat count to ~10ms per sample.
+  body();  // warm up (and warm the pack-buffer arena)
+  int inner = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (int r = 0; r < inner; ++r) body();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    if (dt > 5e-3 || inner >= 1 << 14) break;
+    inner *= 4;
+  }
+  double best = 1e300;
+  for (int sample = 0; sample < 5; ++sample) {
+    const auto t0 = clock::now();
+    for (int r = 0; r < inner; ++r) body();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    best = std::min(best, dt / inner);
+  }
+  return static_cast<double>(flops) / best / 1e9;
+}
+
+void export_kernel_benchmarks(const std::string& dir) {
+  std::ofstream out(dir + "/BENCH_kernels.json");
+  out << "{\n  \"unit\": \"GFLOP/s\",\n  \"kernels\": [";
+  bool first = true;
+  auto emit = [&](const char* kernel, const char* variant, index_t n,
+                  double gflops) {
+    out << (first ? "" : ",") << "\n    {\"kernel\": \"" << kernel
+        << "\", \"variant\": \"" << variant << "\", \"n\": " << n
+        << ", \"gflops\": " << gflops << "}";
+    first = false;
+    std::cout << kernel << "/" << variant << " n=" << n << ": " << gflops
+              << " GFLOP/s\n";
+  };
+
+  for (index_t n : {32, 64, 128, 256, 384, 512}) {
+    const auto a = random_dominant_matrix(n, 4);
+    const auto b = random_dominant_matrix(n, 5);
+    std::vector<real_t> c(a.size(), 0.0);
+    const offset_t fl = dense::gemm_flops(n, n, n);
+    emit("gemm_minus", "blocked", n, measure_gflops(fl, [&] {
+           dense::gemm_minus(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+         }));
+    emit("gemm_minus", "ref", n, measure_gflops(fl, [&] {
+           dense::ref::gemm_minus(n, n, n, a.data(), n, b.data(), n, c.data(),
+                                  n);
+         }));
+    emit("gemm_minus_nt", "blocked", n, measure_gflops(fl, [&] {
+           dense::gemm_minus_nt(n, n, n, a.data(), n, b.data(), n, c.data(),
+                                n);
+         }));
+    emit("gemm_minus_nt", "ref", n, measure_gflops(fl, [&] {
+           dense::ref::gemm_minus_nt(n, n, n, a.data(), n, b.data(), n,
+                                     c.data(), n);
+         }));
+  }
+  for (index_t n : {64, 128, 256}) {
+    const auto a0 = random_dominant_matrix(n, 1);
+    std::vector<real_t> a(a0.size());
+    const offset_t gf = dense::getrf_flops(n);
+    emit("getrf_nopiv", "blocked", n, measure_gflops(gf, [&] {
+           a = a0;
+           dense::getrf_nopiv(n, a.data(), n);
+         }));
+    emit("getrf_nopiv", "ref", n, measure_gflops(gf, [&] {
+           a = a0;
+           dense::ref::getrf_nopiv(n, a.data(), n);
+         }));
+    // TRSMs: solve in place repeatedly; the operand stays finite because
+    // the diagonally dominant system contracts.
+    const index_t m = 2 * n;
+    std::vector<real_t> bl(static_cast<std::size_t>(n) * static_cast<std::size_t>(m), 1.0);
+    const offset_t tf = dense::trsm_flops(n, m);
+    emit("trsm_left_lower_unit", "blocked", n, measure_gflops(tf, [&] {
+           dense::trsm_left_lower_unit(n, m, a0.data(), n, bl.data(), n);
+         }));
+    emit("trsm_left_lower_unit", "ref", n, measure_gflops(tf, [&] {
+           dense::ref::trsm_left_lower_unit(n, m, a0.data(), n, bl.data(), n);
+         }));
+    std::vector<real_t> br(static_cast<std::size_t>(m) * static_cast<std::size_t>(n), 1.0);
+    emit("trsm_right_upper", "blocked", n, measure_gflops(tf, [&] {
+           dense::trsm_right_upper(n, m, a0.data(), n, br.data(), m);
+         }));
+    emit("trsm_right_upper", "ref", n, measure_gflops(tf, [&] {
+           dense::ref::trsm_right_upper(n, m, a0.data(), n, br.data(), m);
+         }));
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "wrote " << dir << "/BENCH_kernels.json\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string dir = argc > 1 ? argv[1] : "results";
+  bool kernels_only = false;
+  std::string dir = "results";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kernels-only") == 0)
+      kernels_only = true;
+    else
+      dir = argv[i];
+  }
   std::filesystem::create_directories(dir);
-  export_fig9_fig10_fig11(dir);
-  export_fig12(dir);
-  std::cout << "CSV files written to " << dir
-            << "; plot with tools/plot_results.py\n";
+  export_kernel_benchmarks(dir);
+  if (!kernels_only) {
+    export_fig9_fig10_fig11(dir);
+    export_fig12(dir);
+    std::cout << "CSV files written to " << dir
+              << "; plot with tools/plot_results.py\n";
+  }
   return 0;
 }

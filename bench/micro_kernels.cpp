@@ -75,7 +75,86 @@ void BM_GemmMinus(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * dense::gemm_flops(n, n, n));
 }
-BENCHMARK(BM_GemmMinus)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmMinus)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(384)->Arg(512);
+
+// ---- packed substrate vs reference sweeps -------------------------------
+// Same shapes through the pre-substrate jki kernels, so the speedup of the
+// packed micro-kernel path is directly visible in one run. The non-square
+// sweep exercises the shapes the factorization actually produces (tall
+// panel x wide panel rank-ns updates).
+
+void BM_GemmMinusRef(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto a = random_dominant(n, 4);
+  const auto b = random_dominant(n, 5);
+  std::vector<real_t> c(a.size(), 0.0);
+  for (auto _ : state) {
+    dense::ref::gemm_minus(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dense::gemm_flops(n, n, n));
+}
+BENCHMARK(BM_GemmMinusRef)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(384)->Arg(512);
+
+void BM_GemmMinusRankK(benchmark::State& state) {
+  const auto m = static_cast<index_t>(state.range(0));
+  const auto k = static_cast<index_t>(state.range(1));
+  Rng rng(6);
+  std::vector<real_t> a(static_cast<std::size_t>(m) * static_cast<std::size_t>(k));
+  std::vector<real_t> b(static_cast<std::size_t>(k) * static_cast<std::size_t>(m));
+  std::vector<real_t> c(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    dense::gemm_minus(m, m, k, a.data(), m, b.data(), k, c.data(), m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dense::gemm_flops(m, m, k));
+}
+BENCHMARK(BM_GemmMinusRankK)
+    ->Args({256, 32})
+    ->Args({256, 64})
+    ->Args({512, 64})
+    ->Args({512, 128});
+
+void BM_GemmMinusNt(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto a = random_dominant(n, 7);
+  const auto b = random_dominant(n, 8);
+  std::vector<real_t> c(a.size(), 0.0);
+  for (auto _ : state) {
+    dense::gemm_minus_nt(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dense::gemm_flops(n, n, n));
+}
+BENCHMARK(BM_GemmMinusNt)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmMinusNtRef(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto a = random_dominant(n, 7);
+  const auto b = random_dominant(n, 8);
+  std::vector<real_t> c(a.size(), 0.0);
+  for (auto _ : state) {
+    dense::ref::gemm_minus_nt(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dense::gemm_flops(n, n, n));
+}
+BENCHMARK(BM_GemmMinusNtRef)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GetrfRef(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto a0 = random_dominant(n, 1);
+  std::vector<real_t> a(a0.size());
+  for (auto _ : state) {
+    a = a0;
+    dense::ref::getrf_nopiv(n, a.data(), n);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dense::getrf_flops(n));
+}
+BENCHMARK(BM_GetrfRef)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_SequentialSparseLU(benchmark::State& state) {
   const auto side = static_cast<index_t>(state.range(0));

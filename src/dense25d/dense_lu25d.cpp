@@ -1,6 +1,6 @@
 #include "dense25d/dense_lu25d.hpp"
 
-#include <map>
+#include <utility>
 
 #include "numeric/dense_kernels.hpp"
 #include "support/check.hpp"
@@ -71,6 +71,12 @@ void dense_lu_25d(Dense25dMatrix& A, sim::Comm& world, sim::ProcessGrid3D& grid,
 
   auto tag = [&](int k, int op) { return options.tag_base + 8 * k + op; };
 
+  // Step-loop scratch, hoisted so the hot loop reuses capacity instead of
+  // allocating fresh buffers at every step k: the broadcast diagonal block
+  // and grow-only pools for the stashed L-column / U-row panel blocks.
+  std::vector<real_t> diag;
+  std::vector<std::pair<int, std::vector<real_t>>> lcol, urow;
+
   for (int k = 0; k < nb; ++k) {
     const int owner_layer = k % c;
 
@@ -91,7 +97,7 @@ void dense_lu_25d(Dense25dMatrix& A, sim::Comm& world, sim::ProcessGrid3D& grid,
     if (grid.pz() != owner_layer) continue;  // this layer skips step k
 
     // 2. 2D factorization of step k within the owner layer.
-    std::vector<real_t> diag(bb, 0.0);
+    diag.assign(bb, 0.0);
     if (plane.owns(k, k)) {
       auto d = A.at(k, k);
       dense::getrf_nopiv(b, d.data(), b);
@@ -119,30 +125,37 @@ void dense_lu_25d(Dense25dMatrix& A, sim::Comm& world, sim::ProcessGrid3D& grid,
     }
 
     // 3. Panel broadcasts within the layer, then the trailing update on
-    //    this layer's copy only.
-    std::map<int, std::vector<real_t>> lcol, urow;
+    //    this layer's copy only. Pool slots past the live count keep their
+    //    capacity from earlier (larger) steps.
+    std::size_t nl = 0, nu = 0;
     for (int i = k + 1; i < nb; ++i) {
       if (i % p != px) continue;
-      std::vector<real_t> buf(bb, 0.0);
+      if (nl == lcol.size()) lcol.emplace_back();
+      auto& [bi, buf] = lcol[nl++];
+      bi = i;
+      buf.assign(bb, 0.0);
       if (in_pcol) {
         const auto blk = A.at(i, k);
         std::copy(blk.begin(), blk.end(), buf.begin());
       }
       plane.row().bcast(k % p, tag(k, 3), buf, CommPlane::XY);
-      lcol.emplace(i, std::move(buf));
     }
     for (int j = k + 1; j < nb; ++j) {
       if (j % p != py) continue;
-      std::vector<real_t> buf(bb, 0.0);
+      if (nu == urow.size()) urow.emplace_back();
+      auto& [bj, buf] = urow[nu++];
+      bj = j;
+      buf.assign(bb, 0.0);
       if (in_prow) {
         const auto blk = A.at(k, j);
         std::copy(blk.begin(), blk.end(), buf.begin());
       }
       plane.col().bcast(k % p, tag(k, 4), buf, CommPlane::XY);
-      urow.emplace(j, std::move(buf));
     }
-    for (const auto& [i, lb] : lcol) {
-      for (const auto& [j, ub] : urow) {
+    for (std::size_t li = 0; li < nl; ++li) {
+      const auto& [i, lb] = lcol[li];
+      for (std::size_t uj = 0; uj < nu; ++uj) {
+        const auto& [j, ub] = urow[uj];
         dense::gemm_minus(b, b, b, lb.data(), b, ub.data(), b,
                           A.at(i, j).data(), b);
         plane.grid().add_compute(dense::gemm_flops(b, b, b),

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "numeric/dense_kernels.hpp"
+#include "numeric/kernel_scratch.hpp"
 #include "numeric/schur.hpp"
 #include "support/check.hpp"
 
@@ -154,7 +155,7 @@ class Chol2dDriver {
         const index_t m =
             bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
         dense::trsm_right_lower_trans(ns, m, diag.data(), ns, blk.data.data(), m);
-        g_.grid().add_compute(dense::trsm_flops(ns, m) / 2, ComputeKind::PanelSolve);
+        g_.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
       }
     }
 
@@ -192,8 +193,7 @@ class Chol2dDriver {
     Stash& stash = it->second;
 
     const auto panel = bs_.lpanel(k);
-    std::vector<real_t> scratch;
-    std::vector<index_t> pos;
+    dense::KernelScratch& ws = dense::KernelScratch::per_rank();
     for (const auto& [pi, ldata] : stash.row_role) {
       const PanelBlock& bi = panel[static_cast<std::size_t>(pi)];
       const index_t mi = bi.n_rows();
@@ -202,7 +202,8 @@ class Chol2dDriver {
         if (bj.snode > bi.snode) break;  // lower triangle only
         if (!F_.wants_snode(bj.snode)) continue;
         const index_t mj = bj.n_rows();
-        scratch.assign(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj), 0.0);
+        auto scratch =
+            ws.stage_zero(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
         dense::gemm_minus_nt(mi, mj, ns, ldata.data(), mi, tdata.data(), mj,
                              scratch.data(), mi);
         g_.grid().add_compute(dense::gemm_flops(mi, mj, ns),
@@ -225,7 +226,7 @@ class Chol2dDriver {
           SLU3D_CHECK(blk != nullptr, "Schur target L block not owned");
           const auto& brows =
               bs_.lpanel(bj.snode)[static_cast<std::size_t>(blk->panel_idx)].rows;
-          pos.assign(static_cast<std::size_t>(mi), 0);
+          auto pos = ws.index_stage(static_cast<std::size_t>(mi));
           locate_sorted_subset(bi.rows, brows, pos);
           const auto mt = brows.size();
           const index_t f = bs_.first_col(bj.snode);

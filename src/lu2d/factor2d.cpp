@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "numeric/dense_kernels.hpp"
+#include "numeric/kernel_scratch.hpp"
 #include "numeric/schur.hpp"
 #include "support/check.hpp"
 
@@ -137,7 +138,7 @@ class Factor2dDriver {
     PanelStash& stash = it->second;
 
     const auto panel = bs_.lpanel(k);
-    std::vector<real_t> scratch;
+    dense::KernelScratch& ws = dense::KernelScratch::per_rank();
     for (const auto& [pi, ldata] : stash.lblocks) {
       const PanelBlock& bi = panel[static_cast<std::size_t>(pi)];
       const index_t mi = bi.n_rows();
@@ -149,7 +150,8 @@ class Factor2dDriver {
         // materialized on this grid (3D masked layouts).
         const int target_col = std::min(bi.snode, bj.snode);
         if (!F_.wants_snode(target_col)) continue;
-        scratch.assign(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj), 0.0);
+        auto scratch =
+            ws.stage_zero(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
         dense::gemm_minus(mi, mj, ns, ldata.data(), mi, udata.data(), ns,
                           scratch.data(), mi);
         g_.grid().add_compute(dense::gemm_flops(mi, mj, ns),
@@ -184,7 +186,8 @@ class Factor2dDriver {
       SLU3D_CHECK(blk != nullptr, "Schur target L block not owned");
       const auto& brows =
           bs_.lpanel(bj)[static_cast<std::size_t>(blk->panel_idx)].rows;
-      std::vector<index_t> pos(static_cast<std::size_t>(mi));
+      auto pos = dense::KernelScratch::per_rank().index_stage(
+          static_cast<std::size_t>(mi));
       locate_sorted_subset(rows_i, brows, pos);
       const auto m = brows.size();
       const index_t f = bs_.first_col(bj);
@@ -200,7 +203,8 @@ class Factor2dDriver {
     SLU3D_CHECK(blk != nullptr, "Schur target U block not owned");
     const auto& bcols =
         bs_.lpanel(bi)[static_cast<std::size_t>(blk->panel_idx)].rows;
-    std::vector<index_t> pos(static_cast<std::size_t>(mj));
+    auto pos = dense::KernelScratch::per_rank().index_stage(
+        static_cast<std::size_t>(mj));
     locate_sorted_subset(cols_j, bcols, pos);
     const auto nsu = static_cast<std::size_t>(bs_.snode_size(bi));
     const index_t f = bs_.first_col(bi);

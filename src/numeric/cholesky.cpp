@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numeric/dense_kernels.hpp"
+#include "numeric/kernel_scratch.hpp"
 #include "numeric/schur.hpp"
 #include "support/check.hpp"
 
@@ -98,8 +99,7 @@ offset_t CholeskyFactors::allocated_bytes() const {
 
 void factorize_cholesky(CholeskyFactors& F) {
   const BlockStructure& bs = F.structure();
-  std::vector<real_t> scratch;
-  std::vector<index_t> pos;
+  dense::KernelScratch& ws = dense::KernelScratch::per_rank();
   for (int s = 0; s < bs.n_snodes(); ++s) {
     const index_t ns = bs.snode_size(s);
     if (ns == 0) continue;
@@ -117,7 +117,8 @@ void factorize_cholesky(CholeskyFactors& F) {
       for (const PanelBlock& bj : panel) {
         if (bj.snode > bi.snode) break;
         const auto [oj, mj] = F.block_range(s, bj.snode);
-        scratch.assign(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj), 0.0);
+        auto scratch =
+            ws.stage_zero(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
         dense::gemm_minus_nt(mi, mj, ns, F.lpanel(s).data() + oi, m,
                              F.lpanel(s).data() + oj, m, scratch.data(), mi);
 
@@ -140,7 +141,7 @@ void factorize_cholesky(CholeskyFactors& F) {
           const auto mt = static_cast<index_t>(rows.size());
           const auto [off, cnt] = F.block_range(bj.snode, bi.snode);
           SLU3D_CHECK(off >= 0, "target L block missing");
-          pos.assign(static_cast<std::size_t>(mi), 0);
+          auto pos = ws.index_stage(static_cast<std::size_t>(mi));
           locate_sorted_subset(bi.rows,
                                rows.subspan(static_cast<std::size_t>(off),
                                             static_cast<std::size_t>(cnt)),

@@ -1,12 +1,27 @@
 // Dense BLAS-3-style kernels (the MKL substitute). All matrices are
 // column-major with an explicit leading dimension, matching the interfaces
 // SuperLU_DIST calls (GETRF without pivoting, two TRSM variants, GEMM).
+//
+// The default entry points run on a BLIS-style blocked substrate: an
+// MR x NR register-tiled micro-kernel under KC/MC/NC cache blocking with
+// explicit packing of A and B into contiguous aligned buffers (see
+// DESIGN.md, "Dense kernel substrate"). The historical triple-loop
+// kernels are preserved under dense::ref for testing and as the
+// zero-skipping variant sparse-scatter callers may opt into.
 #pragma once
 
 #include "support/types.hpp"
 
 namespace slu3d {
 namespace dense {
+
+// ---- blocking parameters (see DESIGN.md for the retuning recipe) -------
+inline constexpr index_t kMR = 8;    ///< micro-tile rows (register tiling)
+inline constexpr index_t kNR = 6;    ///< micro-tile columns
+inline constexpr index_t kKC = 256;  ///< k-dimension cache block (packed panel depth)
+inline constexpr index_t kMC = 128;  ///< m-dimension cache block (A block, ~L2)
+inline constexpr index_t kNC = 512;  ///< n-dimension cache block (B panel)
+inline constexpr index_t kTB = 64;   ///< triangular/diagonal block for TRSM/GETRF/POTRF
 
 /// In-place LU factorization without pivoting: A = L U with L unit lower
 /// triangular, both overwriting A. Throws if a diagonal entry collapses
@@ -74,6 +89,43 @@ inline offset_t trsm_flops(offset_t n, offset_t m) { return static_cast<offset_t
 inline offset_t gemm_flops(offset_t m, offset_t n, offset_t k) {
   return 2 * m * n * k;
 }
+
+// ---- flop accounting audit ---------------------------------------------
+// Every public BLAS-3 entry point above adds its canonical model count
+// (the *_flops formula of its arguments; trsm_right_lower_trans counts
+// trsm_flops(n, m), packing traffic is never counted, and internal calls
+// inside a blocked kernel are not re-counted) to a thread-local counter.
+// A call site that charges the same formula to the simulator therefore
+// satisfies charged == performed exactly; test_model asserts this.
+
+/// Model flops performed by this thread's dense kernels since the last
+/// reset_flops_performed().
+offset_t flops_performed();
+void reset_flops_performed();
+
+// ---- reference kernels --------------------------------------------------
+// The original unblocked triple-loop implementations, kept verbatim: the
+// oracle for the blocked substrate's tests, and the only variants that
+// skip explicit zeros (a property some sparse-scatter callers may rely
+// on; the dense path must not pay the branch). They do not touch the
+// flop counter.
+namespace ref {
+
+void getrf_nopiv(index_t n, real_t* a, index_t lda, real_t tiny = 1e-300);
+void trsm_left_lower_unit(index_t n, index_t m, const real_t* a, index_t lda,
+                          real_t* b, index_t ldb);
+void trsm_right_upper(index_t n, index_t m, const real_t* a, index_t lda,
+                      real_t* b, index_t ldb);
+void trsm_right_lower_trans(index_t n, index_t m, const real_t* a, index_t lda,
+                            real_t* b, index_t ldb);
+void gemm_minus(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
+                const real_t* b, index_t ldb, real_t* c, index_t ldc);
+void gemm_minus_nt(index_t m, index_t n, index_t k, const real_t* a,
+                   index_t lda, const real_t* b, index_t ldb, real_t* c,
+                   index_t ldc);
+void potrf_lower(index_t n, real_t* a, index_t lda);
+
+}  // namespace ref
 
 }  // namespace dense
 }  // namespace slu3d

@@ -1,5 +1,6 @@
 #include "numeric/schur.hpp"
 
+#include "numeric/kernel_scratch.hpp"
 #include "support/check.hpp"
 
 namespace slu3d {
@@ -52,7 +53,10 @@ void schur_scatter_add(SupernodalMatrix& F, int bi, int bj,
     const auto m = static_cast<index_t>(rows.size());
     const auto [off, cnt] = F.block_range(bj, bi);
     SLU3D_CHECK(off >= 0, "target L block missing");
-    std::vector<index_t> pos(static_cast<std::size_t>(mi));
+    // The caller's `v` may alias the arena's real_t stage; the index stage
+    // is a distinct buffer, so this is safe.
+    auto pos = dense::KernelScratch::per_rank().index_stage(
+        static_cast<std::size_t>(mi));
     locate_sorted_subset(rows_i, rows.subspan(static_cast<std::size_t>(off),
                                               static_cast<std::size_t>(cnt)),
                          pos);
@@ -73,7 +77,8 @@ void schur_scatter_add(SupernodalMatrix& F, int bi, int bj,
   const index_t ns = bs.snode_size(bi);
   const auto [off, cnt] = F.block_range(bi, bj);
   SLU3D_CHECK(off >= 0, "target U block missing");
-  std::vector<index_t> pos(static_cast<std::size_t>(mj));
+  auto pos = dense::KernelScratch::per_rank().index_stage(
+      static_cast<std::size_t>(mj));
   locate_sorted_subset(cols_j, cols.subspan(static_cast<std::size_t>(off),
                                             static_cast<std::size_t>(cnt)),
                        pos);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "numeric/dense_kernels.hpp"
+#include "numeric/kernel_scratch.hpp"
 #include "numeric/schur.hpp"
 #include "support/check.hpp"
 
@@ -12,7 +13,9 @@ namespace slu3d {
 namespace {
 
 /// Factor one supernode's diagonal + panels and apply its Schur update.
-void eliminate_snode(SupernodalMatrix& F, int s, std::vector<real_t>& scratch) {
+/// The Schur staging block comes from the per-rank scratch arena, so the
+/// loop performs no per-supernode allocation once the arena has warmed up.
+void eliminate_snode(SupernodalMatrix& F, int s, dense::KernelScratch& ws) {
   const BlockStructure& bs = F.structure();
   const index_t ns = bs.snode_size(s);
   if (ns == 0) return;  // empty separator block
@@ -35,7 +38,8 @@ void eliminate_snode(SupernodalMatrix& F, int s, std::vector<real_t>& scratch) {
     for (const PanelBlock& bj : panel) {
       const auto [oj, mj] = F.block_range(s, bj.snode);
       // V = -(L block) * (U block), then scatter-add.
-      scratch.assign(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj), 0.0);
+      auto scratch =
+          ws.stage_zero(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
       dense::gemm_minus(mi, mj, ns, F.lpanel(s).data() + oi, m,
                         F.upanel(s).data() + static_cast<std::size_t>(oj) * static_cast<std::size_t>(ns),
                         ns, scratch.data(), mi);
@@ -53,11 +57,11 @@ void factorize_sequential(SupernodalMatrix& F) {
 }
 
 void factorize_snodes_sequential(SupernodalMatrix& F, std::span<const int> snodes) {
-  std::vector<real_t> scratch;
+  dense::KernelScratch& ws = dense::KernelScratch::per_rank();
   for (int s : snodes) {
     SLU3D_CHECK(F.has_snode(s) || F.structure().snode_size(s) == 0,
                 "supernode not allocated");
-    eliminate_snode(F, s, scratch);
+    eliminate_snode(F, s, ws);
   }
 }
 

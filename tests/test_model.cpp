@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numeric>
 
+#include "lu2d/dist_chol.hpp"
+#include "lu2d/factor2d.hpp"
 #include "model/cost_model.hpp"
+#include "numeric/dense_kernels.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
 #include "support/check.hpp"
 
 namespace slu3d::model {
@@ -91,6 +97,66 @@ TEST(Model, PredictedSecondsCombinesTerms) {
 TEST(Model, RejectsBadArguments) {
   EXPECT_THROW(planar_2d_alg(0.5, 4), slu3d::Error);
   EXPECT_THROW(planar_3d_alg(kN, 4, 8), slu3d::Error);  // Pz > P
+}
+
+// ---- flop accounting audit ----------------------------------------------
+// The simulator's logical clocks are only meaningful if the flops charged
+// via add_compute equal the flops the dense kernels actually perform. Every
+// public kernel self-reports its canonical model count to a thread-local
+// counter (see dense_kernels.hpp); since each simulated rank is its own
+// thread, charged == performed must hold exactly per rank.
+
+namespace {
+
+offset_t charged_factorization_flops(const sim::RankStats& st) {
+  using sim::ComputeKind;
+  return st.flops[static_cast<std::size_t>(ComputeKind::DiagFactor)] +
+         st.flops[static_cast<std::size_t>(ComputeKind::PanelSolve)] +
+         st.flops[static_cast<std::size_t>(ComputeKind::SchurUpdate)];
+}
+
+}  // namespace
+
+TEST(FlopAccounting, Lu2dChargesExactlyWhatKernelsPerform) {
+  const GridGeometry g{8, 8, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = 8});
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+
+  sim::run_ranks(1, sim::MachineModel{}, [&](sim::Comm& world) {
+    auto grid = sim::ProcessGrid2D::create(world, 1, 1);
+    Dist2dFactors F(bs, 1, 1, 0, 0);
+    F.fill_from(Ap);
+    std::vector<int> all(static_cast<std::size_t>(bs.n_snodes()));
+    std::iota(all.begin(), all.end(), 0);
+    dense::reset_flops_performed();
+    factorize_2d(F, grid, all, {});
+    EXPECT_EQ(charged_factorization_flops(world.stats()),
+              dense::flops_performed());
+    EXPECT_GT(dense::flops_performed(), 0);
+  });
+}
+
+TEST(FlopAccounting, Chol2dChargesExactlyWhatKernelsPerform) {
+  const GridGeometry g{8, 8, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = 8});
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+
+  sim::run_ranks(1, sim::MachineModel{}, [&](sim::Comm& world) {
+    auto grid = sim::ProcessGrid2D::create(world, 1, 1);
+    DistCholFactors F(bs, 1, 1, 0, 0);
+    F.fill_from(Ap);
+    std::vector<int> all(static_cast<std::size_t>(bs.n_snodes()));
+    std::iota(all.begin(), all.end(), 0);
+    dense::reset_flops_performed();
+    factorize_2d_cholesky(F, grid, all, {});
+    EXPECT_EQ(charged_factorization_flops(world.stats()),
+              dense::flops_performed());
+    EXPECT_GT(dense::flops_performed(), 0);
+  });
 }
 
 }  // namespace
