@@ -1,6 +1,7 @@
 #include "lu2d/dist_chol.hpp"
 
-#include <map>
+#include <algorithm>
+#include <span>
 
 #include "numeric/dense_kernels.hpp"
 #include "numeric/kernel_scratch.hpp"
@@ -93,6 +94,14 @@ offset_t DistCholFactors::allocated_bytes() const {
 
 namespace {
 
+/// One broadcast panel block staged for the Schur phase (m x ns values at
+/// `offset` in the stash's flat storage).
+struct StashEntry {
+  int panel_idx;
+  std::size_t offset;
+  index_t m;
+};
+
 class Chol2dDriver {
  public:
   Chol2dDriver(DistCholFactors& F, sim::ProcessGrid2D& grid,
@@ -125,86 +134,183 @@ class Chol2dDriver {
   }
 
  private:
+  /// Broadcast panels of one in-flight supernode. Flat storage (borrowed
+  /// from the per-rank scratch pool) replaces per-block map nodes; entry
+  /// lists stay sorted by panel_idx by construction. In async mode `ops`
+  /// records, in post order, the outstanding requests plus deferred
+  /// relay re-broadcasts (relay_pi >= 0): the transposed-role relay can
+  /// only re-broadcast a payload after its own row-role request
+  /// completes, so that forwarding happens during the Schur drain, never
+  /// as a blocking wait inside panel_phase (which could deadlock against
+  /// peers whose forwarding waits also run at their drains).
   struct Stash {
-    std::map<int, std::vector<real_t>> row_role;  // panel_idx -> m x ns
-    std::map<int, std::vector<real_t>> col_role;  // panel_idx -> m x ns
+    int k = -1;  ///< supernode, or -1 when the slot is free
+    std::vector<StashEntry> row_entries, col_entries;
+    std::vector<real_t> storage;
+    struct AsyncOp {
+      sim::Request req;
+      int relay_pi = -1;
+      std::size_t row_off = 0, col_off = 0, elems = 0;
+    };
+    std::vector<AsyncOp> ops;
   };
 
   int tag(int k, int op) const { return opt_.tag_base + 8 * k + op; }
 
+  Stash& stash_alloc(int k) {
+    for (Stash& s : stash_)
+      if (s.k < 0) {
+        s.k = k;
+        return s;
+      }
+    stash_.emplace_back();
+    stash_.back().k = k;
+    return stash_.back();
+  }
+
+  Stash* stash_find(int k) {
+    for (Stash& s : stash_)
+      if (s.k == k) return &s;
+    return nullptr;
+  }
+
   void panel_phase(int k) {
     const index_t ns = bs_.snode_size(k);
     if (ns == 0) return;
-    Stash& stash = stash_[k];
-    const int pxk = k % g_.Px();
+    Stash& stash = stash_alloc(k);
     const int pyk = k % g_.Py();
     const bool in_pcol = g_.py() == pyk;
 
     // Diagonal Cholesky at the owner, broadcast down the process column
-    // (only the L-panel solvers need it).
-    std::vector<real_t> diag(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns), 0.0);
+    // (only the L-panel solvers need it, right below — stays blocking).
+    diag_buf_.assign(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns), 0.0);
     if (F_.has_diag(k)) {
       auto d = F_.diag(k);
       dense::potrf_lower(ns, d.data(), ns);
       g_.grid().add_compute(dense::potrf_flops(ns), ComputeKind::DiagFactor);
-      std::copy(d.begin(), d.end(), diag.begin());
+      std::copy(d.begin(), d.end(), diag_buf_.begin());
     }
     if (in_pcol) {
-      g_.col().bcast(pxk, tag(k, 0), diag, CommPlane::XY);
+      g_.col().bcast(k % g_.Px(), tag(k, 0), diag_buf_, CommPlane::XY);
       for (OwnedBlock& blk : F_.lblocks(k)) {
         const index_t m =
             bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
-        dense::trsm_right_lower_trans(ns, m, diag.data(), ns, blk.data.data(), m);
+        dense::trsm_right_lower_trans(ns, m, diag_buf_.data(), ns,
+                                      blk.data.data(), m);
         g_.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
       }
     }
 
     // Panel broadcast: row role along the block row's process row; the
     // transposed role is relayed by the (a%Px, a%Py) rank down its column.
+    // Empty (ragged) blocks are skipped instead of broadcast. Storage is
+    // laid out fully first — spans handed to ibcast must stay put.
     const auto panel = bs_.lpanel(k);
+    std::size_t total = 0;
     for (int pi = 0; pi < static_cast<int>(panel.size()); ++pi) {
       const PanelBlock& blk = panel[static_cast<std::size_t>(pi)];
-      const auto m = static_cast<std::size_t>(blk.n_rows());
-      std::vector<real_t> buf(m * static_cast<std::size_t>(ns), 0.0);
-      const int arow = blk.snode % g_.Px();
-      const int acol = blk.snode % g_.Py();
-      if (g_.px() == arow) {
-        if (in_pcol) {
-          const OwnedBlock* ob = F_.find_lblock(k, blk.snode);
-          SLU3D_CHECK(ob != nullptr, "owner missing L block");
-          buf = ob->data;
-        }
-        g_.row().bcast(pyk, tag(k, 1), buf, CommPlane::XY);
-        stash.row_role.emplace(pi, buf);
+      const index_t m = blk.n_rows();
+      if (m == 0) continue;
+      const auto elems = static_cast<std::size_t>(m) * static_cast<std::size_t>(ns);
+      if (blk.snode % g_.Px() == g_.px()) {
+        stash.row_entries.push_back({pi, total, m});
+        total += elems;
       }
-      if (g_.py() == acol) {
-        // Relay root: the (arow, acol) rank, which got `buf` above.
-        g_.col().bcast(arow, tag(k, 2), buf, CommPlane::XY);
-        stash.col_role.emplace(pi, std::move(buf));
+      if (blk.snode % g_.Py() == g_.py()) {
+        stash.col_entries.push_back({pi, total, m});
+        total += elems;
       }
     }
+    stash.storage = dense::KernelScratch::per_rank().borrow();
+    stash.storage.resize(total, 0.0);
+
+    for (const StashEntry& e : stash.row_entries) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
+      const std::span<real_t> buf{
+          stash.storage.data() + e.offset,
+          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns)};
+      if (in_pcol) {
+        const OwnedBlock* ob = F_.find_lblock(k, blk.snode);
+        SLU3D_CHECK(ob != nullptr, "owner missing L block");
+        std::copy(ob->data.begin(), ob->data.end(), buf.begin());
+      }
+      if (opt_.async)
+        stash.ops.push_back(
+            {g_.row().ibcast(pyk, tag(k, 1), buf, CommPlane::XY), -1, 0, 0, 0});
+      else
+        g_.row().bcast(pyk, tag(k, 1), buf, CommPlane::XY);
+    }
+    for (const StashEntry& e : stash.col_entries) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
+      const int arow = blk.snode % g_.Px();
+      const auto elems = static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+      const std::span<real_t> buf{stash.storage.data() + e.offset, elems};
+      const bool relay = g_.px() == arow;  // root of the transposed bcast
+      const StashEntry* re = relay ? row_entry(stash, e.panel_idx) : nullptr;
+      if (relay) SLU3D_CHECK(re != nullptr, "relay missing row-role payload");
+      if (!opt_.async) {
+        if (relay)
+          std::copy_n(stash.storage.data() + re->offset, elems, buf.begin());
+        g_.col().bcast(arow, tag(k, 2), buf, CommPlane::XY);
+      } else if (!relay) {
+        stash.ops.push_back(
+            {g_.col().ibcast(arow, tag(k, 2), buf, CommPlane::XY), -1, 0, 0, 0});
+      } else if (in_pcol) {
+        // The relay is the row-role root itself: payload already local.
+        std::copy_n(stash.storage.data() + re->offset, elems, buf.begin());
+        stash.ops.push_back(
+            {g_.col().ibcast(arow, tag(k, 2), buf, CommPlane::XY), -1, 0, 0, 0});
+      } else {
+        // Deferred: re-broadcast once the row-role request (earlier in
+        // `ops`) has been drained.
+        stash.ops.push_back({sim::Request{}, e.panel_idx, re->offset, e.offset,
+                             elems});
+      }
+    }
+  }
+
+  static const StashEntry* row_entry(const Stash& stash, int pi) {
+    for (const StashEntry& e : stash.row_entries)
+      if (e.panel_idx == pi) return &e;
+    return nullptr;
   }
 
   void schur_phase(int k) {
     const index_t ns = bs_.snode_size(k);
     if (ns == 0) return;
-    const auto it = stash_.find(k);
-    SLU3D_CHECK(it != stash_.end(), "panel not factored before Schur phase");
-    Stash& stash = it->second;
-
+    Stash* stash = stash_find(k);
+    SLU3D_CHECK(stash != nullptr, "panel not factored before Schur phase");
+    // Drain posted broadcasts in post order; deferred relay roots forward
+    // as soon as their row-role payload (an earlier op) is in.
     const auto panel = bs_.lpanel(k);
+    for (Stash::AsyncOp& op : stash->ops) {
+      if (op.relay_pi < 0) {
+        op.req.wait();
+        continue;
+      }
+      std::copy_n(stash->storage.data() + op.row_off, op.elems,
+                  stash->storage.data() + op.col_off);
+      const PanelBlock& blk = panel[static_cast<std::size_t>(op.relay_pi)];
+      const std::span<real_t> buf{stash->storage.data() + op.col_off, op.elems};
+      // Root post: forwards to the column subtree immediately, completes.
+      g_.col().ibcast(blk.snode % g_.Px(), tag(k, 2), buf, CommPlane::XY);
+    }
+    stash->ops.clear();
+
     dense::KernelScratch& ws = dense::KernelScratch::per_rank();
-    for (const auto& [pi, ldata] : stash.row_role) {
-      const PanelBlock& bi = panel[static_cast<std::size_t>(pi)];
-      const index_t mi = bi.n_rows();
-      for (const auto& [pj, tdata] : stash.col_role) {
-        const PanelBlock& bj = panel[static_cast<std::size_t>(pj)];
+    for (const StashEntry& le : stash->row_entries) {
+      const PanelBlock& bi = panel[static_cast<std::size_t>(le.panel_idx)];
+      const index_t mi = le.m;
+      const real_t* ldata = stash->storage.data() + le.offset;
+      for (const StashEntry& ue : stash->col_entries) {
+        const PanelBlock& bj = panel[static_cast<std::size_t>(ue.panel_idx)];
         if (bj.snode > bi.snode) break;  // lower triangle only
         if (!F_.wants_snode(bj.snode)) continue;
-        const index_t mj = bj.n_rows();
+        const index_t mj = ue.m;
+        const real_t* tdata = stash->storage.data() + ue.offset;
         auto scratch =
             ws.stage_zero(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
-        dense::gemm_minus_nt(mi, mj, ns, ldata.data(), mi, tdata.data(), mj,
+        dense::gemm_minus_nt(mi, mj, ns, ldata, mi, tdata, mj,
                              scratch.data(), mi);
         g_.grid().add_compute(dense::gemm_flops(mi, mj, ns),
                               ComputeKind::SchurUpdate);
@@ -240,14 +346,19 @@ class Chol2dDriver {
         }
       }
     }
-    stash_.erase(it);
+    dense::KernelScratch::per_rank().recycle(std::move(stash->storage));
+    stash->storage = std::vector<real_t>{};
+    stash->row_entries.clear();
+    stash->col_entries.clear();
+    stash->k = -1;
   }
 
   DistCholFactors& F_;
   sim::ProcessGrid2D& g_;
   const BlockStructure& bs_;
   Chol2dOptions opt_;
-  std::map<int, Stash> stash_;
+  std::vector<Stash> stash_;       ///< slot pool, <= lookahead+1 live slots
+  std::vector<real_t> diag_buf_;   ///< reused diagonal broadcast buffer
 };
 
 }  // namespace

@@ -63,6 +63,10 @@ class DistCholFactors {
 struct Chol2dOptions {
   int lookahead = 8;
   int tag_base = 0;
+  /// Non-blocking panel broadcasts drained at the Schur phase (see
+  /// Lu2dOptions::async). The transposed-role relay rank still syncs on
+  /// its row-role request inline, since it re-broadcasts that payload.
+  bool async = true;
 };
 
 /// Distributed right-looking Cholesky over `snodes` (ascending).

@@ -1,6 +1,6 @@
 #include "lu2d/factor2d.hpp"
 
-#include <map>
+#include <algorithm>
 #include <vector>
 
 #include "numeric/dense_kernels.hpp"
@@ -15,12 +15,25 @@ namespace {
 using sim::CommPlane;
 using sim::ComputeKind;
 
+/// One broadcast panel block staged for the Schur phase: `m*ns` (L) or
+/// `ns*m` (U) values at `offset` in the stash's flat storage.
+struct StashEntry {
+  int panel_idx;
+  std::size_t offset;
+  index_t m;
+};
+
 /// Broadcast panels of one in-flight supernode, stashed until its Schur
-/// update has been applied.
+/// update has been applied. Entries are appended in ascending panel_idx
+/// order; storage is one flat buffer borrowed from the per-rank scratch
+/// pool, so the look-ahead hot path performs no per-supernode node
+/// allocations. In async mode `requests` holds the outstanding panel
+/// ibcasts, drained only when the Schur phase consumes the payloads.
 struct PanelStash {
-  std::vector<real_t> diag;                    // ns x ns factored diagonal
-  std::map<int, std::vector<real_t>> lblocks;  // panel_idx -> (m x ns)
-  std::map<int, std::vector<real_t>> ublocks;  // panel_idx -> (ns x m)
+  int k = -1;  ///< supernode, or -1 when the slot is free
+  std::vector<StashEntry> lentries, uentries;
+  std::vector<real_t> storage;
+  std::vector<sim::Request> requests;
 };
 
 class Factor2dDriver {
@@ -61,33 +74,54 @@ class Factor2dDriver {
  private:
   int tag(int k, int op) const { return opt_.tag_base + 8 * k + op; }
 
+  /// Claims a free stash slot (at most lookahead+1 are ever live, so the
+  /// linear scans here are trivial).
+  PanelStash& stash_alloc(int k) {
+    for (PanelStash& s : stash_)
+      if (s.k < 0) {
+        s.k = k;
+        return s;
+      }
+    stash_.emplace_back();
+    stash_.back().k = k;
+    return stash_.back();
+  }
+
+  PanelStash* stash_find(int k) {
+    for (PanelStash& s : stash_)
+      if (s.k == k) return &s;
+    return nullptr;
+  }
+
   void panel_phase(int k) {
     const index_t ns = bs_.snode_size(k);
     if (ns == 0) return;
-    PanelStash& stash = stash_[k];
+    PanelStash& stash = stash_alloc(k);
     const int pxk = k % g_.Px();
     const int pyk = k % g_.Py();
     const bool in_prow = g_.px() == pxk;
     const bool in_pcol = g_.py() == pyk;
 
     // 1+2: diagonal factorization at the owner, broadcast along the
-    // owner's process row (for U panel solves) and column (for L).
-    stash.diag.assign(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns), 0.0);
+    // owner's process row (for U panel solves) and column (for L). The
+    // diagonal is consumed by the panel solves right below, so these
+    // broadcasts stay blocking even in async mode.
+    diag_buf_.assign(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns), 0.0);
     if (F_.owns(k, k)) {
       auto d = F_.diag(k);
       dense::getrf_nopiv(ns, d.data(), ns);
       g_.grid().add_compute(dense::getrf_flops(ns), ComputeKind::DiagFactor);
-      std::copy(d.begin(), d.end(), stash.diag.begin());
+      std::copy(d.begin(), d.end(), diag_buf_.begin());
     }
-    if (in_prow) g_.row().bcast(pyk, tag(k, 0), stash.diag, CommPlane::XY);
-    if (in_pcol) g_.col().bcast(pxk, tag(k, 1), stash.diag, CommPlane::XY);
+    if (in_prow) g_.row().bcast(pyk, tag(k, 0), diag_buf_, CommPlane::XY);
+    if (in_pcol) g_.col().bcast(pxk, tag(k, 1), diag_buf_, CommPlane::XY);
 
     // 3: panel solves on the owning process column / row.
     if (in_pcol) {
       for (OwnedBlock& blk : F_.lblocks(k)) {
         const index_t m =
             bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
-        dense::trsm_right_upper(ns, m, stash.diag.data(), ns, blk.data.data(), m);
+        dense::trsm_right_upper(ns, m, diag_buf_.data(), ns, blk.data.data(), m);
         g_.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
       }
     }
@@ -95,56 +129,90 @@ class Factor2dDriver {
       for (OwnedBlock& blk : F_.ublocks(k)) {
         const index_t m =
             bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
-        dense::trsm_left_lower_unit(ns, m, stash.diag.data(), ns,
+        dense::trsm_left_lower_unit(ns, m, diag_buf_.data(), ns,
                                     blk.data.data(), ns);
         g_.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
       }
     }
 
     // 4: panel broadcast. L block (a, k) goes along process row (a % Px);
-    // U block (k, a) goes along process column (a % Py).
+    // U block (k, a) goes along process column (a % Py). Empty (ragged)
+    // blocks are skipped outright instead of broadcasting 0-byte payloads.
+    // First lay out the flat stash storage — spans handed to ibcast must
+    // stay put — then post the broadcasts.
     const auto panel = bs_.lpanel(k);
+    std::size_t total = 0;
     for (int pi = 0; pi < static_cast<int>(panel.size()); ++pi) {
       const PanelBlock& blk = panel[static_cast<std::size_t>(pi)];
-      const auto m = static_cast<std::size_t>(blk.n_rows());
+      const index_t m = blk.n_rows();
+      if (m == 0) continue;
+      const auto elems = static_cast<std::size_t>(m) * static_cast<std::size_t>(ns);
       if (blk.snode % g_.Px() == g_.px()) {
-        std::vector<real_t> buf(m * static_cast<std::size_t>(ns), 0.0);
-        if (in_pcol) {
-          const OwnedBlock* ob = F_.find_lblock(k, blk.snode);
-          SLU3D_CHECK(ob != nullptr, "owner missing L block");
-          buf = ob->data;
-        }
-        g_.row().bcast(pyk, tag(k, 2), buf, CommPlane::XY);
-        stash.lblocks.emplace(pi, std::move(buf));
+        stash.lentries.push_back({pi, total, m});
+        total += elems;
       }
       if (blk.snode % g_.Py() == g_.py()) {
-        std::vector<real_t> buf(static_cast<std::size_t>(ns) * m, 0.0);
-        if (in_prow) {
-          const OwnedBlock* ob = F_.find_ublock(k, blk.snode);
-          SLU3D_CHECK(ob != nullptr, "owner missing U block");
-          buf = ob->data;
-        }
-        g_.col().bcast(pxk, tag(k, 3), buf, CommPlane::XY);
-        stash.ublocks.emplace(pi, std::move(buf));
+        stash.uentries.push_back({pi, total, m});
+        total += elems;
       }
+    }
+    stash.storage = dense::KernelScratch::per_rank().borrow();
+    stash.storage.resize(total, 0.0);
+
+    for (const StashEntry& e : stash.lentries) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
+      const std::span<real_t> buf{
+          stash.storage.data() + e.offset,
+          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns)};
+      if (in_pcol) {
+        const OwnedBlock* ob = F_.find_lblock(k, blk.snode);
+        SLU3D_CHECK(ob != nullptr, "owner missing L block");
+        std::copy(ob->data.begin(), ob->data.end(), buf.begin());
+      }
+      if (opt_.async)
+        stash.requests.push_back(
+            g_.row().ibcast(pyk, tag(k, 2), buf, CommPlane::XY));
+      else
+        g_.row().bcast(pyk, tag(k, 2), buf, CommPlane::XY);
+    }
+    for (const StashEntry& e : stash.uentries) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
+      const std::span<real_t> buf{
+          stash.storage.data() + e.offset,
+          static_cast<std::size_t>(ns) * static_cast<std::size_t>(e.m)};
+      if (in_prow) {
+        const OwnedBlock* ob = F_.find_ublock(k, blk.snode);
+        SLU3D_CHECK(ob != nullptr, "owner missing U block");
+        std::copy(ob->data.begin(), ob->data.end(), buf.begin());
+      }
+      if (opt_.async)
+        stash.requests.push_back(
+            g_.col().ibcast(pxk, tag(k, 3), buf, CommPlane::XY));
+      else
+        g_.col().bcast(pxk, tag(k, 3), buf, CommPlane::XY);
     }
   }
 
   void schur_phase(int k) {
     const index_t ns = bs_.snode_size(k);
     if (ns == 0) return;
-    const auto it = stash_.find(k);
-    SLU3D_CHECK(it != stash_.end(), "panel not factored before Schur phase");
-    PanelStash& stash = it->second;
+    PanelStash* stash = stash_find(k);
+    SLU3D_CHECK(stash != nullptr, "panel not factored before Schur phase");
+    // Drain the outstanding panel broadcasts only now: every update
+    // between the panel's post and this point has overlapped the transfer.
+    sim::wait_all(stash->requests);
+    stash->requests.clear();
 
     const auto panel = bs_.lpanel(k);
     dense::KernelScratch& ws = dense::KernelScratch::per_rank();
-    for (const auto& [pi, ldata] : stash.lblocks) {
-      const PanelBlock& bi = panel[static_cast<std::size_t>(pi)];
-      const index_t mi = bi.n_rows();
-      for (const auto& [pj, udata] : stash.ublocks) {
-        const PanelBlock& bj = panel[static_cast<std::size_t>(pj)];
-        const index_t mj = bj.n_rows();
+    for (const StashEntry& le : stash->lentries) {
+      const PanelBlock& bi = panel[static_cast<std::size_t>(le.panel_idx)];
+      const index_t mi = le.m;
+      const real_t* ldata = stash->storage.data() + le.offset;
+      for (const StashEntry& ue : stash->uentries) {
+        const PanelBlock& bj = panel[static_cast<std::size_t>(ue.panel_idx)];
+        const index_t mj = ue.m;
+        const real_t* udata = stash->storage.data() + ue.offset;
         // Target block (bi.snode, bj.snode) is owned by this rank by
         // construction of the stashes; skip if its column supernode is not
         // materialized on this grid (3D masked layouts).
@@ -152,14 +220,17 @@ class Factor2dDriver {
         if (!F_.wants_snode(target_col)) continue;
         auto scratch =
             ws.stage_zero(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
-        dense::gemm_minus(mi, mj, ns, ldata.data(), mi, udata.data(), ns,
-                          scratch.data(), mi);
+        dense::gemm_minus(mi, mj, ns, ldata, mi, udata, ns, scratch.data(), mi);
         g_.grid().add_compute(dense::gemm_flops(mi, mj, ns),
                               ComputeKind::SchurUpdate);
         scatter_local(bi.snode, bj.snode, bi.rows, bj.rows, scratch);
       }
     }
-    stash_.erase(it);
+    dense::KernelScratch::per_rank().recycle(std::move(stash->storage));
+    stash->storage = {};
+    stash->lentries.clear();
+    stash->uentries.clear();
+    stash->k = -1;
   }
 
   /// Adds V into the owned target block (bi, bj) — the distributed version
@@ -219,7 +290,8 @@ class Factor2dDriver {
   sim::ProcessGrid2D& g_;
   const BlockStructure& bs_;
   Lu2dOptions opt_;
-  std::map<int, PanelStash> stash_;
+  std::vector<PanelStash> stash_;  ///< slot pool, reused across supernodes
+  std::vector<real_t> diag_buf_;   ///< reusable diagonal broadcast buffer
 };
 
 }  // namespace

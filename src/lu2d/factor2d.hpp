@@ -26,6 +26,12 @@ struct Lu2dOptions {
   int lookahead = 8;
   /// Base message tag; the driver uses tags [tag_base, tag_base + 8*n_snodes).
   int tag_base = 0;
+  /// Post the look-ahead window's panel broadcasts as non-blocking
+  /// requests, drained lazily at the consuming Schur phase — so panel
+  /// transfer time is hidden behind earlier supernodes' updates. Per-plane
+  /// byte counters are identical to the blocking schedule (same binomial
+  /// trees); only the simulated critical path changes.
+  bool async = true;
 };
 
 /// Factorizes the supernodes in `snodes` (ascending elimination order) in

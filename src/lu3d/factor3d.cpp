@@ -26,6 +26,18 @@ void pack_snode(const Dist2dFactors& F, int s, std::vector<real_t>& out) {
     out.insert(out.end(), b.data.begin(), b.data.end());
 }
 
+/// Packed length of supernode s on this rank. Ranks sharing (px, py) on
+/// z-adjacent grids hold identical masked layouts for common ancestors,
+/// so sender and receiver compute the same value independently — empty
+/// chunks can be skipped symmetrically without a handshake.
+std::size_t packed_elems(const Dist2dFactors& F, int s) {
+  std::size_t n = 0;
+  if (F.has_diag(s)) n += F.diag(s).size();
+  for (const OwnedBlock& b : F.lblocks(s)) n += b.data.size();
+  for (const OwnedBlock& b : F.ublocks(s)) n += b.data.size();
+  return n;
+}
+
 /// Mirror of pack_snode: adds the packed stream into the local blocks.
 std::size_t add_snode(Dist2dFactors& F, int s, std::span<const real_t> buf,
                       std::size_t pos) {
@@ -75,9 +87,36 @@ void factorize_3d(Dist2dFactors& F, sim::ProcessGrid3D& grid,
   const int l = part.n_levels() - 1;
   const int pz = grid.pz();
 
+  // Outstanding per-ancestor reduction chunks (async mode). A chunk for
+  // supernode s is drained right before the level that factors s — until
+  // then its transfer rides under the 2D factorization of deeper levels.
+  struct Pending {
+    sim::Request req;
+    int s;
+  };
+  std::vector<Pending> outstanding;
+  auto drain = [&](auto&& keep_pending) {
+    std::size_t kept = 0;
+    for (Pending& p : outstanding) {
+      if (keep_pending(p.s)) {
+        outstanding[kept++] = std::move(p);
+        continue;
+      }
+      const std::vector<real_t> buf = p.req.take();
+      const std::size_t pos = add_snode(F, p.s, buf, 0);
+      SLU3D_CHECK(pos == buf.size(), "reduction chunk not fully consumed");
+    }
+    outstanding.resize(kept);
+  };
+
   for (int lvl = l; lvl >= 0; --lvl) {
     const int step = 1 << (l - lvl);
     if (pz % step != 0) continue;  // this grid is inactive at this level
+
+    // Chunks feeding this level's supernodes must be in before they are
+    // factored; deeper chunks keep overlapping.
+    if (options.async)
+      drain([&](int s) { return part.level_of(s) < lvl; });
 
     const std::vector<int> nodes = part.nodes_at(pz, lvl);
     factorize_2d(F, grid.plane(), nodes, options.lu2d);
@@ -92,17 +131,41 @@ void factorize_3d(Dist2dFactors& F, sim::ProcessGrid3D& grid,
       if (part.level_of(s) < lvl && part.on_grid(s, pz)) ancestors.push_back(s);
 
     if (k % 2 == 1) {
-      std::vector<real_t> buf;
-      for (int s : ancestors) pack_snode(F, s, buf);
-      grid.zline().send(pz - step, kReduceTagBase + lvl, buf, CommPlane::Z);
+      if (options.async) {
+        // The outgoing copies must include everything received so far.
+        drain([](int) { return false; });
+        std::vector<real_t> buf;
+        for (int s : ancestors) {
+          buf.clear();
+          pack_snode(F, s, buf);
+          if (buf.empty()) continue;  // peer skips the matching irecv
+          grid.zline().isend(pz - step, kReduceTagBase + lvl, buf,
+                             CommPlane::Z);
+        }
+      } else {
+        std::vector<real_t> buf;
+        for (int s : ancestors) pack_snode(F, s, buf);
+        grid.zline().send(pz - step, kReduceTagBase + lvl, buf, CommPlane::Z);
+      }
     } else {
-      const auto buf =
-          grid.zline().recv(pz + step, kReduceTagBase + lvl, CommPlane::Z);
-      std::size_t pos = 0;
-      for (int s : ancestors) pos = add_snode(F, s, buf, pos);
-      SLU3D_CHECK(pos == buf.size(), "reduction stream not fully consumed");
+      if (options.async) {
+        for (int s : ancestors) {
+          if (packed_elems(F, s) == 0) continue;
+          outstanding.push_back(
+              {grid.zline().irecv(pz + step, kReduceTagBase + lvl,
+                                  CommPlane::Z),
+               s});
+        }
+      } else {
+        const auto buf =
+            grid.zline().recv(pz + step, kReduceTagBase + lvl, CommPlane::Z);
+        std::size_t pos = 0;
+        for (int s : ancestors) pos = add_snode(F, s, buf, pos);
+        SLU3D_CHECK(pos == buf.size(), "reduction stream not fully consumed");
+      }
     }
   }
+  SLU3D_CHECK(outstanding.empty(), "undrained reduction chunks");
 }
 
 std::optional<SupernodalMatrix> gather_3d_to_root(const Dist2dFactors& F,

@@ -15,6 +15,13 @@ namespace slu3d {
 
 struct Lu3dOptions {
   Lu2dOptions lu2d;
+  /// Chunk the pairwise z-axis ancestor reduction into one non-blocking
+  /// message per ancestor supernode, and drain each chunk only when its
+  /// elimination-forest level is factored — overlapping the reduction
+  /// transfer with the 2D factorization of deeper levels. Byte volume per
+  /// plane is identical to the single blocking message; only message
+  /// counts and the critical path change.
+  bool async = true;
 };
 
 /// Creates the per-rank factor storage for the 3D layout: grid pz

@@ -26,6 +26,18 @@ void pack_snode(const DistCholFactors& F, int s, std::vector<real_t>& out) {
     out.insert(out.end(), b.data.begin(), b.data.end());
 }
 
+/// Packed length of supernode s on this rank (triangle-packed diagonal).
+/// Symmetric across z-adjacent grids sharing (px, py) — see factor3d.cpp.
+std::size_t packed_elems(const DistCholFactors& F, int s) {
+  std::size_t n = 0;
+  if (F.has_diag(s)) {
+    const auto ns = static_cast<std::size_t>(F.structure().snode_size(s));
+    n += ns * (ns + 1) / 2;
+  }
+  for (const OwnedBlock& b : F.lblocks(s)) n += b.data.size();
+  return n;
+}
+
 std::size_t add_snode(DistCholFactors& F, int s, std::span<const real_t> buf,
                       std::size_t pos) {
   if (F.has_diag(s)) {
@@ -71,9 +83,33 @@ void factorize_3d_cholesky(DistCholFactors& F, sim::ProcessGrid3D& grid,
   const int l = part.n_levels() - 1;
   const int pz = grid.pz();
 
+  // Outstanding per-ancestor reduction chunks (async mode); drained just
+  // before the level that factors them — see factorize_3d.
+  struct Pending {
+    sim::Request req;
+    int s;
+  };
+  std::vector<Pending> outstanding;
+  auto drain = [&](auto&& keep_pending) {
+    std::size_t kept = 0;
+    for (Pending& p : outstanding) {
+      if (keep_pending(p.s)) {
+        outstanding[kept++] = std::move(p);
+        continue;
+      }
+      const std::vector<real_t> buf = p.req.take();
+      const std::size_t pos = add_snode(F, p.s, buf, 0);
+      SLU3D_CHECK(pos == buf.size(), "reduction chunk not fully consumed");
+    }
+    outstanding.resize(kept);
+  };
+
   for (int lvl = l; lvl >= 0; --lvl) {
     const int step = 1 << (l - lvl);
     if (pz % step != 0) continue;
+
+    if (options.async)
+      drain([&](int s) { return part.level_of(s) < lvl; });
 
     const std::vector<int> nodes = part.nodes_at(pz, lvl);
     factorize_2d_cholesky(F, grid.plane(), nodes, options.chol2d);
@@ -86,17 +122,40 @@ void factorize_3d_cholesky(DistCholFactors& F, sim::ProcessGrid3D& grid,
       if (part.level_of(s) < lvl && part.on_grid(s, pz)) ancestors.push_back(s);
 
     if (k % 2 == 1) {
-      std::vector<real_t> buf;
-      for (int s : ancestors) pack_snode(F, s, buf);
-      grid.zline().send(pz - step, kReduceTagBase + lvl, buf, CommPlane::Z);
+      if (options.async) {
+        drain([](int) { return false; });
+        std::vector<real_t> buf;
+        for (int s : ancestors) {
+          buf.clear();
+          pack_snode(F, s, buf);
+          if (buf.empty()) continue;
+          grid.zline().isend(pz - step, kReduceTagBase + lvl, buf,
+                             CommPlane::Z);
+        }
+      } else {
+        std::vector<real_t> buf;
+        for (int s : ancestors) pack_snode(F, s, buf);
+        grid.zline().send(pz - step, kReduceTagBase + lvl, buf, CommPlane::Z);
+      }
     } else {
-      const auto buf =
-          grid.zline().recv(pz + step, kReduceTagBase + lvl, CommPlane::Z);
-      std::size_t pos = 0;
-      for (int s : ancestors) pos = add_snode(F, s, buf, pos);
-      SLU3D_CHECK(pos == buf.size(), "reduction stream not fully consumed");
+      if (options.async) {
+        for (int s : ancestors) {
+          if (packed_elems(F, s) == 0) continue;
+          outstanding.push_back(
+              {grid.zline().irecv(pz + step, kReduceTagBase + lvl,
+                                  CommPlane::Z),
+               s});
+        }
+      } else {
+        const auto buf =
+            grid.zline().recv(pz + step, kReduceTagBase + lvl, CommPlane::Z);
+        std::size_t pos = 0;
+        for (int s : ancestors) pos = add_snode(F, s, buf, pos);
+        SLU3D_CHECK(pos == buf.size(), "reduction stream not fully consumed");
+      }
     }
   }
+  SLU3D_CHECK(outstanding.empty(), "undrained reduction chunks");
 }
 
 std::optional<CholeskyFactors> gather_3d_cholesky(const DistCholFactors& F,

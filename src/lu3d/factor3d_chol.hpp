@@ -23,6 +23,8 @@ DistCholFactors make_3d_chol_factors(const BlockStructure& bs,
 
 struct Chol3dOptions {
   Chol2dOptions chol2d;
+  /// Chunked non-blocking z-axis ancestor reduction (see Lu3dOptions).
+  bool async = true;
 };
 
 /// Runs Algorithm 1 with the Cholesky 2D primitive. Collective over the

@@ -56,6 +56,19 @@ class KernelScratch {
     return idx_;
   }
 
+  /// Borrows an empty real_t buffer from the per-rank pool, retaining the
+  /// capacity of earlier uses — the factorization drivers back their
+  /// panel-stash storage with these instead of allocating per supernode.
+  /// Hand the buffer back with recycle() once its payload is consumed.
+  std::vector<real_t> borrow() {
+    if (pool_.empty()) return {};
+    std::vector<real_t> v = std::move(pool_.back());
+    pool_.pop_back();
+    v.clear();
+    return v;
+  }
+  void recycle(std::vector<real_t>&& v) { pool_.push_back(std::move(v)); }
+
   /// This thread's (= this simulated rank's) arena.
   static KernelScratch& per_rank();
 
@@ -63,6 +76,7 @@ class KernelScratch {
   AlignedBuffer a_, b_;
   std::vector<real_t> stage_;
   std::vector<index_t> idx_;
+  std::vector<std::vector<real_t>> pool_;
 };
 
 }  // namespace dense

@@ -25,6 +25,13 @@ struct RankStats {
   std::array<double, kNumComputeKinds> compute_seconds{};
   std::array<offset_t, kNumComputeKinds> flops{};
   double clock = 0.0;  ///< final logical time of the rank
+  /// Clock advance spent blocked for message arrivals: the sum over all
+  /// receives (blocking recv and Request::wait alike) of
+  /// max(0, sender_completion - local clock). With non-blocking
+  /// communication, transfer time hidden behind compute performed between
+  /// post and wait never shows up here — so wait_seconds measures the
+  /// *residual*, non-overlapped part of each transfer, not raw volume.
+  double wait_seconds = 0.0;
 
   offset_t total_bytes_sent() const {
     return bytes_sent[0] + bytes_sent[1];
@@ -36,6 +43,10 @@ struct RankStats {
   }
   /// Non-overlapped communication + synchronization time (the paper's
   /// T_comm): whatever part of the rank's final clock is not compute.
+  /// This already nets out overlap: a transfer fully hidden behind compute
+  /// contributes nothing (its wait jump is 0), and sender-side isend calls
+  /// contribute only the injection overhead alpha. It decomposes into
+  /// wait_seconds (blocked on arrivals) plus send occupancy/overheads.
   double comm_seconds() const { return clock - total_compute_seconds(); }
 };
 

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "support/check.hpp"
@@ -29,6 +29,10 @@ int full_tag(Op op, int tag) {
   SLU3D_CHECK(tag >= 0 && tag <= kMaxUserTag, "tag out of range");
   return (static_cast<int>(op) << 26) | tag;
 }
+
+offset_t payload_bytes(std::size_t n_reals) {
+  return static_cast<offset_t>(n_reals * sizeof(real_t));
+}
 }  // namespace
 
 struct MsgKey {
@@ -45,40 +49,73 @@ struct Envelope {
 
 class Context {
  public:
-  Context(int n, const MachineModel& m) : model(m), stats(static_cast<std::size_t>(n)) {
+  Context(int n, const MachineModel& m)
+      : model(m),
+        stats(static_cast<std::size_t>(n)),
+        net_busy(static_cast<std::size_t>(n), 0.0) {
     for (int i = 0; i < n; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
   }
+
+  /// Matching queue for one (comm, src, tag) key. Arriving envelopes get
+  /// ascending push sequence numbers; receives — blocking recv and posted
+  /// irecv alike — draw ascending tickets from the same counter, and ticket
+  /// t matches push t. That is exactly MPI's non-overtaking rule with
+  /// blocking and non-blocking receives ordered by post time in one stream.
+  struct Queue {
+    std::map<std::uint64_t, Envelope> ready;  ///< push seq -> envelope
+    std::uint64_t next_push = 0;
+    std::uint64_t next_ticket = 0;
+  };
 
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::map<MsgKey, std::deque<Envelope>> queues;
+    std::map<MsgKey, Queue> queues;
   };
+
+  /// Reserves the next matching slot of `key` at the destination (the
+  /// posting half of a receive).
+  std::uint64_t acquire_ticket(int dst_world, const MsgKey& key) {
+    Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
+    const std::lock_guard<std::mutex> lock(mb.mu);
+    return mb.queues[key].next_ticket++;
+  }
 
   void deliver(int dst_world, const MsgKey& key, Envelope env) {
     Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
     {
       const std::lock_guard<std::mutex> lock(mb.mu);
-      mb.queues[key].push_back(std::move(env));
+      Queue& q = mb.queues[key];
+      q.ready.emplace(q.next_push++, std::move(env));
     }
     mb.cv.notify_all();
   }
 
-  Envelope take(int dst_world, const MsgKey& key) {
+  /// Blocks until the envelope matching `ticket` has been delivered.
+  Envelope take_ticket(int dst_world, const MsgKey& key, std::uint64_t ticket) {
     Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
     std::unique_lock<std::mutex> lock(mb.mu);
     mb.cv.wait(lock, [&] {
       if (aborted.load(std::memory_order_relaxed)) return true;
       const auto it = mb.queues.find(key);
-      return it != mb.queues.end() && !it->second.empty();
+      return it != mb.queues.end() && it->second.ready.contains(ticket);
     });
     if (aborted.load(std::memory_order_relaxed))
       throw Error("simmpi: run aborted by a failing rank");
+    return pop_ready(mb, key, ticket);
+  }
+
+  /// Non-blocking half of take_ticket.
+  std::optional<Envelope> try_take_ticket(int dst_world, const MsgKey& key,
+                                          std::uint64_t ticket) {
+    Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
+    const std::lock_guard<std::mutex> lock(mb.mu);
+    if (aborted.load(std::memory_order_relaxed))
+      throw Error("simmpi: run aborted by a failing rank");
     const auto it = mb.queues.find(key);
-    Envelope env = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty()) mb.queues.erase(it);
-    return env;
+    if (it == mb.queues.end() || !it->second.ready.contains(ticket))
+      return std::nullopt;
+    return pop_ready(mb, key, ticket);
   }
 
   void abort_all() {
@@ -89,15 +126,117 @@ class Context {
     }
   }
 
+ private:
+  /// Removes and returns the matched envelope; the queue itself is erased
+  /// once drained AND free of outstanding tickets. Caller holds mb.mu.
+  Envelope pop_ready(Mailbox& mb, const MsgKey& key, std::uint64_t ticket) {
+    const auto it = mb.queues.find(key);
+    const auto rit = it->second.ready.find(ticket);
+    Envelope env = std::move(rit->second);
+    it->second.ready.erase(rit);
+    if (it->second.ready.empty() &&
+        it->second.next_push == it->second.next_ticket)
+      mb.queues.erase(it);
+    return env;
+  }
+
+ public:
+
   MachineModel model;
   std::vector<RankStats> stats;
   std::vector<RankTrace> traces;  // sized only when tracing is enabled
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  /// Per-rank time until which the rank's outgoing wire is occupied by
+  /// previously injected transfers. Written only by the owning rank's
+  /// thread (senders serialize their own transfers; LogGP's G applies at
+  /// the injection side).
+  std::vector<double> net_busy;
   std::atomic<bool> aborted{false};
 
   void record(int world_rank, TraceEvent ev) {
     if (traces.empty()) return;
     traces[static_cast<std::size_t>(world_rank)].push_back(ev);
+  }
+};
+
+/// Completion state of one outstanding non-blocking operation. Owned by the
+/// posting rank and touched only from its thread; cross-thread handoff goes
+/// through the mailbox queues.
+struct RequestState {
+  enum class Kind { Send, Recv, Bcast };
+
+  Context* ctx = nullptr;
+  Kind kind = Kind::Send;
+  int me_world = 0;
+  int peer_world = -1;  ///< source (Recv/Bcast) or destination (Send)
+  std::uint64_t comm_id = 0;
+  int ftag = 0;  ///< full (op-qualified) tag, for ibcast forwarding
+  MsgKey key{};
+  std::uint64_t ticket = 0;
+  CommPlane plane = CommPlane::XY;
+  double post_clock = 0.0;
+  bool completed = false;
+  std::vector<real_t> payload;    ///< irecv result, moved out by take()
+  std::span<real_t> buf{};        ///< ibcast destination
+  std::vector<int> child_worlds;  ///< ibcast subtree, fed on completion
+
+  RankStats& st() { return ctx->stats[static_cast<std::size_t>(me_world)]; }
+
+  /// Injects a copy of `buf` towards each child. `fb` is the earliest time
+  /// the payload exists on this rank: the post clock for a root, else
+  /// max(post clock, parent completion) — NOT the current clock, so a wait
+  /// performed long after the data arrived (async progress) does not delay
+  /// the subtree's logical arrival. Only the per-message CPU overhead
+  /// alpha is charged to this rank's clock.
+  void forward_children(double fb) {
+    if (child_worlds.empty()) return;
+    auto& s = st();
+    const offset_t bytes = payload_bytes(buf.size());
+    for (const int dst : child_worlds) {
+      const double start = std::max(fb, ctx->net_busy[static_cast<std::size_t>(me_world)]);
+      const double arrival = start + ctx->model.message_time(bytes);
+      ctx->net_busy[static_cast<std::size_t>(me_world)] = arrival;
+      const double t0 = s.clock;
+      s.clock += ctx->model.alpha;
+      ctx->record(me_world, {TraceEvent::Kind::Send, t0, s.clock, dst, bytes,
+                             ComputeKind::Other});
+      s.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
+      s.messages_sent[static_cast<std::size_t>(plane)] += 1;
+      ctx->deliver(dst, {comm_id, me_world, ftag},
+                   {std::vector<real_t>(buf.begin(), buf.end()), arrival});
+    }
+  }
+
+  /// Tries to finish the operation; `block` waits for the match. On
+  /// completion the clock advances to max(local, sender completion) — the
+  /// overlap credit: compute done since posting has hidden transfer time.
+  bool try_complete(bool block) {
+    if (completed) return true;
+    std::optional<Envelope> env;
+    if (block) {
+      env = ctx->take_ticket(me_world, key, ticket);
+    } else {
+      env = ctx->try_take_ticket(me_world, key, ticket);
+      if (!env) return false;
+    }
+    auto& s = st();
+    const offset_t bytes = payload_bytes(env->payload.size());
+    const double t0 = s.clock;
+    s.clock = std::max(s.clock, env->arrival);
+    ctx->record(me_world, {TraceEvent::Kind::Wait, t0, s.clock, peer_world,
+                           bytes, ComputeKind::Other});
+    s.wait_seconds += s.clock - t0;
+    s.bytes_received[static_cast<std::size_t>(plane)] += bytes;
+    s.messages_received[static_cast<std::size_t>(plane)] += 1;
+    if (kind == Kind::Bcast) {
+      SLU3D_CHECK(env->payload.size() == buf.size(), "ibcast size mismatch");
+      std::copy(env->payload.begin(), env->payload.end(), buf.begin());
+      forward_children(std::max(post_clock, env->arrival));
+    } else {
+      payload = std::move(env->payload);
+    }
+    completed = true;
+    return true;
   }
 };
 
@@ -112,6 +251,40 @@ offset_t payload_bytes(std::size_t n_reals) {
 }
 
 }  // namespace
+
+// ---- Request -------------------------------------------------------------
+
+Request::Request() = default;
+Request::Request(std::unique_ptr<detail::RequestState> st) : st_(std::move(st)) {}
+Request::Request(Request&&) noexcept = default;
+Request& Request::operator=(Request&&) noexcept = default;
+Request::~Request() = default;
+
+bool Request::done() const { return st_ == nullptr || st_->completed; }
+
+bool Request::test() {
+  if (!st_) return true;
+  return st_->try_complete(/*block=*/false);
+}
+
+void Request::wait() {
+  if (st_) st_->try_complete(/*block=*/true);
+}
+
+std::vector<real_t> Request::take() {
+  SLU3D_CHECK(st_ != nullptr, "take: empty request");
+  SLU3D_CHECK(st_->kind == detail::RequestState::Kind::Recv,
+              "take: not a receive request");
+  st_->try_complete(/*block=*/true);
+  return std::move(st_->payload);
+}
+
+void wait_all(std::span<Request> requests) {
+  for (Request& r : requests)
+    if (r.valid()) r.wait();
+}
+
+// ---- Comm basics ---------------------------------------------------------
 
 int Comm::world_rank() const { return members_[static_cast<std::size_t>(rank_)]; }
 
@@ -146,6 +319,8 @@ void Comm::add_seconds(double seconds, ComputeKind kind) {
   st.compute_seconds[static_cast<std::size_t>(kind)] += seconds;
 }
 
+// ---- charged point-to-point helpers --------------------------------------
+
 namespace {
 
 /// Uncharged internal send/recv used by split(); charged ones below.
@@ -159,49 +334,119 @@ struct Wire {
                  {std::move(payload), /*arrival=*/0.0});
   }
   std::vector<real_t> recv_free(int dst_world, int src_world, int tag) const {
-    return ctx->take(dst_world, {comm_id, src_world, tag}).payload;
+    const detail::MsgKey key{comm_id, src_world, tag};
+    const std::uint64_t ticket = ctx->acquire_ticket(dst_world, key);
+    return ctx->take_ticket(dst_world, key, ticket).payload;
   }
 };
+
+/// Blocking, charged send (store-and-forward): the sender is occupied for
+/// the full message time, starting when its wire is free, and the payload
+/// reaches the receiver at that same instant.
+void send_charged(detail::Context* ctx, std::uint64_t comm_id, int me_world,
+                  int dst_world, int ft, std::span<const real_t> payload,
+                  CommPlane plane) {
+  auto& st = ctx->stats[static_cast<std::size_t>(me_world)];
+  const offset_t bytes = payload_bytes(payload.size());
+  const double t0 = st.clock;
+  const double start =
+      std::max(st.clock, ctx->net_busy[static_cast<std::size_t>(me_world)]);
+  st.clock = start + ctx->model.message_time(bytes);
+  ctx->net_busy[static_cast<std::size_t>(me_world)] = st.clock;
+  const double arrival = st.clock;
+  ctx->record(me_world, {TraceEvent::Kind::Send, t0, st.clock, dst_world, bytes,
+                         ComputeKind::Other});
+  st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
+  st.messages_sent[static_cast<std::size_t>(plane)] += 1;
+  ctx->deliver(dst_world, {comm_id, me_world, ft},
+               {std::vector<real_t>(payload.begin(), payload.end()), arrival});
+}
+
+/// Blocking, charged receive through the shared ticket queue.
+std::vector<real_t> recv_charged(detail::Context* ctx, std::uint64_t comm_id,
+                                 int me_world, int src_world, int ft,
+                                 CommPlane plane) {
+  const detail::MsgKey key{comm_id, src_world, ft};
+  const std::uint64_t ticket = ctx->acquire_ticket(me_world, key);
+  detail::Envelope env = ctx->take_ticket(me_world, key, ticket);
+  auto& st = ctx->stats[static_cast<std::size_t>(me_world)];
+  const double t0 = st.clock;
+  st.clock = std::max(st.clock, env.arrival);
+  ctx->record(me_world, {TraceEvent::Kind::Recv, t0, st.clock, src_world,
+                         payload_bytes(env.payload.size()), ComputeKind::Other});
+  st.wait_seconds += st.clock - t0;
+  st.bytes_received[static_cast<std::size_t>(plane)] +=
+      payload_bytes(env.payload.size());
+  st.messages_received[static_cast<std::size_t>(plane)] += 1;
+  return env.payload;
+}
 
 }  // namespace
 
 void Comm::send(int dst, int tag, std::span<const real_t> payload,
                 CommPlane plane) {
   SLU3D_CHECK(dst >= 0 && dst < size(), "send: bad destination rank");
-  const int ft = detail::full_tag(Op::P2P, tag);
-  auto& st = stats();
-  const offset_t bytes = payload_bytes(payload.size());
-  // Store-and-forward: the sender is occupied for the full message time,
-  // and the payload is available to the receiver at that same instant.
-  const double t0 = st.clock;
-  st.clock += ctx_->model.message_time(bytes);
-  const double arrival = st.clock;
-  const int dst_world = members_[static_cast<std::size_t>(dst)];
-  ctx_->record(world_rank(),
-               {TraceEvent::Kind::Send, t0, st.clock, dst_world, bytes,
-                ComputeKind::Other});
-  st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
-  st.messages_sent[static_cast<std::size_t>(plane)] += 1;
-  ctx_->deliver(dst_world, {comm_id_, world_rank(), ft},
-                {std::vector<real_t>(payload.begin(), payload.end()), arrival});
+  send_charged(ctx_, comm_id_, world_rank(),
+               members_[static_cast<std::size_t>(dst)],
+               detail::full_tag(Op::P2P, tag), payload, plane);
 }
 
 std::vector<real_t> Comm::recv(int src, int tag, CommPlane plane) {
   SLU3D_CHECK(src >= 0 && src < size(), "recv: bad source rank");
-  const int ft = detail::full_tag(Op::P2P, tag);
-  const int src_world = members_[static_cast<std::size_t>(src)];
-  detail::Envelope env = ctx_->take(world_rank(), {comm_id_, src_world, ft});
-  auto& st = stats();
-  const double t0 = st.clock;
-  st.clock = std::max(st.clock, env.arrival);
-  ctx_->record(world_rank(),
-               {TraceEvent::Kind::Recv, t0, st.clock, src_world,
-                payload_bytes(env.payload.size()), ComputeKind::Other});
-  st.bytes_received[static_cast<std::size_t>(plane)] +=
-      payload_bytes(env.payload.size());
-  st.messages_received[static_cast<std::size_t>(plane)] += 1;
-  return env.payload;
+  return recv_charged(ctx_, comm_id_, world_rank(),
+                      members_[static_cast<std::size_t>(src)],
+                      detail::full_tag(Op::P2P, tag), plane);
 }
+
+Request Comm::isend(int dst, int tag, std::span<const real_t> payload,
+                    CommPlane plane) {
+  SLU3D_CHECK(dst >= 0 && dst < size(), "isend: bad destination rank");
+  const int ft = detail::full_tag(Op::P2P, tag);
+  const int me = world_rank();
+  const int dst_world = members_[static_cast<std::size_t>(dst)];
+  auto& st = stats();
+  const offset_t bytes = payload_bytes(payload.size());
+  // The CPU pays only the injection overhead; the transfer itself queues
+  // on this rank's wire behind earlier outstanding sends. On an idle wire
+  // the arrival time is identical to the blocking send's.
+  const double t0 = st.clock;
+  st.clock += ctx_->model.alpha;
+  const double arrival =
+      std::max(t0, ctx_->net_busy[static_cast<std::size_t>(me)]) +
+      ctx_->model.message_time(bytes);
+  ctx_->net_busy[static_cast<std::size_t>(me)] = arrival;
+  ctx_->record(me, {TraceEvent::Kind::Send, t0, st.clock, dst_world, bytes,
+                    ComputeKind::Other});
+  st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
+  st.messages_sent[static_cast<std::size_t>(plane)] += 1;
+  ctx_->deliver(dst_world, {comm_id_, me, ft},
+                {std::vector<real_t>(payload.begin(), payload.end()), arrival});
+  auto state = std::make_unique<detail::RequestState>();
+  state->ctx = ctx_;
+  state->kind = detail::RequestState::Kind::Send;
+  state->me_world = me;
+  state->peer_world = dst_world;
+  state->plane = plane;
+  state->completed = true;  // buffered: the payload was captured above
+  return Request(std::move(state));
+}
+
+Request Comm::irecv(int src, int tag, CommPlane plane) {
+  SLU3D_CHECK(src >= 0 && src < size(), "irecv: bad source rank");
+  const int me = world_rank();
+  auto state = std::make_unique<detail::RequestState>();
+  state->ctx = ctx_;
+  state->kind = detail::RequestState::Kind::Recv;
+  state->me_world = me;
+  state->peer_world = members_[static_cast<std::size_t>(src)];
+  state->key = {comm_id_, state->peer_world, detail::full_tag(Op::P2P, tag)};
+  state->ticket = ctx_->acquire_ticket(me, state->key);
+  state->plane = plane;
+  state->post_clock = clock();
+  return Request(std::move(state));
+}
+
+// ---- collectives ---------------------------------------------------------
 
 namespace {
 
@@ -209,36 +454,18 @@ namespace {
 void coll_send(Comm& c, detail::Context* ctx, std::uint64_t comm_id,
                std::span<const int> members, int me_world, int dst, int tag,
                std::span<const real_t> payload, CommPlane plane) {
-  const int ft = detail::full_tag(Op::Coll, tag);
-  auto& st = c.stats();
-  const offset_t bytes = payload_bytes(payload.size());
-  const double t0 = st.clock;
-  st.clock += ctx->model.message_time(bytes);
-  const double arrival = st.clock;
-  const int dst_world = members[static_cast<std::size_t>(dst)];
-  ctx->record(me_world, {TraceEvent::Kind::Send, t0, st.clock, dst_world,
-                         bytes, ComputeKind::Other});
-  st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
-  st.messages_sent[static_cast<std::size_t>(plane)] += 1;
-  ctx->deliver(dst_world, {comm_id, me_world, ft},
-               {std::vector<real_t>(payload.begin(), payload.end()), arrival});
+  (void)c;
+  send_charged(ctx, comm_id, me_world, members[static_cast<std::size_t>(dst)],
+               detail::full_tag(Op::Coll, tag), payload, plane);
 }
 
 std::vector<real_t> coll_recv(Comm& c, detail::Context* ctx,
                               std::uint64_t comm_id, std::span<const int> members,
                               int me_world, int src, int tag, CommPlane plane) {
-  const int ft = detail::full_tag(Op::Coll, tag);
-  const int src_world = members[static_cast<std::size_t>(src)];
-  detail::Envelope env = ctx->take(me_world, {comm_id, src_world, ft});
-  auto& st = c.stats();
-  const double t0 = st.clock;
-  st.clock = std::max(st.clock, env.arrival);
-  ctx->record(me_world, {TraceEvent::Kind::Recv, t0, st.clock, src_world,
-                         payload_bytes(env.payload.size()), ComputeKind::Other});
-  st.bytes_received[static_cast<std::size_t>(plane)] +=
-      payload_bytes(env.payload.size());
-  st.messages_received[static_cast<std::size_t>(plane)] += 1;
-  return env.payload;
+  (void)c;
+  return recv_charged(ctx, comm_id, me_world,
+                      members[static_cast<std::size_t>(src)],
+                      detail::full_tag(Op::Coll, tag), plane);
 }
 
 }  // namespace
@@ -271,6 +498,46 @@ void Comm::bcast(int root, int tag, std::span<real_t> buf, CommPlane plane) {
     }
     mask >>= 1;
   }
+}
+
+Request Comm::ibcast(int root, int tag, std::span<real_t> buf, CommPlane plane) {
+  const int p = size();
+  SLU3D_CHECK(root >= 0 && root < p, "ibcast: bad root");
+  const int me = world_rank();
+  auto state = std::make_unique<detail::RequestState>();
+  state->ctx = ctx_;
+  state->kind = detail::RequestState::Kind::Bcast;
+  state->me_world = me;
+  state->comm_id = comm_id_;
+  state->ftag = detail::full_tag(Op::Coll, tag);
+  state->plane = plane;
+  state->buf = buf;
+  state->post_clock = clock();
+  if (p == 1) {
+    state->completed = true;
+    return Request(std::move(state));
+  }
+  // Same binomial tree as bcast(), so per-rank message/byte counts match
+  // the blocking form exactly.
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p && (vrank & mask) == 0) mask <<= 1;
+  // mask is now vrank's lowest set bit (or the tree's top for the root).
+  if (vrank != 0) {
+    const int src = ((vrank - mask) + root) % p;
+    state->peer_world = members_[static_cast<std::size_t>(src)];
+    state->key = {comm_id_, state->peer_world, state->ftag};
+    state->ticket = ctx_->acquire_ticket(me, state->key);
+  }
+  for (int m = mask >> 1; m > 0; m >>= 1)
+    if (vrank + m < p)
+      state->child_worlds.push_back(
+          members_[static_cast<std::size_t>(((vrank + m) + root) % p)]);
+  if (vrank == 0) {
+    state->forward_children(state->post_clock);
+    state->completed = true;
+  }
+  return Request(std::move(state));
 }
 
 namespace {

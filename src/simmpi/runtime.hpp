@@ -3,13 +3,22 @@
 // `run_ranks(P, model, body)` runs `body` once per rank, each on its own
 // thread. Ranks communicate only through Comm: blocking typed send/recv
 // plus binomial-tree collectives, with MPI point-to-point matching
-// semantics (FIFO per (communicator, source, tag)).
+// semantics (FIFO per (communicator, source, tag)), and non-blocking
+// isend/irecv/ibcast returning a Request with wait/test.
 //
 // Every rank carries a LogGP-style logical clock: compute advances it by
-// gamma*flops, a message by alpha + beta*bytes, and a receive completes at
-// max(local clock, sender's clock at send + message time). The maximum
-// final clock across ranks is the simulated parallel runtime; per-rank
-// byte counters split by plane reproduce the paper's W_fact / W_red.
+// gamma*flops, a blocking message by alpha + beta*bytes, and a receive
+// completes at max(local clock, sender's clock at send + message time).
+// Non-blocking operations decouple the CPU clock from the wire: an isend
+// charges only the overhead alpha to the sender and deposits the payload
+// with a completion timestamp computed from the sender's per-rank network
+// queue (transfers serialize at alpha + beta*bytes each); the receiver's
+// clock only advances to max(local, sender_completion) at wait(), so any
+// compute performed between irecv/ibcast and wait genuinely hides transfer
+// time. The maximum final clock across ranks is the simulated parallel
+// runtime; per-rank byte counters split by plane reproduce the paper's
+// W_fact / W_red and are identical between the blocking and non-blocking
+// forms of the same communication pattern.
 #pragma once
 
 #include <cstdint>
@@ -26,8 +35,44 @@
 namespace slu3d::sim {
 
 namespace detail {
-class Context;  // shared mailboxes + stats, defined in runtime.cpp
+class Context;          // shared mailboxes + stats, defined in runtime.cpp
+struct RequestState;    // per-operation completion state, runtime.cpp
 }
+
+/// Handle for an outstanding non-blocking operation. Default-constructed
+/// requests are inert (valid() == false). A pending irecv/ibcast request
+/// MUST eventually be completed with wait()/test(): for ibcast, interior
+/// tree ranks forward the payload to their children inside wait(), so a
+/// dropped request starves the subtree (as dropping an active MPI request
+/// would). Move-only.
+class Request {
+ public:
+  Request();
+  Request(Request&&) noexcept;
+  Request& operator=(Request&&) noexcept;
+  ~Request();
+
+  bool valid() const { return st_ != nullptr; }
+  /// True once the operation has completed (wait() would not block).
+  bool done() const;
+  /// Non-blocking progress: completes the operation if it can finish now
+  /// (applying the clock/statistics effects of wait()); returns done().
+  bool test();
+  /// Blocks until the operation completes. For receive-like requests the
+  /// caller's clock advances to max(local, sender_completion) — time spent
+  /// computing since the request was posted overlaps the transfer.
+  void wait();
+  /// wait(), then moves out the received payload (irecv requests only).
+  std::vector<real_t> take();
+
+ private:
+  friend class Comm;
+  explicit Request(std::unique_ptr<detail::RequestState> st);
+  std::unique_ptr<detail::RequestState> st_;
+};
+
+/// Waits every valid request in order.
+void wait_all(std::span<Request> requests);
 
 /// A communicator: an ordered group of ranks with a private matching
 /// context. Copyable; all copies refer to the same runtime context.
@@ -39,13 +84,39 @@ class Comm {
 
   /// Blocking point-to-point send/recv of a real_t payload. `dst`/`src`
   /// are ranks within this communicator. Matching is FIFO per
-  /// (communicator, src, tag).
+  /// (communicator, src, tag); blocking and non-blocking operations on the
+  /// same (communicator, src, tag) share one matching queue, ordered by
+  /// call (post) order exactly as MPI orders them.
   void send(int dst, int tag, std::span<const real_t> payload, CommPlane plane);
   std::vector<real_t> recv(int src, int tag, CommPlane plane);
+
+  /// Non-blocking send: the payload is captured immediately (buffered, so
+  /// the request completes at once), the sender's clock advances only by
+  /// the overhead alpha, and the transfer occupies the sender's network
+  /// queue in the background. Completion timestamp:
+  ///   max(sender clock at post, network free) + alpha + beta*bytes.
+  Request isend(int dst, int tag, std::span<const real_t> payload,
+                CommPlane plane);
+  /// Non-blocking receive: reserves the next matching slot of the
+  /// (communicator, src, tag) queue at post time (MPI posting order);
+  /// wait()/take() blocks for the matching message and advances the clock
+  /// to max(local, sender_completion).
+  Request irecv(int src, int tag, CommPlane plane);
 
   /// Binomial-tree broadcast of `buf` from `root` (buf must be presized on
   /// every rank; contents only matter on the root).
   void bcast(int root, int tag, std::span<real_t> buf, CommPlane plane);
+
+  /// Non-blocking broadcast over the same binomial tree as bcast() (so
+  /// per-rank byte counters are identical). The root forwards to its
+  /// children at post time; an interior rank forwards inside wait(), but
+  /// the forwarded completion timestamps are computed from
+  /// max(its post clock, its parent's completion) — modelling an
+  /// asynchronous progress engine — so a late wait() never delays the
+  /// subtree's logical arrival, only its physical delivery. Every rank of
+  /// the communicator must post the ibcast and eventually wait it; `buf`
+  /// must stay valid until then (non-roots receive into it at wait()).
+  Request ibcast(int root, int tag, std::span<real_t> buf, CommPlane plane);
 
   /// Binomial-tree element-wise sum-reduction onto `root`.
   void reduce_sum(int root, int tag, std::span<real_t> buf, CommPlane plane);

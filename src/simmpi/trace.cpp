@@ -12,6 +12,8 @@ const char* event_name(const TraceEvent& ev) {
       return "send";
     case TraceEvent::Kind::Recv:
       return "recv";
+    case TraceEvent::Kind::Wait:
+      return "wait";
     case TraceEvent::Kind::Compute:
       switch (ev.compute) {
         case ComputeKind::DiagFactor:

@@ -14,7 +14,11 @@
 namespace slu3d::sim {
 
 struct TraceEvent {
-  enum class Kind : char { Compute = 'C', Send = 'S', Recv = 'R' };
+  /// Wait marks the completion of a non-blocking receive-like request:
+  /// t0 is the clock when wait() was called, t1 the (possibly unchanged)
+  /// clock after syncing to the sender's completion — a zero-width Wait
+  /// means the transfer was fully hidden behind compute.
+  enum class Kind : char { Compute = 'C', Send = 'S', Recv = 'R', Wait = 'W' };
   Kind kind;
   double t0 = 0;        ///< logical seconds at event start
   double t1 = 0;        ///< logical seconds at event end

@@ -225,6 +225,169 @@ TEST(ProcessGrid3D, PlaneAndZLine) {
   });
 }
 
+TEST(NonBlocking, IsendIrecvMatchInPostOrderEvenWhenWaitedReversed) {
+  // MPI non-overtaking: messages on the same (comm, src, tag) match posted
+  // receives in post order, no matter which request is waited first.
+  // Waiting the *later* request first is the deadlock regression: matching
+  // keyed on "whoever waits first gets the oldest message" would either
+  // deliver out of order or stall.
+  run_ranks(2, kModel, [](Comm& world) {
+    if (world.rank() == 0) {
+      world.isend(1, 3, std::vector<real_t>{10}, CommPlane::XY);
+      world.isend(1, 3, std::vector<real_t>{20}, CommPlane::XY);
+      world.isend(1, 3, std::vector<real_t>{30}, CommPlane::XY);
+    } else {
+      Request r1 = world.irecv(0, 3, CommPlane::XY);
+      Request r2 = world.irecv(0, 3, CommPlane::XY);
+      Request r3 = world.irecv(0, 3, CommPlane::XY);
+      EXPECT_DOUBLE_EQ(r3.take()[0], 30);  // reversed wait order
+      EXPECT_DOUBLE_EQ(r1.take()[0], 10);
+      EXPECT_DOUBLE_EQ(r2.take()[0], 20);
+    }
+  });
+}
+
+TEST(NonBlocking, MixedBlockingAndNonblockingShareOneFifo) {
+  // Blocking recv and irecv on the same (src, tag) draw tickets from the
+  // same queue: interleaving the two forms preserves message order.
+  run_ranks(2, kModel, [](Comm& world) {
+    if (world.rank() == 0) {
+      world.send(1, 9, std::vector<real_t>{1}, CommPlane::XY);
+      world.isend(1, 9, std::vector<real_t>{2}, CommPlane::XY);
+      world.send(1, 9, std::vector<real_t>{3}, CommPlane::XY);
+    } else {
+      Request r1 = world.irecv(0, 9, CommPlane::XY);
+      const auto mid = world.recv(0, 9, CommPlane::XY);
+      Request r3 = world.irecv(0, 9, CommPlane::XY);
+      EXPECT_DOUBLE_EQ(r1.take()[0], 1);
+      EXPECT_DOUBLE_EQ(mid[0], 2);
+      EXPECT_DOUBLE_EQ(r3.take()[0], 3);
+    }
+  });
+}
+
+TEST(NonBlocking, ComputeBetweenPostAndWaitHidesTransfer) {
+  // Exact LogGP arithmetic. The sender posts at clock 0, so the payload's
+  // completion timestamp is alpha + beta*bytes. A receiver that computes
+  // longer than that between irecv and wait absorbs the transfer entirely:
+  // its clock is pure compute and wait_seconds stays zero. A receiver that
+  // waits immediately pays the full residual.
+  constexpr offset_t kBig = 1'000'000'000;  // compute >> transfer
+  const double xfer = kModel.message_time(4 * sizeof(real_t));
+  const auto result = run_ranks(3, kModel, [&](Comm& world) {
+    if (world.rank() == 0) {
+      world.isend(1, 1, std::vector<real_t>{1, 2, 3, 4}, CommPlane::XY);
+      world.isend(2, 1, std::vector<real_t>{1, 2, 3, 4}, CommPlane::XY);
+    } else if (world.rank() == 1) {
+      Request r = world.irecv(0, 1, CommPlane::XY);
+      world.add_compute(kBig, ComputeKind::Other);
+      EXPECT_EQ(r.take().size(), 4u);
+    } else {
+      Request r = world.irecv(0, 1, CommPlane::XY);
+      EXPECT_EQ(r.take().size(), 4u);
+    }
+  });
+  EXPECT_DOUBLE_EQ(result.ranks[0].clock, 2 * kModel.alpha);  // overhead only
+  EXPECT_DOUBLE_EQ(result.ranks[1].clock, kModel.compute_time(kBig));
+  EXPECT_DOUBLE_EQ(result.ranks[1].wait_seconds, 0.0);
+  // Rank 2's payload queues behind rank 1's on the sender's wire:
+  // completion = max(post clock, wire free) + transfer = 2 transfers.
+  EXPECT_DOUBLE_EQ(result.ranks[2].clock, 2 * xfer);
+  EXPECT_DOUBLE_EQ(result.ranks[2].wait_seconds, 2 * xfer);
+}
+
+TEST(NonBlocking, IsendMatchesBlockingArrivalOnIdleWire) {
+  // With nothing else on the sender's network queue, an isend's completion
+  // timestamp equals the blocking send's arrival: the receiver's clock is
+  // the same either way. (This is what keeps the async factorization's
+  // per-plane byte counters *and* first-message arrivals aligned with the
+  // blocking schedule.)
+  for (const bool async : {false, true}) {
+    const auto result = run_ranks(2, kModel, [&](Comm& world) {
+      if (world.rank() == 0) {
+        if (async)
+          world.isend(1, 1, std::vector<real_t>{7, 7}, CommPlane::XY);
+        else
+          world.send(1, 1, std::vector<real_t>{7, 7}, CommPlane::XY);
+      } else {
+        world.recv(0, 1, CommPlane::XY);
+      }
+    });
+    EXPECT_DOUBLE_EQ(result.ranks[1].clock,
+                     kModel.message_time(2 * sizeof(real_t)))
+        << (async ? "isend" : "send");
+  }
+}
+
+TEST(NonBlocking, IbcastMatchesBcastCountersAndOverlaps) {
+  // The non-blocking broadcast uses the identical binomial tree: per-rank
+  // byte and message counters must match bcast bit-for-bit, while compute
+  // inserted between post and wait shortens the critical path.
+  constexpr int kP = 5;
+  constexpr offset_t kWork = 40'000'000;
+  const std::vector<real_t> payload{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto blocking = run_ranks(kP, kModel, [&](Comm& world) {
+    std::vector<real_t> buf(payload.size());
+    if (world.rank() == 2) buf = payload;
+    world.bcast(2, 4, buf, CommPlane::XY);
+    world.add_compute(kWork, ComputeKind::Other);
+    EXPECT_DOUBLE_EQ(buf[7], 8);
+  });
+  const auto async = run_ranks(kP, kModel, [&](Comm& world) {
+    std::vector<real_t> buf(payload.size());
+    if (world.rank() == 2) buf = payload;
+    Request r = world.ibcast(2, 4, buf, CommPlane::XY);
+    world.add_compute(kWork, ComputeKind::Other);
+    r.wait();
+    EXPECT_DOUBLE_EQ(buf[7], 8);
+  });
+  for (std::size_t r = 0; r < kP; ++r) {
+    for (std::size_t pl = 0; pl < kNumPlanes; ++pl) {
+      EXPECT_EQ(blocking.ranks[r].bytes_sent[pl], async.ranks[r].bytes_sent[pl]);
+      EXPECT_EQ(blocking.ranks[r].bytes_received[pl],
+                async.ranks[r].bytes_received[pl]);
+      EXPECT_EQ(blocking.ranks[r].messages_sent[pl],
+                async.ranks[r].messages_sent[pl]);
+      EXPECT_EQ(blocking.ranks[r].messages_received[pl],
+                async.ranks[r].messages_received[pl]);
+    }
+  }
+  EXPECT_LT(async.max_clock(), blocking.max_clock());
+}
+
+TEST(NonBlocking, SymmetricExchangeWithReversedWaitsDoesNotDeadlock) {
+  // Both ranks post their receive, send, compute, then wait their own
+  // requests last — a schedule that deadlocks under rendezvous blocking
+  // sends. Buffered isend + ticketed irecv must complete it.
+  const auto result = run_ranks(2, kModel, [](Comm& world) {
+    const int peer = 1 - world.rank();
+    Request ra = world.irecv(peer, 1, CommPlane::XY);
+    Request rb = world.irecv(peer, 2, CommPlane::XY);
+    world.isend(peer, 1, std::vector<real_t>{1}, CommPlane::XY);
+    world.isend(peer, 2, std::vector<real_t>{2}, CommPlane::XY);
+    world.add_compute(1000, ComputeKind::Other);
+    EXPECT_DOUBLE_EQ(rb.take()[0], 2);  // reversed: tag-2 first
+    EXPECT_DOUBLE_EQ(ra.take()[0], 1);
+  });
+  EXPECT_EQ(result.ranks[0].bytes_sent[0], result.ranks[1].bytes_sent[0]);
+}
+
+TEST(NonBlocking, TestPollsWithoutBlocking) {
+  run_ranks(2, kModel, [](Comm& world) {
+    if (world.rank() == 0) {
+      // Nothing sent yet: test() on a fresh irecv must report false.
+      Request r = world.irecv(1, 1, CommPlane::XY);
+      world.send(1, 2, std::vector<real_t>{0}, CommPlane::XY);  // release peer
+      EXPECT_TRUE(!r.done());
+      r.wait();
+      EXPECT_TRUE(r.done());
+    } else {
+      world.recv(0, 2, CommPlane::XY);
+      world.isend(0, 1, std::vector<real_t>{5}, CommPlane::XY);
+    }
+  });
+}
+
 TEST(Runtime, ManyRanksStress) {
   // 64 rank-threads exchanging in a ring; exercises the mailbox machinery.
   const int p = 64;

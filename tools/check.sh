@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full verification sweep: plain build + tests, then the same suite under
+# ASan/UBSan (SLU3D_SANITIZE=ON) and ThreadSanitizer (SLU3D_TSAN=ON). The
+# simulated MPI ranks are real threads, so the TSAN run is what certifies
+# the non-blocking communication layer (shared mailbox queues, per-rank
+# network clocks) free of data races.
+#
+#   tools/check.sh          # all three configurations
+#   tools/check.sh plain    # just the plain build
+#   tools/check.sh asan     # just ASan/UBSan
+#   tools/check.sh tsan     # just TSAN
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure ===="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] ctest ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+want() { [[ "$1" == all || "$1" == "$2" ]]; }
+
+sel="${1:-all}"
+if want "$sel" plain; then
+  run_config plain build
+fi
+if want "$sel" asan; then
+  run_config asan build-asan -DSLU3D_SANITIZE=ON -DSLU3D_BUILD_BENCH=OFF \
+    -DSLU3D_BUILD_EXAMPLES=OFF
+fi
+if want "$sel" tsan; then
+  # TSAN slows the rank threads ~10x; benches and examples add nothing.
+  TSAN_OPTIONS="halt_on_error=1" \
+    run_config tsan build-tsan -DSLU3D_TSAN=ON -DSLU3D_BUILD_BENCH=OFF \
+    -DSLU3D_BUILD_EXAMPLES=OFF
+fi
+echo "==== all requested configurations passed ===="
