@@ -370,9 +370,13 @@ void factorize_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
 }
 
 void solve_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
-                       std::span<real_t> x, int tag_base) {
+                       std::span<real_t> x, int tag_base, index_t nrhs) {
   const BlockStructure& bs = F.structure();
-  SLU3D_CHECK(x.size() == static_cast<std::size_t>(bs.n()), "x size");
+  const index_t n = bs.n();
+  SLU3D_CHECK(nrhs >= 1, "nrhs must be positive");
+  SLU3D_CHECK(x.size() == static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(nrhs),
+              "x panel size");
   sim::Comm& comm = grid.grid();
   const int nsn = bs.n_snodes();
 
@@ -387,9 +391,24 @@ void solve_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
   auto diag_owner = [&](int s) { return F.owner_of(s, s); };
   auto ftag = [&](int s) { return tag_base + s; };
   auto btag = [&](int s) { return tag_base + nsn + s; };
+  // The solve operates on an n x nrhs column-major panel; one sweep of
+  // broadcasts and contribution messages serves the whole batch.
+  auto gather_slice = [&](index_t f, index_t ns, std::vector<real_t>& buf) {
+    buf.resize(static_cast<std::size_t>(ns) * static_cast<std::size_t>(nrhs));
+    for (index_t j = 0; j < nrhs; ++j)
+      for (index_t r = 0; r < ns; ++r)
+        buf[static_cast<std::size_t>(r + j * ns)] =
+            x[static_cast<std::size_t>(f + r + j * n)];
+  };
+  auto scatter_slice = [&](std::span<const real_t> buf, index_t f, index_t ns) {
+    for (index_t j = 0; j < nrhs; ++j)
+      for (index_t r = 0; r < ns; ++r)
+        x[static_cast<std::size_t>(f + r + j * n)] =
+            buf[static_cast<std::size_t>(r + j * ns)];
+  };
 
   // Forward L y = b (non-unit diagonal).
-  std::vector<real_t> buf;
+  std::vector<real_t> buf, vbuf;
   for (int s = 0; s < nsn; ++s) {
     const index_t ns = bs.snode_size(s);
     if (ns == 0) continue;
@@ -399,28 +418,34 @@ void solve_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
       for (const auto& [c, blkidx] : by_anc[static_cast<std::size_t>(s)]) {
         const PanelBlock& blk = bs.lpanel(c)[static_cast<std::size_t>(blkidx)];
         const auto v = comm.recv(F.owner_of(s, c), ftag(c), sim::CommPlane::XY);
-        SLU3D_CHECK(v.size() == blk.rows.size(), "contribution size");
-        for (std::size_t r = 0; r < v.size(); ++r)
-          x[static_cast<std::size_t>(blk.rows[r])] -= v[r];
+        const auto m = blk.rows.size();
+        SLU3D_CHECK(v.size() == m * static_cast<std::size_t>(nrhs),
+                    "contribution size");
+        for (index_t j = 0; j < nrhs; ++j)
+          for (std::size_t r = 0; r < m; ++r)
+            x[static_cast<std::size_t>(blk.rows[r] + j * n)] -=
+                v[r + static_cast<std::size_t>(j) * m];
       }
-      dense::trsv_lower(ns, F.diag(s).data(), ns, x.data() + f);
+      dense::trsm_left_lower(ns, nrhs, F.diag(s).data(), ns, x.data() + f, n);
     }
     if (in_pcol) {
-      buf.assign(x.begin() + f, x.begin() + f + ns);
+      gather_slice(f, ns, buf);
       grid.col().bcast(s % grid.Px(), ftag(s), buf, sim::CommPlane::XY);
-      std::copy(buf.begin(), buf.end(), x.begin() + f);
+      scatter_slice(buf, f, ns);
       for (const OwnedBlock& ob : F.lblocks(s)) {
         const PanelBlock& blk = bs.lpanel(s)[static_cast<std::size_t>(ob.panel_idx)];
         const auto m = static_cast<index_t>(blk.rows.size());
-        std::vector<real_t> v(static_cast<std::size_t>(m), 0.0);
-        for (index_t c = 0; c < ns; ++c) {
-          const real_t yc = buf[static_cast<std::size_t>(c)];
-          if (yc == 0.0) continue;
-          for (index_t r = 0; r < m; ++r)
-            v[static_cast<std::size_t>(r)] +=
-                ob.data[static_cast<std::size_t>(r + c * m)] * yc;
-        }
-        comm.send(diag_owner(blk.snode), ftag(s), v, sim::CommPlane::XY);
+        vbuf.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(nrhs),
+                    0.0);
+        for (index_t j = 0; j < nrhs; ++j)
+          for (index_t c = 0; c < ns; ++c) {
+            const real_t yc = buf[static_cast<std::size_t>(c + j * ns)];
+            if (yc == 0.0) continue;
+            for (index_t r = 0; r < m; ++r)
+              vbuf[static_cast<std::size_t>(r + j * m)] +=
+                  ob.data[static_cast<std::size_t>(r + c * m)] * yc;
+          }
+        comm.send(diag_owner(blk.snode), ftag(s), vbuf, sim::CommPlane::XY);
       }
     }
   }
@@ -437,16 +462,21 @@ void solve_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
       for (const PanelBlock& blk : bs.lpanel(s)) {
         const auto v =
             comm.recv(F.owner_of(blk.snode, s), btag(blk.snode), sim::CommPlane::XY);
-        SLU3D_CHECK(v.size() == static_cast<std::size_t>(ns), "contribution size");
-        for (index_t r = 0; r < ns; ++r)
-          x[static_cast<std::size_t>(f + r)] -= v[static_cast<std::size_t>(r)];
+        SLU3D_CHECK(v.size() == static_cast<std::size_t>(ns) *
+                                    static_cast<std::size_t>(nrhs),
+                    "contribution size");
+        for (index_t j = 0; j < nrhs; ++j)
+          for (index_t r = 0; r < ns; ++r)
+            x[static_cast<std::size_t>(f + r + j * n)] -=
+                v[static_cast<std::size_t>(r + j * ns)];
       }
-      dense::trsv_lower_trans(ns, F.diag(s).data(), ns, x.data() + f);
+      dense::trsm_left_lower_trans(ns, nrhs, F.diag(s).data(), ns, x.data() + f,
+                                   n);
     }
     if (in_prow) {
-      buf.assign(x.begin() + f, x.begin() + f + ns);
+      gather_slice(f, ns, buf);
       grid.row().bcast(s % grid.Py(), btag(s), buf, sim::CommPlane::XY);
-      std::copy(buf.begin(), buf.end(), x.begin() + f);
+      scatter_slice(buf, f, ns);
       // Contributions to descendants c with a block (s, c): v = L(s,c)ᵀ x_s.
       const auto& pairs = by_anc[static_cast<std::size_t>(s)];
       for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) {
@@ -457,37 +487,43 @@ void solve_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
         const PanelBlock& blk = bs.lpanel(c)[static_cast<std::size_t>(blkidx)];
         const index_t nc = bs.snode_size(c);
         const auto m = static_cast<index_t>(blk.rows.size());
-        std::vector<real_t> v(static_cast<std::size_t>(nc), 0.0);
-        for (index_t col = 0; col < nc; ++col) {
-          real_t acc = 0.0;
-          for (index_t r = 0; r < m; ++r)
-            acc += ob->data[static_cast<std::size_t>(r + col * m)] *
-                   x[static_cast<std::size_t>(blk.rows[static_cast<std::size_t>(r)])];
-          v[static_cast<std::size_t>(col)] = acc;
-        }
-        comm.send(diag_owner(c), btag(s), v, sim::CommPlane::XY);
+        vbuf.assign(static_cast<std::size_t>(nc) * static_cast<std::size_t>(nrhs),
+                    0.0);
+        for (index_t j = 0; j < nrhs; ++j)
+          for (index_t col = 0; col < nc; ++col) {
+            real_t acc = 0.0;
+            for (index_t r = 0; r < m; ++r)
+              acc += ob->data[static_cast<std::size_t>(r + col * m)] *
+                     x[static_cast<std::size_t>(
+                         blk.rows[static_cast<std::size_t>(r)] + j * n)];
+            vbuf[static_cast<std::size_t>(col + j * nc)] = acc;
+          }
+        comm.send(diag_owner(c), btag(s), vbuf, sim::CommPlane::XY);
       }
     }
   }
 
   // Redistribute the solution to every rank.
   const int gather_tag = tag_base + 2 * nsn;
-  std::vector<real_t> packed;
+  std::vector<real_t> packed, slice;
   for (int s = 0; s < nsn; ++s)
-    if (comm.rank() == diag_owner(s))
-      packed.insert(packed.end(), x.begin() + bs.first_col(s),
-                    x.begin() + bs.first_col(s) + bs.snode_size(s));
+    if (comm.rank() == diag_owner(s)) {
+      gather_slice(bs.first_col(s), bs.snode_size(s), slice);
+      packed.insert(packed.end(), slice.begin(), slice.end());
+    }
   const std::vector<real_t> all =
       comm.allgatherv(gather_tag, packed, sim::CommPlane::XY);
   std::size_t pos = 0;
   for (int r = 0; r < comm.size(); ++r)
     for (int s = 0; s < nsn; ++s) {
       if (diag_owner(s) != r) continue;
-      const auto ns = static_cast<std::size_t>(bs.snode_size(s));
-      SLU3D_CHECK(pos + ns <= all.size(), "gather underflow");
-      std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(pos), ns,
-                  x.begin() + bs.first_col(s));
-      pos += ns;
+      const auto ns = bs.snode_size(s);
+      const auto len =
+          static_cast<std::size_t>(ns) * static_cast<std::size_t>(nrhs);
+      SLU3D_CHECK(pos + len <= all.size(), "gather underflow");
+      scatter_slice(std::span<const real_t>(all).subspan(pos, len),
+                    bs.first_col(s), ns);
+      pos += len;
     }
   SLU3D_CHECK(pos == all.size(), "gather stream not fully consumed");
 }

@@ -75,9 +75,12 @@ void factorize_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
                            std::span<const int> snodes,
                            const Chol2dOptions& options = {});
 
-/// Distributed solve L Lᵀ x = b on an unmasked 2D layout; every rank
-/// passes the full permuted rhs and receives the full solution.
+/// Distributed solve L Lᵀ X = B on an unmasked 2D layout; every rank
+/// passes the full permuted right-hand-side panel (n x nrhs,
+/// column-major) and receives the full solution panel. One sweep of
+/// messages serves the whole batch.
 void solve_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
-                       std::span<real_t> x, int tag_base = (1 << 24));
+                       std::span<real_t> x, int tag_base = (1 << 24),
+                       index_t nrhs = 1);
 
 }  // namespace slu3d

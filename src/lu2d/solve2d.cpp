@@ -29,15 +29,23 @@ std::vector<std::vector<std::pair<int, int>>> blocks_by_ancestor(
   return by_anc;
 }
 
+/// All solves operate on an n x nrhs column-major panel X (ldx = n), so one
+/// sweep of broadcasts and point-to-point messages serves the whole batch:
+/// message sizes scale with nrhs but message *counts* do not. Contribution
+/// messages carry the *negated* partial product (gemm_minus computes
+/// C -= A B into a zeroed buffer), so receivers accumulate with +=.
 class Solve2dDriver {
  public:
   Solve2dDriver(Dist2dFactors& F, sim::ProcessGrid2D& grid,
                 const Solve2dOptions& opt)
       : F_(F), g_(grid), bs_(F.structure()), opt_(opt),
-        by_anc_(blocks_by_ancestor(bs_)) {}
+        n_(bs_.n()), nrhs_(opt.nrhs), by_anc_(blocks_by_ancestor(bs_)) {}
 
   void run(std::span<real_t> x) {
-    SLU3D_CHECK(x.size() == static_cast<std::size_t>(bs_.n()), "x size");
+    SLU3D_CHECK(nrhs_ >= 1, "nrhs must be positive");
+    SLU3D_CHECK(x.size() == static_cast<std::size_t>(n_) *
+                                static_cast<std::size_t>(nrhs_),
+                "x panel size");
     forward(x);
     backward(x);
     redistribute(x);
@@ -49,10 +57,28 @@ class Solve2dDriver {
   int btag(int s) const { return opt_.tag_base + bs_.n_snodes() + s; }  // backward
   int gtag() const { return opt_.tag_base + 2 * bs_.n_snodes(); }       // gather
 
+  /// Copies rows [f, f+ns) of all nrhs panel columns into a contiguous
+  /// ns x nrhs buffer (and back).
+  void gather_slice(std::span<const real_t> x, index_t f, index_t ns,
+                    std::vector<real_t>& buf) const {
+    buf.resize(static_cast<std::size_t>(ns) * static_cast<std::size_t>(nrhs_));
+    for (index_t j = 0; j < nrhs_; ++j)
+      for (index_t r = 0; r < ns; ++r)
+        buf[static_cast<std::size_t>(r + j * ns)] =
+            x[static_cast<std::size_t>(f + r + j * n_)];
+  }
+  void scatter_slice(std::span<const real_t> buf, index_t f, index_t ns,
+                     std::span<real_t> x) const {
+    for (index_t j = 0; j < nrhs_; ++j)
+      for (index_t r = 0; r < ns; ++r)
+        x[static_cast<std::size_t>(f + r + j * n_)] =
+            buf[static_cast<std::size_t>(r + j * ns)];
+  }
+
   /// L y = b, bottom-up. On return, x holds y on each supernode's process
   /// column (authoritative at the diagonal owner).
   void forward(std::span<real_t> x) {
-    std::vector<real_t> ybuf;
+    std::vector<real_t> ybuf, vbuf;
     for (int s = 0; s < bs_.n_snodes(); ++s) {
       const index_t ns = bs_.snode_size(s);
       if (ns == 0) continue;
@@ -66,36 +92,38 @@ class Solve2dDriver {
               bs_.lpanel(c)[static_cast<std::size_t>(blkidx)];
           const int src = F_.owner_of(s, c);
           const auto v = g_.grid().recv(src, ftag(c), CommPlane::XY);
-          SLU3D_CHECK(v.size() == blk.rows.size(), "contribution size");
-          for (std::size_t r = 0; r < v.size(); ++r)
-            x[static_cast<std::size_t>(blk.rows[r])] -= v[r];
+          const auto m = blk.rows.size();
+          SLU3D_CHECK(v.size() == m * static_cast<std::size_t>(nrhs_),
+                      "contribution size");
+          for (index_t j = 0; j < nrhs_; ++j)
+            for (std::size_t r = 0; r < m; ++r)
+              x[static_cast<std::size_t>(blk.rows[r] + j * n_)] +=
+                  v[r + static_cast<std::size_t>(j) * m];
         }
-        dense::trsv_lower_unit(ns, F_.diag(s).data(), ns, x.data() + f);
-        g_.grid().add_compute(static_cast<offset_t>(ns) * ns, ComputeKind::Other);
+        dense::trsm_left_lower_unit(ns, nrhs_, F_.diag(s).data(), ns,
+                                    x.data() + f, n_);
+        g_.grid().add_compute(dense::trsm_flops(ns, nrhs_), ComputeKind::Other);
       }
 
       // Share y_s with the L-block owners (all in process column s%Py).
       if (in_pcol) {
-        ybuf.assign(x.begin() + f, x.begin() + f + ns);
+        gather_slice(x, f, ns, ybuf);
         g_.col().bcast(s % g_.Px(), ftag(s), ybuf, CommPlane::XY);
-        std::copy(ybuf.begin(), ybuf.end(), x.begin() + f);
+        scatter_slice(ybuf, f, ns, x);
 
         // Each owned L block contributes to its ancestor's rows.
         for (const OwnedBlock& ob : F_.lblocks(s)) {
           const PanelBlock& blk =
               bs_.lpanel(s)[static_cast<std::size_t>(ob.panel_idx)];
           const auto m = static_cast<index_t>(blk.rows.size());
-          std::vector<real_t> v(static_cast<std::size_t>(m), 0.0);
-          for (index_t c = 0; c < ns; ++c) {
-            const real_t yc = ybuf[static_cast<std::size_t>(c)];
-            if (yc == 0.0) continue;
-            for (index_t r = 0; r < m; ++r)
-              v[static_cast<std::size_t>(r)] +=
-                  ob.data[static_cast<std::size_t>(r + c * m)] * yc;
-          }
-          g_.grid().add_compute(2 * static_cast<offset_t>(m) * ns,
+          vbuf.assign(static_cast<std::size_t>(m) *
+                          static_cast<std::size_t>(nrhs_),
+                      0.0);
+          dense::gemm_minus(m, nrhs_, ns, ob.data.data(), m, ybuf.data(), ns,
+                            vbuf.data(), m);
+          g_.grid().add_compute(dense::gemm_flops(m, nrhs_, ns),
                                 ComputeKind::Other);
-          g_.grid().send(diag_owner(blk.snode), ftag(s), v, CommPlane::XY);
+          g_.grid().send(diag_owner(blk.snode), ftag(s), vbuf, CommPlane::XY);
         }
       }
     }
@@ -103,7 +131,7 @@ class Solve2dDriver {
 
   /// U x = y, top-down.
   void backward(std::span<real_t> x) {
-    std::vector<real_t> xbuf;
+    std::vector<real_t> xbuf, gbuf, vbuf;
     for (int s = bs_.n_snodes() - 1; s >= 0; --s) {
       const index_t ns = bs_.snode_size(s);
       if (ns == 0) continue;
@@ -115,20 +143,26 @@ class Solve2dDriver {
         for (const PanelBlock& blk : bs_.lpanel(s)) {
           const int src = F_.owner_of(s, blk.snode);
           const auto v = g_.grid().recv(src, btag(blk.snode), CommPlane::XY);
-          SLU3D_CHECK(v.size() == static_cast<std::size_t>(ns), "contribution size");
-          for (index_t r = 0; r < ns; ++r)
-            x[static_cast<std::size_t>(f + r)] -= v[static_cast<std::size_t>(r)];
+          SLU3D_CHECK(v.size() == static_cast<std::size_t>(ns) *
+                                      static_cast<std::size_t>(nrhs_),
+                      "contribution size");
+          for (index_t j = 0; j < nrhs_; ++j)
+            for (index_t r = 0; r < ns; ++r)
+              x[static_cast<std::size_t>(f + r + j * n_)] +=
+                  v[static_cast<std::size_t>(r + j * ns)];
         }
-        dense::trsv_upper(ns, F_.diag(s).data(), ns, x.data() + f);
-        g_.grid().add_compute(static_cast<offset_t>(ns) * ns, ComputeKind::Other);
+        dense::trsm_left_upper(ns, nrhs_, F_.diag(s).data(), ns, x.data() + f,
+                               n_);
+        g_.grid().add_compute(dense::trsm_flops(ns, nrhs_), ComputeKind::Other);
       }
 
       // Share x_s with the U-block owners (process column s%Py), then
       // each computes its contribution to a *descendant* supernode c.
       if (in_pcol) {
-        xbuf.assign(x.begin() + f, x.begin() + f + ns);
-        g_.col().bcast(s % g_.Px(), btag(s) + bs_.n_snodes(), xbuf, CommPlane::XY);
-        std::copy(xbuf.begin(), xbuf.end(), x.begin() + f);
+        gather_slice(x, f, ns, xbuf);
+        g_.col().bcast(s % g_.Px(), btag(s) + bs_.n_snodes(), xbuf,
+                       CommPlane::XY);
+        scatter_slice(xbuf, f, ns, x);
 
         // Descending c so the receivers' (descending) loop matches the
         // per-(src, tag) FIFO order.
@@ -142,18 +176,23 @@ class Solve2dDriver {
               bs_.lpanel(c)[static_cast<std::size_t>(blkidx)];
           const index_t nc = bs_.snode_size(c);
           const auto m = static_cast<index_t>(blk.rows.size());
-          std::vector<real_t> v(static_cast<std::size_t>(nc), 0.0);
-          for (index_t k = 0; k < m; ++k) {
-            const real_t xk =
-                x[static_cast<std::size_t>(blk.rows[static_cast<std::size_t>(k)])];
-            if (xk == 0.0) continue;
-            for (index_t r = 0; r < nc; ++r)
-              v[static_cast<std::size_t>(r)] +=
-                  ob->data[static_cast<std::size_t>(r + k * nc)] * xk;
-          }
-          g_.grid().add_compute(2 * static_cast<offset_t>(m) * nc,
+          // Gather the (non-contiguous) ancestor rows of x used by this
+          // U block into an m x nrhs panel for the GEMM.
+          gbuf.resize(static_cast<std::size_t>(m) *
+                      static_cast<std::size_t>(nrhs_));
+          for (index_t j = 0; j < nrhs_; ++j)
+            for (index_t k = 0; k < m; ++k)
+              gbuf[static_cast<std::size_t>(k + j * m)] =
+                  x[static_cast<std::size_t>(
+                      blk.rows[static_cast<std::size_t>(k)] + j * n_)];
+          vbuf.assign(static_cast<std::size_t>(nc) *
+                          static_cast<std::size_t>(nrhs_),
+                      0.0);
+          dense::gemm_minus(nc, nrhs_, m, ob->data.data(), nc, gbuf.data(), m,
+                            vbuf.data(), nc);
+          g_.grid().add_compute(dense::gemm_flops(nc, nrhs_, m),
                                 ComputeKind::Other);
-          g_.grid().send(diag_owner(c), btag(s), v, CommPlane::XY);
+          g_.grid().send(diag_owner(c), btag(s), vbuf, CommPlane::XY);
         }
       }
     }
@@ -163,22 +202,25 @@ class Solve2dDriver {
   /// (a variable-size allgather in rank order).
   void redistribute(std::span<real_t> x) {
     sim::Comm& comm = g_.grid();
-    std::vector<real_t> packed;
+    std::vector<real_t> packed, slice;
     for (int s = 0; s < bs_.n_snodes(); ++s)
-      if (F_.has_diag(s))
-        packed.insert(packed.end(), x.begin() + bs_.first_col(s),
-                      x.begin() + bs_.first_col(s) + bs_.snode_size(s));
+      if (F_.has_diag(s)) {
+        gather_slice(x, bs_.first_col(s), bs_.snode_size(s), slice);
+        packed.insert(packed.end(), slice.begin(), slice.end());
+      }
     const std::vector<real_t> all =
         comm.allgatherv(gtag(), packed, CommPlane::XY);
     std::size_t pos = 0;
     for (int r = 0; r < comm.size(); ++r)
       for (int s = 0; s < bs_.n_snodes(); ++s) {
         if (diag_owner(s) != r) continue;
-        const auto ns = static_cast<std::size_t>(bs_.snode_size(s));
-        SLU3D_CHECK(pos + ns <= all.size(), "gather underflow");
-        std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(pos), ns,
-                    x.begin() + bs_.first_col(s));
-        pos += ns;
+        const auto ns = bs_.snode_size(s);
+        const auto len = static_cast<std::size_t>(ns) *
+                         static_cast<std::size_t>(nrhs_);
+        SLU3D_CHECK(pos + len <= all.size(), "gather underflow");
+        scatter_slice(std::span<const real_t>(all).subspan(pos, len),
+                      bs_.first_col(s), ns, x);
+        pos += len;
       }
     SLU3D_CHECK(pos == all.size(), "gather stream not fully consumed");
   }
@@ -187,10 +229,19 @@ class Solve2dDriver {
   sim::ProcessGrid2D& g_;
   const BlockStructure& bs_;
   Solve2dOptions opt_;
+  index_t n_;
+  index_t nrhs_;
   std::vector<std::vector<std::pair<int, int>>> by_anc_;
 };
 
 }  // namespace
+
+int solve2d_tag_span(const BlockStructure& bs) {
+  // ftag/btag/backward-bcast each use n_snodes tags, gtag one more; the
+  // extra headroom keeps the stride aligned with solve3d_tag_span so one
+  // allocator can serve both.
+  return 4 * bs.n_snodes() + 8;
+}
 
 void solve_2d(Dist2dFactors& F, sim::ProcessGrid2D& grid, std::span<real_t> x,
               const Solve2dOptions& options) {

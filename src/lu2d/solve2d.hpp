@@ -17,15 +17,26 @@ namespace slu3d {
 
 struct Solve2dOptions {
   /// Base message tag; the solver uses a tag range disjoint per call when
-  /// callers pick distinct bases.
+  /// callers pick distinct bases (see solve2d_tag_span).
   int tag_base = (1 << 24);
+  /// Number of right-hand-side columns solved in one sweep. `x` is then an
+  /// n x nrhs column-major panel; one set of broadcasts and contribution
+  /// messages serves the whole batch (message counts are independent of
+  /// nrhs, sizes scale with it).
+  index_t nrhs = 1;
 };
 
-/// Solves L U x = b in the permuted index space on the factored `F`.
+/// Number of distinct message tags one solve_2d call may consume starting
+/// at `tag_base`. Callers issuing several solves on the same communicator
+/// must advance tag_base by at least this span between calls.
+int solve2d_tag_span(const BlockStructure& bs);
+
+/// Solves L U X = B in the permuted index space on the factored `F`.
 /// Collective over grid.grid(). Every rank passes the full permuted
-/// right-hand side in `x` (replicated); on return every rank's `x` holds
-/// the full solution. `snodes` defaults to all supernodes; a restricted
-/// ascending list solves the corresponding principal subsystem.
+/// right-hand side panel in `x` (replicated, n x nrhs column-major); on
+/// return every rank's `x` holds the full solution panel. `snodes`
+/// defaults to all supernodes; a restricted ascending list solves the
+/// corresponding principal subsystem.
 void solve_2d(Dist2dFactors& F, sim::ProcessGrid2D& grid, std::span<real_t> x,
               const Solve2dOptions& options = {});
 

@@ -81,6 +81,19 @@ Dist2dFactors make_3d_factors(const BlockStructure& bs,
   return F;
 }
 
+void refill_3d_factors(Dist2dFactors& F, sim::ProcessGrid3D& grid,
+                       const ForestPartition& part, const CsrMatrix& Ap) {
+  const BlockStructure& bs = F.structure();
+  F.zero();
+  F.fill_from(Ap);
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    if (!part.on_grid(s, grid.pz()) || part.anchor_of(s) == grid.pz()) continue;
+    if (F.has_diag(s)) std::fill(F.diag(s).begin(), F.diag(s).end(), 0.0);
+    for (OwnedBlock& b : F.lblocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
+    for (OwnedBlock& b : F.ublocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
+  }
+}
+
 void factorize_3d(Dist2dFactors& F, sim::ProcessGrid3D& grid,
                   const ForestPartition& part, const Lu3dOptions& options) {
   const BlockStructure& bs = F.structure();

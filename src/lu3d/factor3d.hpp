@@ -35,6 +35,14 @@ Dist2dFactors make_3d_factors(const BlockStructure& bs,
                               const ForestPartition& part,
                               const CsrMatrix& Ap);
 
+/// Numeric *refactorization* reset: reuses the existing allocation of a
+/// previously analyzed layout, refilling it with a new matrix of the same
+/// sparsity pattern (zero everything, scatter Ap, re-zero the replicated
+/// non-anchor ancestor copies). After this, factorize_3d may run again
+/// with no new ordering or symbolic analysis.
+void refill_3d_factors(Dist2dFactors& F, sim::ProcessGrid3D& grid,
+                       const ForestPartition& part, const CsrMatrix& Ap);
+
 /// Runs Algorithm 1. Collective over the whole 3D grid. On return, the
 /// factored blocks of each supernode live on its anchor grid.
 void factorize_3d(Dist2dFactors& F, sim::ProcessGrid3D& grid,

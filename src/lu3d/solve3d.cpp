@@ -12,12 +12,17 @@ namespace {
 using sim::CommPlane;
 using sim::ComputeKind;
 
+/// All solves operate on an n x nrhs column-major panel X (ldx = n), so one
+/// forward/backward sweep (one set of z-messages and broadcasts) serves the
+/// whole batch: message sizes scale with nrhs but message *counts* do not.
+/// Contribution messages carry the *negated* partial product (gemm_minus
+/// computes C -= A B into a zeroed buffer), so receivers accumulate with +=.
 class Solve3dDriver {
  public:
   Solve3dDriver(Dist2dFactors& F, sim::Comm& world, sim::ProcessGrid3D& grid,
                 const ForestPartition& part, const Solve3dOptions& opt)
       : F_(F), world_(world), g_(grid), part_(part), bs_(F.structure()),
-        opt_(opt) {
+        opt_(opt), n_(bs_.n()), nrhs_(opt.nrhs) {
     // Descendant index: for each supernode a, the (c, panel block) pairs
     // whose panel contains a block in a's range (ascending c).
     by_anc_.resize(static_cast<std::size_t>(bs_.n_snodes()));
@@ -36,7 +41,10 @@ class Solve3dDriver {
   }
 
   void run(std::span<real_t> x) {
-    SLU3D_CHECK(x.size() == static_cast<std::size_t>(bs_.n()), "x size");
+    SLU3D_CHECK(nrhs_ >= 1, "nrhs must be positive");
+    SLU3D_CHECK(x.size() == static_cast<std::size_t>(n_) *
+                                static_cast<std::size_t>(nrhs_),
+                "x panel size");
     forward(x);
     backward(x);
     redistribute(x);
@@ -56,8 +64,24 @@ class Solve3dDriver {
   int btag(int s) const { return opt_.tag_base + bs_.n_snodes() + s; }
   int gtag() const { return opt_.tag_base + 3 * bs_.n_snodes(); }
 
+  void gather_slice(std::span<const real_t> x, index_t f, index_t ns,
+                    std::vector<real_t>& buf) const {
+    buf.resize(static_cast<std::size_t>(ns) * static_cast<std::size_t>(nrhs_));
+    for (index_t j = 0; j < nrhs_; ++j)
+      for (index_t r = 0; r < ns; ++r)
+        buf[static_cast<std::size_t>(r + j * ns)] =
+            x[static_cast<std::size_t>(f + r + j * n_)];
+  }
+  void scatter_slice(std::span<const real_t> buf, index_t f, index_t ns,
+                     std::span<real_t> x) const {
+    for (index_t j = 0; j < nrhs_; ++j)
+      for (index_t r = 0; r < ns; ++r)
+        x[static_cast<std::size_t>(f + r + j * n_)] =
+            buf[static_cast<std::size_t>(r + j * ns)];
+  }
+
   void forward(std::span<real_t> x) {
-    std::vector<real_t> ybuf;
+    std::vector<real_t> ybuf, vbuf;
     for (int s = 0; s < bs_.n_snodes(); ++s) {
       const index_t ns = bs_.snode_size(s);
       if (ns == 0) continue;
@@ -70,41 +94,44 @@ class Solve3dDriver {
           const PanelBlock& blk = bs_.lpanel(c)[static_cast<std::size_t>(blkidx)];
           const int src = world_of(part_.anchor_of(c), s % Px(), c % Py());
           const auto v = world_.recv(src, ftag(c), CommPlane::Z);
-          SLU3D_CHECK(v.size() == blk.rows.size(), "contribution size");
-          for (std::size_t r = 0; r < v.size(); ++r)
-            x[static_cast<std::size_t>(blk.rows[r])] -= v[r];
+          const auto m = blk.rows.size();
+          SLU3D_CHECK(v.size() == m * static_cast<std::size_t>(nrhs_),
+                      "contribution size");
+          for (index_t j = 0; j < nrhs_; ++j)
+            for (std::size_t r = 0; r < m; ++r)
+              x[static_cast<std::size_t>(blk.rows[r] + j * n_)] +=
+                  v[r + static_cast<std::size_t>(j) * m];
         }
-        dense::trsv_lower_unit(ns, F_.diag(s).data(), ns, x.data() + f);
-        world_.add_compute(static_cast<offset_t>(ns) * ns, ComputeKind::Other);
+        dense::trsm_left_lower_unit(ns, nrhs_, F_.diag(s).data(), ns,
+                                    x.data() + f, n_);
+        world_.add_compute(dense::trsm_flops(ns, nrhs_), ComputeKind::Other);
       }
 
       // y_s to the L-block owners (all live on anchor(s), column s%Py).
       if (in_pcol) {
-        ybuf.assign(x.begin() + f, x.begin() + f + ns);
+        gather_slice(x, f, ns, ybuf);
         g_.plane().col().bcast(s % Px(), ftag(s), ybuf, CommPlane::XY);
-        std::copy(ybuf.begin(), ybuf.end(), x.begin() + f);
+        scatter_slice(ybuf, f, ns, x);
 
         for (const OwnedBlock& ob : F_.lblocks(s)) {
           const PanelBlock& blk =
               bs_.lpanel(s)[static_cast<std::size_t>(ob.panel_idx)];
           const auto m = static_cast<index_t>(blk.rows.size());
-          std::vector<real_t> v(static_cast<std::size_t>(m), 0.0);
-          for (index_t c = 0; c < ns; ++c) {
-            const real_t yc = ybuf[static_cast<std::size_t>(c)];
-            if (yc == 0.0) continue;
-            for (index_t r = 0; r < m; ++r)
-              v[static_cast<std::size_t>(r)] +=
-                  ob.data[static_cast<std::size_t>(r + c * m)] * yc;
-          }
-          world_.add_compute(2 * static_cast<offset_t>(m) * ns, ComputeKind::Other);
-          world_.send(diag_owner(blk.snode), ftag(s), v, CommPlane::Z);
+          vbuf.assign(static_cast<std::size_t>(m) *
+                          static_cast<std::size_t>(nrhs_),
+                      0.0);
+          dense::gemm_minus(m, nrhs_, ns, ob.data.data(), m, ybuf.data(), ns,
+                            vbuf.data(), m);
+          world_.add_compute(dense::gemm_flops(m, nrhs_, ns),
+                             ComputeKind::Other);
+          world_.send(diag_owner(blk.snode), ftag(s), vbuf, CommPlane::Z);
         }
       }
     }
   }
 
   void backward(std::span<real_t> x) {
-    std::vector<real_t> xbuf;
+    std::vector<real_t> xbuf, gbuf, vbuf;
     for (int s = bs_.n_snodes() - 1; s >= 0; --s) {
       const index_t ns = bs_.snode_size(s);
       if (ns == 0) continue;
@@ -119,26 +146,31 @@ class Solve3dDriver {
         for (const PanelBlock& blk : bs_.lpanel(s)) {
           const int src = world_of(part_.anchor_of(s), s % Px(), blk.snode % Py());
           const auto v = world_.recv(src, btag(blk.snode), CommPlane::Z);
-          SLU3D_CHECK(v.size() == static_cast<std::size_t>(ns), "contribution size");
-          for (index_t r = 0; r < ns; ++r)
-            x[static_cast<std::size_t>(f + r)] -= v[static_cast<std::size_t>(r)];
+          SLU3D_CHECK(v.size() == static_cast<std::size_t>(ns) *
+                                      static_cast<std::size_t>(nrhs_),
+                      "contribution size");
+          for (index_t j = 0; j < nrhs_; ++j)
+            for (index_t r = 0; r < ns; ++r)
+              x[static_cast<std::size_t>(f + r + j * n_)] +=
+                  v[static_cast<std::size_t>(r + j * ns)];
         }
-        dense::trsv_upper(ns, F_.diag(s).data(), ns, x.data() + f);
-        world_.add_compute(static_cast<offset_t>(ns) * ns, ComputeKind::Other);
+        dense::trsm_left_upper(ns, nrhs_, F_.diag(s).data(), ns, x.data() + f,
+                               n_);
+        world_.add_compute(dense::trsm_flops(ns, nrhs_), ComputeKind::Other);
       }
 
       // Propagate x_s down the replication group: along z to each grid's
       // (s%Px, s%Py) rank, then along each plane's process column.
       if (on_zline) {
-        xbuf.assign(x.begin() + f, x.begin() + f + ns);
+        gather_slice(x, f, ns, xbuf);
         zgroup_[static_cast<std::size_t>(part_.level_of(s))].bcast(
             0, btag(s), xbuf, CommPlane::Z);
-        std::copy(xbuf.begin(), xbuf.end(), x.begin() + f);
+        scatter_slice(xbuf, f, ns, x);
       }
       if (in_pcol) {
-        xbuf.assign(x.begin() + f, x.begin() + f + ns);
+        gather_slice(x, f, ns, xbuf);
         g_.plane().col().bcast(s % Px(), btag(s), xbuf, CommPlane::XY);
-        std::copy(xbuf.begin(), xbuf.end(), x.begin() + f);
+        scatter_slice(xbuf, f, ns, x);
 
         // U(c, s) contributions for descendants c anchored on my grid,
         // descending c to match the receivers' global order.
@@ -152,39 +184,48 @@ class Solve3dDriver {
           const PanelBlock& blk = bs_.lpanel(c)[static_cast<std::size_t>(blkidx)];
           const index_t nc = bs_.snode_size(c);
           const auto m = static_cast<index_t>(blk.rows.size());
-          std::vector<real_t> v(static_cast<std::size_t>(nc), 0.0);
-          for (index_t k = 0; k < m; ++k) {
-            const real_t xk =
-                x[static_cast<std::size_t>(blk.rows[static_cast<std::size_t>(k)])];
-            if (xk == 0.0) continue;
-            for (index_t r = 0; r < nc; ++r)
-              v[static_cast<std::size_t>(r)] +=
-                  ob->data[static_cast<std::size_t>(r + k * nc)] * xk;
-          }
-          world_.add_compute(2 * static_cast<offset_t>(m) * nc, ComputeKind::Other);
-          world_.send(diag_owner(c), btag(s), v, CommPlane::Z);
+          // Gather the (non-contiguous) ancestor rows of x used by this
+          // U block into an m x nrhs panel for the GEMM.
+          gbuf.resize(static_cast<std::size_t>(m) *
+                      static_cast<std::size_t>(nrhs_));
+          for (index_t j = 0; j < nrhs_; ++j)
+            for (index_t k = 0; k < m; ++k)
+              gbuf[static_cast<std::size_t>(k + j * m)] =
+                  x[static_cast<std::size_t>(
+                      blk.rows[static_cast<std::size_t>(k)] + j * n_)];
+          vbuf.assign(static_cast<std::size_t>(nc) *
+                          static_cast<std::size_t>(nrhs_),
+                      0.0);
+          dense::gemm_minus(nc, nrhs_, m, ob->data.data(), nc, gbuf.data(), m,
+                            vbuf.data(), nc);
+          world_.add_compute(dense::gemm_flops(nc, nrhs_, m),
+                             ComputeKind::Other);
+          world_.send(diag_owner(c), btag(s), vbuf, CommPlane::Z);
         }
       }
     }
   }
 
   void redistribute(std::span<real_t> x) {
-    std::vector<real_t> packed;
+    std::vector<real_t> packed, slice;
     for (int s = 0; s < bs_.n_snodes(); ++s)
-      if (world_.rank() == diag_owner(s))
-        packed.insert(packed.end(), x.begin() + bs_.first_col(s),
-                      x.begin() + bs_.first_col(s) + bs_.snode_size(s));
+      if (world_.rank() == diag_owner(s)) {
+        gather_slice(x, bs_.first_col(s), bs_.snode_size(s), slice);
+        packed.insert(packed.end(), slice.begin(), slice.end());
+      }
     const std::vector<real_t> all =
         world_.allgatherv(gtag(), packed, CommPlane::Z);
     std::size_t pos = 0;
     for (int r = 0; r < world_.size(); ++r)
       for (int s = 0; s < bs_.n_snodes(); ++s) {
         if (diag_owner(s) != r) continue;
-        const auto ns = static_cast<std::size_t>(bs_.snode_size(s));
-        SLU3D_CHECK(pos + ns <= all.size(), "gather underflow");
-        std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(pos), ns,
-                    x.begin() + bs_.first_col(s));
-        pos += ns;
+        const auto ns = bs_.snode_size(s);
+        const auto len = static_cast<std::size_t>(ns) *
+                         static_cast<std::size_t>(nrhs_);
+        SLU3D_CHECK(pos + len <= all.size(), "gather underflow");
+        scatter_slice(std::span<const real_t>(all).subspan(pos, len),
+                      bs_.first_col(s), ns, x);
+        pos += len;
       }
     SLU3D_CHECK(pos == all.size(), "gather stream not fully consumed");
   }
@@ -195,11 +236,20 @@ class Solve3dDriver {
   const ForestPartition& part_;
   const BlockStructure& bs_;
   Solve3dOptions opt_;
+  index_t n_;
+  index_t nrhs_;
   std::vector<std::vector<std::pair<int, int>>> by_anc_;
   std::vector<sim::Comm> zgroup_;
 };
 
 }  // namespace
+
+int solve3d_tag_span(const BlockStructure& bs) {
+  // ftag/btag use n_snodes tags each, gtag one more at 3*n_snodes; the
+  // remaining headroom keeps queued solves on a resident grid strictly
+  // disjoint even if the schedule grows another tag class.
+  return 4 * bs.n_snodes() + 8;
+}
 
 void solve_3d(Dist2dFactors& F, sim::Comm& world, sim::ProcessGrid3D& grid,
               const ForestPartition& part, std::span<real_t> x,

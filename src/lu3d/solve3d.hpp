@@ -17,13 +17,25 @@
 namespace slu3d {
 
 struct Solve3dOptions {
+  /// Base message tag; callers issuing several solves on the same resident
+  /// grid must keep bases at least solve3d_tag_span(bs) apart.
   int tag_base = (1 << 24);
+  /// Number of right-hand-side columns solved in one sweep. `x` is then an
+  /// n x nrhs column-major panel; one set of z-messages and broadcasts
+  /// serves the whole batch (message counts are independent of nrhs).
+  index_t nrhs = 1;
 };
 
-/// Solves L U x = b in the permuted index space on the 3D-factored `F`.
+/// Number of distinct message tags one solve_3d call may consume starting
+/// at `tag_base`. Queued solves on the same resident grid must advance
+/// tag_base by at least this span between calls so tag ranges never
+/// collide.
+int solve3d_tag_span(const BlockStructure& bs);
+
+/// Solves L U X = B in the permuted index space on the 3D-factored `F`.
 /// Collective over `world` (all Px*Py*Pz ranks). Every rank passes the
-/// full permuted right-hand side in `x`; on return every rank holds the
-/// full solution.
+/// full permuted right-hand side panel in `x` (n x nrhs column-major); on
+/// return every rank holds the full solution panel.
 void solve_3d(Dist2dFactors& F, sim::Comm& world, sim::ProcessGrid3D& grid,
               const ForestPartition& part, std::span<real_t> x,
               const Solve3dOptions& options = {});

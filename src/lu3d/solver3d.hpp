@@ -46,6 +46,12 @@ struct Solver3dReport {
   double t_comm = 0;        ///< non-overlapped comm+sync on that rank
   offset_t w_fact = 0;      ///< max per-rank XY bytes received (factor phase)
   offset_t w_red = 0;       ///< max per-rank Z bytes received (factor phase)
+  // Solve-phase communication, reported separately from the factor-phase
+  // w_fact / w_red above (covers the triangular solves plus refinement).
+  offset_t w_solve_xy = 0;    ///< max per-rank XY bytes received (solve phase)
+  offset_t w_solve_z = 0;     ///< max per-rank Z bytes received (solve phase)
+  offset_t msg_solve_xy = 0;  ///< total XY messages sent (solve phase)
+  offset_t msg_solve_z = 0;   ///< total Z messages sent (solve phase)
   offset_t mem_total = 0;   ///< numeric block bytes across all ranks
   offset_t mem_max = 0;     ///< max per rank
   offset_t flops = 0;       ///< symbolic factorization flop count

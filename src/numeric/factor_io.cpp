@@ -43,22 +43,34 @@ std::vector<T> get_vec(std::istream& is) {
   return v;
 }
 
-/// Cheap structural fingerprint tying a factor file to its BlockStructure.
-std::uint64_t structure_fingerprint(const BlockStructure& bs) {
+struct FingerprintMixer {
   std::uint64_t h = 0x9e3779b97f4a7c15ull;
-  auto mix = [&h](std::uint64_t v) {
+  void mix(std::uint64_t v) {
     h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  };
-  mix(static_cast<std::uint64_t>(bs.n()));
-  mix(static_cast<std::uint64_t>(bs.n_snodes()));
-  for (int s = 0; s < bs.n_snodes(); ++s) {
-    mix(static_cast<std::uint64_t>(bs.snode_size(s)));
-    mix(static_cast<std::uint64_t>(bs.panel_rows(s)));
   }
-  return h;
-}
+};
 
 }  // namespace
+
+std::uint64_t pattern_fingerprint(const CsrMatrix& A) {
+  FingerprintMixer m;
+  m.mix(static_cast<std::uint64_t>(A.n_rows()));
+  m.mix(static_cast<std::uint64_t>(A.n_cols()));
+  for (const offset_t p : A.row_ptr()) m.mix(static_cast<std::uint64_t>(p));
+  for (const index_t c : A.col_idx()) m.mix(static_cast<std::uint64_t>(c));
+  return m.h;
+}
+
+std::uint64_t structure_fingerprint(const BlockStructure& bs) {
+  FingerprintMixer m;
+  m.mix(static_cast<std::uint64_t>(bs.n()));
+  m.mix(static_cast<std::uint64_t>(bs.n_snodes()));
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    m.mix(static_cast<std::uint64_t>(bs.snode_size(s)));
+    m.mix(static_cast<std::uint64_t>(bs.panel_rows(s)));
+  }
+  return m.h;
+}
 
 void write_csr_binary(std::ostream& os, const CsrMatrix& A) {
   put(os, kCsrMagic);

@@ -5,6 +5,7 @@
 // architectures with different endianness.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -15,6 +16,18 @@
 #include "sparse/csr.hpp"
 
 namespace slu3d {
+
+/// Hash of the sparsity *pattern* only (dimensions, row pointers, column
+/// indices — never values). Two matrices with identical patterns but
+/// different values hash equal, so the hash can key caches of
+/// pattern-derived artifacts (orderings, symbolic structures, resident
+/// factor layouts) across repeated solves.
+std::uint64_t pattern_fingerprint(const CsrMatrix& A);
+
+/// Cheap structural fingerprint of a BlockStructure (supernode sizes and
+/// panel row counts); ties a factor file or resident layout to the
+/// structure it was built from.
+std::uint64_t structure_fingerprint(const BlockStructure& bs);
 
 void write_csr_binary(std::ostream& os, const CsrMatrix& A);
 CsrMatrix read_csr_binary(std::istream& is);

@@ -1,0 +1,58 @@
+// The one-shot distributed driver, rerouted through the resident
+// SolverService: one ephemeral service instance factors the matrix (always
+// a cold analysis — nothing is resident yet) and executes one solve
+// request, and the two per-phase reports are merged into the classic
+// Solver3dReport. This keeps a single code path for the full pipeline;
+// callers that want amortization across requests hold a SolverService
+// directly.
+#include "lu3d/solver3d.hpp"
+
+#include "service/solver_service.hpp"
+#include "support/check.hpp"
+
+namespace slu3d {
+
+Solver3dReport solve_distributed_3d(const CsrMatrix& A,
+                                    std::span<const real_t> b,
+                                    std::span<real_t> x,
+                                    const Solver3dOptions& options) {
+  SLU3D_CHECK(A.n_rows() == A.n_cols(), "needs a square matrix");
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  SLU3D_CHECK(b.size() == n && x.size() == n, "rhs size mismatch");
+
+  service::ServiceOptions sopt;
+  sopt.Px = options.Px;
+  sopt.Py = options.Py;
+  sopt.Pz = options.Pz;
+  sopt.nd = options.nd;
+  sopt.geometry = options.geometry;
+  sopt.partition = options.partition;
+  sopt.lu3d = options.lu3d;
+  sopt.machine = options.machine;
+  sopt.refinement_steps = options.refinement_steps;
+  sopt.parallel_ordering = options.parallel_ordering;
+  sopt.max_patterns = 1;
+
+  service::SolverService svc(sopt);
+  const service::FactorReport fr = svc.factor(A);
+  const service::SolveReport sr = svc.solve({b, x, 1});
+
+  Solver3dReport report;
+  report.factor_time = fr.factor_time;
+  report.solve_time = sr.solve_time;
+  report.t_scu = fr.t_scu;
+  report.t_comm = fr.t_comm;
+  report.w_fact = fr.w_fact;
+  report.w_red = fr.w_red;
+  report.w_solve_xy = sr.w_solve_xy;
+  report.w_solve_z = sr.w_solve_z;
+  report.msg_solve_xy = sr.msg_solve_xy;
+  report.msg_solve_z = sr.msg_solve_z;
+  report.mem_total = fr.mem_total;
+  report.mem_max = fr.mem_max;
+  report.flops = fr.flops;
+  report.residual = relative_residual(A, x, b);
+  return report;
+}
+
+}  // namespace slu3d

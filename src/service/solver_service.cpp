@@ -1,0 +1,320 @@
+#include "service/solver_service.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "model/cost_model.hpp"
+#include "numeric/factor_io.hpp"
+#include "order/parallel_nd.hpp"
+#include "support/check.hpp"
+
+namespace slu3d::service {
+
+namespace {
+
+/// Pz == 0: model-driven grid split (Eq. 8 for planar inputs) given the
+/// total rank budget Px*Py, mirroring the one-shot driver's policy.
+void pick_dims(const ServiceOptions& o, index_t n, int& Px, int& Py, int& Pz) {
+  Px = o.Px;
+  Py = o.Py;
+  Pz = o.Pz;
+  if (Pz != 0) return;
+  const int P = o.Px * o.Py;
+  const double pz_star = model::planar_optimal_pz(static_cast<double>(n));
+  int pz = 1;
+  while (2 * pz <= pz_star && P % (2 * pz) == 0 && P / (2 * pz) >= 4) pz *= 2;
+  Pz = pz;
+  const int pxy = P / pz;
+  int px = 1;
+  for (int d = 1; d * d <= pxy; ++d)
+    if (pxy % d == 0) px = d;
+  Px = px;
+  Py = pxy / px;
+}
+
+/// First tag of the solve range; the factorization uses tags far below
+/// this (see Lu2dOptions::tag_base defaults), so solve and factor ranges
+/// never meet.
+constexpr int kSolveTagBase = 1 << 24;
+
+}  // namespace
+
+/// One resident pattern: all analysis artifacts plus the per-rank numeric
+/// allocations. Every rank's Dist2dFactors points at the entry's own
+/// BlockStructure, so the entry must outlive any simulated run using it.
+struct SolverService::Resident {
+  std::uint64_t key = 0;
+  int Px = 0, Py = 0, Pz = 0;
+  std::unique_ptr<SeparatorTree> tree;
+  std::unique_ptr<BlockStructure> bs;
+  std::unique_ptr<ForestPartition> part;
+  std::unique_ptr<CsrMatrix> Ap;  ///< permuted matrix, current values
+  std::vector<index_t> pinv;
+  std::vector<std::unique_ptr<Dist2dFactors>> per_rank;
+  offset_t flops = 0;
+  std::uint64_t last_used = 0;
+};
+
+SolverService::SolverService(const ServiceOptions& options) : opt_(options) {
+  SLU3D_CHECK(opt_.max_patterns >= 1, "need capacity for at least one pattern");
+}
+
+SolverService::~SolverService() = default;
+
+SolverService::Resident* SolverService::find(std::uint64_t key) {
+  for (auto& e : cache_)
+    if (e->key == key) return e.get();
+  return nullptr;
+}
+
+void SolverService::evict_to_capacity() {
+  while (cache_.size() > opt_.max_patterns) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < cache_.size(); ++i)
+      if (cache_[i]->last_used < cache_[victim]->last_used) victim = i;
+    if (cache_[victim].get() == current_) current_ = nullptr;
+    cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++stats_.evictions;
+  }
+}
+
+FactorReport SolverService::run_numeric_factorization(Resident& op) {
+  const int P = op.Px * op.Py * op.Pz;
+  std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
+  const sim::RunResult res =
+      sim::run_ranks(P, opt_.machine, [&](sim::Comm& world) {
+        auto grid =
+            sim::ProcessGrid3D::create(world, op.Px, op.Py, op.Pz);
+        auto& slot = op.per_rank[static_cast<std::size_t>(world.rank())];
+        if (!slot) {
+          slot = std::make_unique<Dist2dFactors>(
+              make_3d_factors(*op.bs, grid, *op.part, *op.Ap));
+        } else {
+          refill_3d_factors(*slot, grid, *op.part, *op.Ap);
+        }
+        mem[static_cast<std::size_t>(world.rank())] = slot->allocated_bytes();
+        factorize_3d(*slot, grid, *op.part, opt_.lu3d);
+      });
+  ++stats_.refactorizations;
+
+  FactorReport rep;
+  const sim::RankStats* crit = &res.ranks.front();
+  for (const auto& r : res.ranks) {
+    rep.factor_time = std::max(rep.factor_time, r.clock);
+    if (r.clock > crit->clock) crit = &r;
+    rep.w_fact = std::max(
+        rep.w_fact,
+        r.bytes_received[static_cast<std::size_t>(sim::CommPlane::XY)]);
+    rep.w_red = std::max(
+        rep.w_red,
+        r.bytes_received[static_cast<std::size_t>(sim::CommPlane::Z)]);
+  }
+  rep.t_scu =
+      crit->compute_seconds[static_cast<int>(sim::ComputeKind::SchurUpdate)];
+  rep.t_comm = crit->comm_seconds();
+  for (offset_t m : mem) {
+    rep.mem_total += m;
+    rep.mem_max = std::max(rep.mem_max, m);
+  }
+  rep.flops = op.flops;
+  return rep;
+}
+
+FactorReport SolverService::factor(const CsrMatrix& A) {
+  SLU3D_CHECK(A.n_rows() == A.n_cols(), "needs a square matrix");
+  const std::uint64_t key = pattern_fingerprint(A);
+
+  if (Resident* hit = find(key)) {
+    // Resident pattern: no ordering, no symbolic analysis, no allocation —
+    // re-scatter the new values and refactorize numerically in place.
+    ++stats_.cache_hits;
+    hit->Ap =
+        std::make_unique<CsrMatrix>(A.permuted_symmetric(hit->tree->perm()));
+    hit->last_used = ++use_clock_;
+    current_ = hit;
+    FactorReport rep;
+    try {
+      rep = run_numeric_factorization(*hit);
+    } catch (...) {
+      // The resident numerics are now garbage; drop the entry so a retry
+      // re-analyzes from scratch instead of solving on a broken factor.
+      cache_.erase(std::find_if(cache_.begin(), cache_.end(),
+                                [&](const auto& e) { return e.get() == hit; }));
+      current_ = nullptr;
+      throw;
+    }
+    rep.cache_hit = true;
+    return rep;
+  }
+
+  // Cache miss: full analysis (the expensive, pattern-only pipeline).
+  ++stats_.analyses;
+  auto op = std::make_unique<Resident>();
+  op->key = key;
+  pick_dims(opt_, A.n_rows(), op->Px, op->Py, op->Pz);
+  const int P = op->Px * op->Py * op->Pz;
+
+  double ordering_time = 0;
+  std::vector<sim::RankStats> ordering_stats;
+  if (opt_.geometry.has_value()) {
+    SLU3D_CHECK(opt_.geometry->n() == A.n_rows(), "geometry mismatch");
+    op->tree =
+        std::make_unique<SeparatorTree>(geometric_nd(*opt_.geometry, opt_.nd));
+  } else if (opt_.parallel_ordering) {
+    // The ordering itself runs inside the simulated machine (ParMETIS
+    // role); its time and traffic count toward this factorization.
+    std::mutex mu;
+    const sim::RunResult ores =
+        sim::run_ranks(P, opt_.machine, [&](sim::Comm& world) {
+          SeparatorTree t = parallel_nested_dissection(A, world, opt_.nd);
+          if (world.rank() == 0) {
+            const std::lock_guard<std::mutex> lock(mu);
+            op->tree = std::make_unique<SeparatorTree>(std::move(t));
+          }
+        });
+    ordering_time = ores.max_clock();
+    ordering_stats = ores.ranks;
+  } else {
+    op->tree = std::make_unique<SeparatorTree>(nested_dissection(A, opt_.nd));
+  }
+  op->bs = std::make_unique<BlockStructure>(A, *op->tree);
+  op->Ap = std::make_unique<CsrMatrix>(A.permuted_symmetric(op->tree->perm()));
+  op->part =
+      std::make_unique<ForestPartition>(*op->bs, op->Pz, opt_.partition);
+  op->flops = op->bs->total_flops();
+  op->pinv = invert_permutation(op->tree->perm());
+  op->per_rank.resize(static_cast<std::size_t>(P));
+
+  FactorReport rep = run_numeric_factorization(*op);  // throws -> op dropped
+  rep.factor_time += ordering_time;
+  for (const auto& r : ordering_stats) {
+    rep.w_fact = std::max(
+        rep.w_fact,
+        r.bytes_received[static_cast<std::size_t>(sim::CommPlane::XY)]);
+    rep.w_red = std::max(
+        rep.w_red,
+        r.bytes_received[static_cast<std::size_t>(sim::CommPlane::Z)]);
+  }
+  op->last_used = ++use_clock_;
+  current_ = op.get();
+  cache_.push_back(std::move(op));
+  evict_to_capacity();
+  return rep;
+}
+
+SolveReport SolverService::solve(const SolveRequest& request) {
+  SLU3D_CHECK(current_ != nullptr, "no factored operator resident");
+  return run_solves(*current_, std::span<const SolveRequest>(&request, 1))
+      .front();
+}
+
+std::vector<SolveReport> SolverService::solve_stream(
+    std::span<const SolveRequest> requests) {
+  SLU3D_CHECK(current_ != nullptr, "no factored operator resident");
+  return run_solves(*current_, requests);
+}
+
+std::vector<SolveReport> SolverService::run_solves(
+    Resident& op, std::span<const SolveRequest> requests) {
+  const auto k = requests.size();
+  if (k == 0) return {};
+  const auto n = static_cast<std::size_t>(op.bs->n());
+  const int P = op.Px * op.Py * op.Pz;
+  op.last_used = ++use_clock_;
+
+  // Host-audited tag allocation: each request owns a contiguous tag range
+  // of one solve plus its refinement re-solves; ranges are disjoint by
+  // construction, so queued solves on the resident grid cannot collide.
+  const int span_per_request =
+      solve3d_tag_span(*op.bs) * (1 + opt_.refinement_steps);
+
+  // Permute each request's rhs panel once on the host (replicated input).
+  std::vector<std::vector<real_t>> pb(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const SolveRequest& rq = requests[i];
+    SLU3D_CHECK(rq.nrhs >= 1, "nrhs must be positive");
+    const auto len = n * static_cast<std::size_t>(rq.nrhs);
+    SLU3D_CHECK(rq.b.size() == len && rq.x.size() == len,
+                "rhs panel size mismatch");
+    pb[i].resize(len);
+    for (index_t j = 0; j < rq.nrhs; ++j)
+      for (std::size_t r = 0; r < n; ++r)
+        pb[i][static_cast<std::size_t>(op.pinv[r]) +
+              static_cast<std::size_t>(j) * n] =
+            rq.b[r + static_cast<std::size_t>(j) * n];
+  }
+
+  // Per-request, per-rank stat snapshots (deltas give the solve-phase
+  // communication split of each request).
+  std::vector<std::vector<sim::RankStats>> before(
+      k, std::vector<sim::RankStats>(static_cast<std::size_t>(P)));
+  auto after = before;
+  std::vector<std::vector<real_t>> xperm(k);  // solved panels, permuted space
+
+  sim::run_ranks(P, opt_.machine, [&](sim::Comm& world) {
+    auto grid = sim::ProcessGrid3D::create(world, op.Px, op.Py, op.Pz);
+    Dist2dFactors& F = *op.per_rank[static_cast<std::size_t>(world.rank())];
+    for (std::size_t i = 0; i < k; ++i) {
+      const index_t nrhs = requests[i].nrhs;
+      before[i][static_cast<std::size_t>(world.rank())] = world.stats();
+      std::vector<real_t> xr(pb[i]);
+      Solve3dOptions sopt;
+      sopt.nrhs = nrhs;
+      sopt.tag_base = kSolveTagBase + static_cast<int>(i) * span_per_request;
+      solve_3d(F, world, grid, *op.part, xr, sopt);
+      for (int it = 0; it < opt_.refinement_steps; ++it) {
+        // Residual of the permuted system, column by column; the
+        // correction panel re-solves in one batched sweep.
+        std::vector<real_t> dx(xr.size());
+        for (index_t j = 0; j < nrhs; ++j) {
+          const auto off = static_cast<std::size_t>(j) * n;
+          op.Ap->spmv(std::span<const real_t>(xr).subspan(off, n),
+                      std::span<real_t>(dx).subspan(off, n));
+        }
+        for (std::size_t q = 0; q < dx.size(); ++q) dx[q] = pb[i][q] - dx[q];
+        sopt.tag_base += solve3d_tag_span(*op.bs);
+        solve_3d(F, world, grid, *op.part, dx, sopt);
+        for (std::size_t q = 0; q < xr.size(); ++q) xr[q] += dx[q];
+      }
+      after[i][static_cast<std::size_t>(world.rank())] = world.stats();
+      if (world.rank() == 0) xperm[i] = std::move(xr);
+    }
+  });
+
+  std::vector<SolveReport> reports(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const SolveRequest& rq = requests[i];
+    SolveReport& rep = reports[i];
+    for (int r = 0; r < P; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const sim::RankStats &a = after[i][ri], &b = before[i][ri];
+      constexpr auto xy = static_cast<std::size_t>(sim::CommPlane::XY);
+      constexpr auto z = static_cast<std::size_t>(sim::CommPlane::Z);
+      rep.solve_time = std::max(rep.solve_time, a.clock - b.clock);
+      rep.w_solve_xy = std::max(rep.w_solve_xy,
+                                a.bytes_received[xy] - b.bytes_received[xy]);
+      rep.w_solve_z =
+          std::max(rep.w_solve_z, a.bytes_received[z] - b.bytes_received[z]);
+      rep.msg_solve_xy += a.messages_sent[xy] - b.messages_sent[xy];
+      rep.msg_solve_z += a.messages_sent[z] - b.messages_sent[z];
+    }
+    // Unpermute the solution panel and report the worst per-column
+    // relative residual (inf-norm based, so invariant under the symmetric
+    // permutation: measuring against Ap equals measuring against A).
+    for (index_t j = 0; j < rq.nrhs; ++j) {
+      const auto off = static_cast<std::size_t>(j) * n;
+      for (std::size_t r = 0; r < n; ++r)
+        rq.x[r + off] = xperm[i][static_cast<std::size_t>(op.pinv[r]) + off];
+      rep.residual = std::max(
+          rep.residual,
+          relative_residual(
+              *op.Ap, std::span<const real_t>(xperm[i]).subspan(off, n),
+              std::span<const real_t>(pb[i]).subspan(off, n)));
+    }
+    ++stats_.solve_requests;
+    stats_.rhs_columns += rq.nrhs;
+  }
+  return reports;
+}
+
+}  // namespace slu3d::service

@@ -1,0 +1,147 @@
+// Resident solver service — the "factorize once, solve many" front end the
+// paper's 3D algorithm is built to amortize. A SolverService keeps the
+// simulated 3D machine configuration and the distributed factors of every
+// recently seen sparsity pattern alive across requests:
+//
+//  * Patterns are keyed by pattern_fingerprint (structure only, never
+//    values). A repeated pattern skips ordering and symbolic analysis
+//    entirely and goes straight to numeric *refactorization* on the cached
+//    BlockStructure / ForestPartition / per-rank allocations
+//    (refill_3d_factors + factorize_3d). ServiceStats::analyses counts
+//    the expensive analysis constructions, so tests can verify by
+//    construction count that a hit runs zero of them.
+//  * Solves are batched: a request carries an n x nrhs column-major panel
+//    and one forward/backward sweep serves the whole batch, so
+//    solve-phase message *counts* are independent of nrhs.
+//  * solve_stream executes a queue of solve requests back-to-back inside
+//    ONE simulated run; per-request tag bases are allocated host-side with
+//    stride solve3d_tag_span(bs) * (1 + refinement_steps) so two queued
+//    solves on the same resident grid can never collide tags.
+//
+// Entries are evicted least-recently-used when more than
+// ServiceOptions::max_patterns are resident.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lu3d/factor3d.hpp"
+#include "lu3d/solve3d.hpp"
+#include "numeric/solver.hpp"
+
+namespace slu3d::service {
+
+struct ServiceOptions {
+  int Px = 2;
+  int Py = 2;
+  /// Number of 2D grids (power of two). 0 = choose per pattern: the
+  /// largest power of two <= the §IV communication-optimal value that
+  /// divides Px*Py (given as the total rank budget) and keeps the plane
+  /// at >= 4 ranks.
+  int Pz = 1;
+  NdOptions nd;
+  std::optional<GridGeometry> geometry;  ///< exact geometric ND when set
+  PartitionStrategy partition = PartitionStrategy::Greedy;
+  Lu3dOptions lu3d;
+  sim::MachineModel machine;
+  /// Iterative-refinement sweeps appended to every solve request.
+  int refinement_steps = 1;
+  /// Run the fill-reducing ordering *inside* the simulated machine
+  /// (parallel nested dissection) on a cache miss. Ignored when
+  /// `geometry` is set. Cache hits never order, in-sim or not.
+  bool parallel_ordering = false;
+  /// Resident-pattern capacity; least-recently-used entries are evicted.
+  std::size_t max_patterns = 8;
+};
+
+/// Construction-count instrumentation across the service lifetime.
+struct ServiceStats {
+  long analyses = 0;          ///< ordering + symbolic constructions (cache misses)
+  long refactorizations = 0;  ///< numeric factorization runs (hits and misses)
+  long cache_hits = 0;
+  long evictions = 0;
+  long solve_requests = 0;
+  long rhs_columns = 0;  ///< total right-hand-side columns solved
+};
+
+/// Per-factorization-request report (one simulated factorization run).
+struct FactorReport {
+  bool cache_hit = false;   ///< pattern was resident: no ordering/symbolic ran
+  double factor_time = 0;   ///< simulated critical-path seconds
+  double t_scu = 0;         ///< Schur compute on the critical-path rank
+  double t_comm = 0;        ///< non-overlapped comm+sync on that rank
+  offset_t w_fact = 0;      ///< max per-rank XY bytes received
+  offset_t w_red = 0;       ///< max per-rank Z bytes received
+  offset_t mem_total = 0;   ///< numeric block bytes across all ranks
+  offset_t mem_max = 0;     ///< max per rank
+  offset_t flops = 0;       ///< symbolic factorization flop count
+};
+
+/// One solve request against the current resident operator. `b` and `x`
+/// are n x nrhs column-major panels in the *original* (unpermuted) index
+/// space; `x` receives the solution.
+struct SolveRequest {
+  std::span<const real_t> b;
+  std::span<real_t> x;
+  index_t nrhs = 1;
+};
+
+/// Per-solve-request report. The communication split is solve-phase only
+/// (deltas around this request), separate from the factor-phase
+/// w_fact / w_red above.
+struct SolveReport {
+  double solve_time = 0;      ///< simulated latency of this request
+  offset_t w_solve_xy = 0;    ///< max per-rank XY bytes received
+  offset_t w_solve_z = 0;     ///< max per-rank Z bytes received
+  offset_t msg_solve_xy = 0;  ///< total XY messages sent (all ranks)
+  offset_t msg_solve_z = 0;   ///< total Z messages sent (all ranks)
+  real_t residual = 0;        ///< worst relative residual over the panel
+};
+
+class SolverService {
+ public:
+  explicit SolverService(const ServiceOptions& options);
+  ~SolverService();
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Factors `A` on the resident machine. A resident pattern (same
+  /// fingerprint) is numerically refactorized in place — no ordering, no
+  /// symbolic analysis, no allocation; otherwise the full analysis
+  /// pipeline runs once and the pattern becomes resident. The factored
+  /// operator becomes the target of subsequent solve requests. Throws
+  /// slu3d::Error (and drops the entry) if the factorization fails.
+  FactorReport factor(const CsrMatrix& A);
+
+  /// Executes one solve request on the current operator.
+  SolveReport solve(const SolveRequest& request);
+
+  /// Executes a queue of solve requests back-to-back in one simulated
+  /// run, with host-audited disjoint tag ranges per request. Reports are
+  /// per request (stat deltas around each).
+  std::vector<SolveReport> solve_stream(std::span<const SolveRequest> requests);
+
+  const ServiceStats& stats() const { return stats_; }
+  std::size_t resident_patterns() const { return cache_.size(); }
+  bool has_current() const { return current_ != nullptr; }
+
+ private:
+  struct Resident;
+
+  Resident* find(std::uint64_t key);
+  void evict_to_capacity();
+  FactorReport run_numeric_factorization(Resident& op);
+  std::vector<SolveReport> run_solves(Resident& op,
+                                      std::span<const SolveRequest> requests);
+
+  ServiceOptions opt_;
+  ServiceStats stats_;
+  std::vector<std::unique_ptr<Resident>> cache_;
+  Resident* current_ = nullptr;
+  std::uint64_t use_clock_ = 0;
+};
+
+}  // namespace slu3d::service

@@ -138,5 +138,44 @@ TEST(MultiRhsSolve, SingleColumnDegeneratesToVectorSolve) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
 }
 
+TEST(Fingerprint, PatternOnlyIgnoresValuesAndSeesStructure) {
+  const GridGeometry g{8, 8, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+
+  // Same pattern, different values -> same fingerprint (this is what lets
+  // a service key refactorization caches on it).
+  auto vals = std::vector<real_t>(A.values().begin(), A.values().end());
+  for (auto& v : vals) v *= 1.75;
+  const CsrMatrix A2 = CsrMatrix::from_raw(
+      A.n_rows(), A.n_cols(),
+      std::vector<offset_t>(A.row_ptr().begin(), A.row_ptr().end()),
+      std::vector<index_t>(A.col_idx().begin(), A.col_idx().end()),
+      std::move(vals));
+  EXPECT_EQ(pattern_fingerprint(A), pattern_fingerprint(A2));
+
+  // Different pattern -> different fingerprint.
+  const CsrMatrix B = grid2d_laplacian(g, Stencil2D::NinePoint);
+  const CsrMatrix C = grid2d_laplacian(GridGeometry{8, 9, 1},
+                                       Stencil2D::FivePoint);
+  EXPECT_NE(pattern_fingerprint(A), pattern_fingerprint(B));
+  EXPECT_NE(pattern_fingerprint(A), pattern_fingerprint(C));
+}
+
+TEST(Fingerprint, StructureFingerprintMatchesSaveLoadCheck) {
+  // The structure fingerprint is what write/read_factors_binary embed; it
+  // must be stable across identical constructions and change with the
+  // ordering.
+  const GridGeometry g{9, 8, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree t1 = nested_dissection(A, {.leaf_size = 8});
+  const BlockStructure bs_a(A, t1);
+  const BlockStructure bs_b(A, t1);
+  EXPECT_EQ(structure_fingerprint(bs_a), structure_fingerprint(bs_b));
+
+  const SeparatorTree t2 = nested_dissection(A, {.leaf_size = 16});
+  const BlockStructure bs_c(A, t2);
+  EXPECT_NE(structure_fingerprint(bs_a), structure_fingerprint(bs_c));
+}
+
 }  // namespace
 }  // namespace slu3d

@@ -32,6 +32,12 @@ TEST(Solver3d, EndToEndPlanar) {
   EXPECT_GT(rep.flops, 0);
   EXPECT_GT(rep.w_fact, 0);
   EXPECT_GT(rep.w_red, 0);  // Pz > 1 implies z traffic
+  // Solve-phase communication is reported separately from the factor
+  // phase; Pz > 1 routes solve contributions across grids (Z plane).
+  EXPECT_GT(rep.w_solve_xy, 0);
+  EXPECT_GT(rep.w_solve_z, 0);
+  EXPECT_GT(rep.msg_solve_xy, 0);
+  EXPECT_GT(rep.msg_solve_z, 0);
   EXPECT_GE(rep.mem_total, rep.mem_max);
 }
 
@@ -47,6 +53,9 @@ TEST(Solver3d, Pz1IsPure2d) {
   const auto rep = solve_distributed_3d(A, b, x, opt);
   EXPECT_LT(rep.residual, 1e-13);
   EXPECT_EQ(rep.w_red, 0);
+  // The solve split is reported independently of the factor phase: even
+  // with w_red == 0 here, the solve's own counters are populated.
+  EXPECT_GT(rep.msg_solve_xy, 0);
 }
 
 TEST(Solver3d, ReportsReplicationMemoryGrowth) {
