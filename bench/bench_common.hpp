@@ -29,6 +29,14 @@ struct DistMetrics {
   offset_t w_red = 0;
   offset_t mem_total = 0;
   offset_t mem_max = 0;
+  /// Sparse z-reduction savings (zero under ZRedPacking::Dense): W_red
+  /// bytes avoided across all ranks, blocks skipped / considered, and the
+  /// actual total bytes sent along Z (so saved / (saved + sent) is the
+  /// fraction of dense-equivalent reduction volume eliminated).
+  offset_t zred_saved = 0;
+  offset_t zred_blocks_skipped = 0;
+  offset_t zred_blocks_total = 0;
+  offset_t z_bytes_sent = 0;
 };
 
 /// Default Edison-like machine model shared by all benches.
@@ -38,7 +46,8 @@ inline sim::MachineModel machine_model() { return sim::MachineModel{}; }
 /// on a Px x Py x Pz grid and collects the metrics above.
 inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
                                int Px, int Py, int Pz, int lookahead = 8,
-                               PartitionStrategy strategy = PartitionStrategy::Greedy) {
+                               PartitionStrategy strategy = PartitionStrategy::Greedy,
+                               pipeline::ZRedPacking packing = pipeline::ZRedPacking::Dense) {
   const ForestPartition part(bs, Pz, strategy);
   const int P = Px * Py * Pz;
   std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
@@ -49,6 +58,7 @@ inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
         mem[static_cast<std::size_t>(world.rank())] = F.allocated_bytes();
         Lu3dOptions opt;
         opt.lu2d.lookahead = lookahead;
+        opt.packing = packing;
         factorize_3d(F, grid, part, opt);
       });
 
@@ -62,6 +72,10 @@ inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
   m.t_comm = crit->comm_seconds();
   m.w_fact = res.max_bytes_received(sim::CommPlane::XY);
   m.w_red = res.max_bytes_received(sim::CommPlane::Z);
+  m.zred_saved = res.total_zred_bytes_saved();
+  m.zred_blocks_skipped = res.total_zred_blocks_skipped();
+  m.zred_blocks_total = res.total_zred_blocks_total();
+  m.z_bytes_sent = res.total_bytes_sent(sim::CommPlane::Z);
   for (offset_t b : mem) {
     m.mem_total += b;
     m.mem_max = std::max(m.mem_max, b);

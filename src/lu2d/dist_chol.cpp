@@ -6,6 +6,7 @@
 #include "numeric/dense_kernels.hpp"
 #include "numeric/kernel_scratch.hpp"
 #include "numeric/schur.hpp"
+#include "pipeline/panel_pipeline.hpp"
 #include "support/check.hpp"
 
 namespace slu3d {
@@ -94,271 +95,144 @@ offset_t DistCholFactors::allocated_bytes() const {
 
 namespace {
 
-/// One broadcast panel block staged for the Schur phase (m x ns values at
-/// `offset` in the stash's flat storage).
-struct StashEntry {
-  int panel_idx;
-  std::size_t offset;
-  index_t m;
-};
+/// Cholesky variant policy for the shared panel-pipeline engine
+/// (pipeline/panel_pipeline.hpp): POTRF on the diagonal, column-only
+/// diagonal broadcast, L-panel TRSM, the transposed-role relay column
+/// broadcasts, and the symmetric (lower-triangle-only) Schur scatter.
+struct CholPanelPolicy {
+  using Factors = DistCholFactors;
+  static constexpr bool kSymmetric = true;
+  static constexpr int kRowPanelOp = 1;  ///< row-role panel broadcast tag op
+  static constexpr int kColPanelOp = 2;  ///< transposed-role broadcast tag op
 
-class Chol2dDriver {
- public:
-  Chol2dDriver(DistCholFactors& F, sim::ProcessGrid2D& grid,
-               const Chol2dOptions& opt)
-      : F_(F), g_(grid), bs_(F.structure()), opt_(opt) {}
+  /// Diagonal Cholesky at the owner, broadcast down the process column
+  /// (only the L-panel solvers need it, right below — stays blocking).
+  template <class Engine>
+  static void factor_and_solve(Engine& e, int k, index_t ns,
+                               std::vector<real_t>& diag_buf) {
+    Factors& F = e.factors();
+    sim::ProcessGrid2D& g = e.grid();
+    const BlockStructure& bs = e.structure();
+    const bool in_pcol = g.py() == k % g.Py();
 
-  void run(std::span<const int> snodes) {
-    std::vector<int> last_upd_pos(static_cast<std::size_t>(bs_.n_snodes()), -1);
-    for (int idx = 0; idx < static_cast<int>(snodes.size()); ++idx) {
-      const int k = snodes[static_cast<std::size_t>(idx)];
-      SLU3D_CHECK(idx == 0 || snodes[static_cast<std::size_t>(idx - 1)] < k,
-                  "snodes must be ascending");
-      for (const PanelBlock& blk : bs_.lpanel(k))
-        last_upd_pos[static_cast<std::size_t>(blk.snode)] = idx;
-    }
-    std::vector<bool> fired(static_cast<std::size_t>(bs_.n_snodes()), false);
-    const int n = static_cast<int>(snodes.size());
-    for (int idx = 0; idx < n; ++idx) {
-      const int limit = std::min(n - 1, idx + opt_.lookahead);
-      for (int w = idx; w <= limit; ++w) {
-        const int j = snodes[static_cast<std::size_t>(w)];
-        if (!fired[static_cast<std::size_t>(j)] &&
-            last_upd_pos[static_cast<std::size_t>(j)] < idx) {
-          panel_phase(j);
-          fired[static_cast<std::size_t>(j)] = true;
-        }
-      }
-      schur_phase(snodes[static_cast<std::size_t>(idx)]);
-    }
-  }
-
- private:
-  /// Broadcast panels of one in-flight supernode. Flat storage (borrowed
-  /// from the per-rank scratch pool) replaces per-block map nodes; entry
-  /// lists stay sorted by panel_idx by construction. In async mode `ops`
-  /// records, in post order, the outstanding requests plus deferred
-  /// relay re-broadcasts (relay_pi >= 0): the transposed-role relay can
-  /// only re-broadcast a payload after its own row-role request
-  /// completes, so that forwarding happens during the Schur drain, never
-  /// as a blocking wait inside panel_phase (which could deadlock against
-  /// peers whose forwarding waits also run at their drains).
-  struct Stash {
-    int k = -1;  ///< supernode, or -1 when the slot is free
-    std::vector<StashEntry> row_entries, col_entries;
-    std::vector<real_t> storage;
-    struct AsyncOp {
-      sim::Request req;
-      int relay_pi = -1;
-      std::size_t row_off = 0, col_off = 0, elems = 0;
-    };
-    std::vector<AsyncOp> ops;
-  };
-
-  int tag(int k, int op) const { return opt_.tag_base + 8 * k + op; }
-
-  Stash& stash_alloc(int k) {
-    for (Stash& s : stash_)
-      if (s.k < 0) {
-        s.k = k;
-        return s;
-      }
-    stash_.emplace_back();
-    stash_.back().k = k;
-    return stash_.back();
-  }
-
-  Stash* stash_find(int k) {
-    for (Stash& s : stash_)
-      if (s.k == k) return &s;
-    return nullptr;
-  }
-
-  void panel_phase(int k) {
-    const index_t ns = bs_.snode_size(k);
-    if (ns == 0) return;
-    Stash& stash = stash_alloc(k);
-    const int pyk = k % g_.Py();
-    const bool in_pcol = g_.py() == pyk;
-
-    // Diagonal Cholesky at the owner, broadcast down the process column
-    // (only the L-panel solvers need it, right below — stays blocking).
-    diag_buf_.assign(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns), 0.0);
-    if (F_.has_diag(k)) {
-      auto d = F_.diag(k);
+    diag_buf.assign(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns),
+                    0.0);
+    if (F.has_diag(k)) {
+      auto d = F.diag(k);
       dense::potrf_lower(ns, d.data(), ns);
-      g_.grid().add_compute(dense::potrf_flops(ns), ComputeKind::DiagFactor);
-      std::copy(d.begin(), d.end(), diag_buf_.begin());
+      g.grid().add_compute(dense::potrf_flops(ns), ComputeKind::DiagFactor);
+      std::copy(d.begin(), d.end(), diag_buf.begin());
     }
     if (in_pcol) {
-      g_.col().bcast(k % g_.Px(), tag(k, 0), diag_buf_, CommPlane::XY);
-      for (OwnedBlock& blk : F_.lblocks(k)) {
+      g.col().bcast(k % g.Px(), e.tag(k, 0), diag_buf, CommPlane::XY);
+      for (OwnedBlock& blk : F.lblocks(k)) {
         const index_t m =
-            bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
-        dense::trsm_right_lower_trans(ns, m, diag_buf_.data(), ns,
+            bs.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
+        dense::trsm_right_lower_trans(ns, m, diag_buf.data(), ns,
                                       blk.data.data(), m);
-        g_.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
+        g.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
       }
     }
+  }
 
-    // Panel broadcast: row role along the block row's process row; the
-    // transposed role is relayed by the (a%Px, a%Py) rank down its column.
-    // Empty (ragged) blocks are skipped instead of broadcast. Storage is
-    // laid out fully first — spans handed to ibcast must stay put.
-    const auto panel = bs_.lpanel(k);
-    std::size_t total = 0;
-    for (int pi = 0; pi < static_cast<int>(panel.size()); ++pi) {
-      const PanelBlock& blk = panel[static_cast<std::size_t>(pi)];
-      const index_t m = blk.n_rows();
-      if (m == 0) continue;
-      const auto elems = static_cast<std::size_t>(m) * static_cast<std::size_t>(ns);
-      if (blk.snode % g_.Px() == g_.px()) {
-        stash.row_entries.push_back({pi, total, m});
-        total += elems;
-      }
-      if (blk.snode % g_.Py() == g_.py()) {
-        stash.col_entries.push_back({pi, total, m});
-        total += elems;
-      }
-    }
-    stash.storage = dense::KernelScratch::per_rank().borrow();
-    stash.storage.resize(total, 0.0);
+  static std::span<const real_t> row_payload(Factors& F, int k, int a) {
+    const OwnedBlock* ob = F.find_lblock(k, a);
+    SLU3D_CHECK(ob != nullptr, "owner missing L block");
+    return ob->data;
+  }
 
-    for (const StashEntry& e : stash.row_entries) {
-      const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
-      const std::span<real_t> buf{
-          stash.storage.data() + e.offset,
-          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns)};
-      if (in_pcol) {
-        const OwnedBlock* ob = F_.find_lblock(k, blk.snode);
-        SLU3D_CHECK(ob != nullptr, "owner missing L block");
-        std::copy(ob->data.begin(), ob->data.end(), buf.begin());
-      }
-      if (opt_.async)
-        stash.ops.push_back(
-            {g_.row().ibcast(pyk, tag(k, 1), buf, CommPlane::XY), -1, 0, 0, 0});
-      else
-        g_.row().bcast(pyk, tag(k, 1), buf, CommPlane::XY);
-    }
-    for (const StashEntry& e : stash.col_entries) {
-      const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
-      const int arow = blk.snode % g_.Px();
-      const auto elems = static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
-      const std::span<real_t> buf{stash.storage.data() + e.offset, elems};
-      const bool relay = g_.px() == arow;  // root of the transposed bcast
-      const StashEntry* re = relay ? row_entry(stash, e.panel_idx) : nullptr;
+  /// Transposed role: the L payload of block row a is relayed by the
+  /// (a%Px, a%Py) rank down its process column. The relay can only
+  /// re-broadcast after its own row-role request completes, so that
+  /// forwarding is deferred (relay_pi >= 0) to the Schur drain, never a
+  /// blocking wait inside the panel phase (which could deadlock against
+  /// peers whose forwarding waits also run at their drains).
+  template <class Engine>
+  static void post_col_entries(Engine& e, pipeline::PanelStash& stash, int k,
+                               index_t ns) {
+    sim::ProcessGrid2D& g = e.grid();
+    const auto panel = e.structure().lpanel(k);
+    const bool in_pcol = g.py() == k % g.Py();
+    for (const pipeline::StashEntry& en : stash.col_entries) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(en.panel_idx)];
+      const int arow = blk.snode % g.Px();
+      const auto elems =
+          static_cast<std::size_t>(en.m) * static_cast<std::size_t>(ns);
+      const std::span<real_t> buf{stash.storage.data() + en.offset, elems};
+      const bool relay = g.px() == arow;  // root of the transposed bcast
+      const pipeline::StashEntry* re =
+          relay ? stash.find_row_entry(en.panel_idx) : nullptr;
       if (relay) SLU3D_CHECK(re != nullptr, "relay missing row-role payload");
-      if (!opt_.async) {
+      if (!e.options().async) {
         if (relay)
           std::copy_n(stash.storage.data() + re->offset, elems, buf.begin());
-        g_.col().bcast(arow, tag(k, 2), buf, CommPlane::XY);
+        g.col().bcast(arow, e.tag(k, kColPanelOp), buf, CommPlane::XY);
       } else if (!relay) {
         stash.ops.push_back(
-            {g_.col().ibcast(arow, tag(k, 2), buf, CommPlane::XY), -1, 0, 0, 0});
+            {g.col().ibcast(arow, e.tag(k, kColPanelOp), buf, CommPlane::XY),
+             -1, 0, 0, 0});
       } else if (in_pcol) {
         // The relay is the row-role root itself: payload already local.
         std::copy_n(stash.storage.data() + re->offset, elems, buf.begin());
         stash.ops.push_back(
-            {g_.col().ibcast(arow, tag(k, 2), buf, CommPlane::XY), -1, 0, 0, 0});
+            {g.col().ibcast(arow, e.tag(k, kColPanelOp), buf, CommPlane::XY),
+             -1, 0, 0, 0});
       } else {
         // Deferred: re-broadcast once the row-role request (earlier in
         // `ops`) has been drained.
-        stash.ops.push_back({sim::Request{}, e.panel_idx, re->offset, e.offset,
-                             elems});
+        stash.ops.push_back(
+            {sim::Request{}, en.panel_idx, re->offset, en.offset, elems});
       }
     }
   }
 
-  static const StashEntry* row_entry(const Stash& stash, int pi) {
-    for (const StashEntry& e : stash.row_entries)
-      if (e.panel_idx == pi) return &e;
-    return nullptr;
+  static bool wants_target(const Factors& F, int /*bi*/, int bj) {
+    return F.wants_snode(bj);
   }
 
-  void schur_phase(int k) {
-    const index_t ns = bs_.snode_size(k);
-    if (ns == 0) return;
-    Stash* stash = stash_find(k);
-    SLU3D_CHECK(stash != nullptr, "panel not factored before Schur phase");
-    // Drain posted broadcasts in post order; deferred relay roots forward
-    // as soon as their row-role payload (an earlier op) is in.
-    const auto panel = bs_.lpanel(k);
-    for (Stash::AsyncOp& op : stash->ops) {
-      if (op.relay_pi < 0) {
-        op.req.wait();
-        continue;
+  /// Symmetric Schur update V = L_i L_jᵀ, scattered into the
+  /// lower-triangular target (diag or L block).
+  template <class Engine>
+  static void schur_pair(Engine& e, const PanelBlock& bi, index_t mi,
+                         const real_t* ldata, const PanelBlock& bj, index_t mj,
+                         const real_t* tdata, index_t ns,
+                         std::span<real_t> scratch) {
+    Factors& F = e.factors();
+    const BlockStructure& bs = e.structure();
+    dense::gemm_minus_nt(mi, mj, ns, ldata, mi, tdata, mj, scratch.data(), mi);
+    e.grid().grid().add_compute(dense::gemm_flops(mi, mj, ns),
+                                ComputeKind::SchurUpdate);
+    if (bi.snode == bj.snode) {
+      SLU3D_CHECK(F.has_diag(bi.snode), "Schur target diag not owned");
+      auto d = F.diag(bi.snode);
+      const index_t f = bs.first_col(bi.snode);
+      const index_t nd = bs.snode_size(bi.snode);
+      for (index_t c = 0; c < mj; ++c) {
+        const index_t tc = bj.rows[static_cast<std::size_t>(c)] - f;
+        for (index_t r = 0; r < mi; ++r)
+          d[static_cast<std::size_t>((bi.rows[static_cast<std::size_t>(r)] - f) +
+                                     tc * nd)] +=
+              scratch[static_cast<std::size_t>(r + c * mi)];
       }
-      std::copy_n(stash->storage.data() + op.row_off, op.elems,
-                  stash->storage.data() + op.col_off);
-      const PanelBlock& blk = panel[static_cast<std::size_t>(op.relay_pi)];
-      const std::span<real_t> buf{stash->storage.data() + op.col_off, op.elems};
-      // Root post: forwards to the column subtree immediately, completes.
-      g_.col().ibcast(blk.snode % g_.Px(), tag(k, 2), buf, CommPlane::XY);
+      return;
     }
-    stash->ops.clear();
-
-    dense::KernelScratch& ws = dense::KernelScratch::per_rank();
-    for (const StashEntry& le : stash->row_entries) {
-      const PanelBlock& bi = panel[static_cast<std::size_t>(le.panel_idx)];
-      const index_t mi = le.m;
-      const real_t* ldata = stash->storage.data() + le.offset;
-      for (const StashEntry& ue : stash->col_entries) {
-        const PanelBlock& bj = panel[static_cast<std::size_t>(ue.panel_idx)];
-        if (bj.snode > bi.snode) break;  // lower triangle only
-        if (!F_.wants_snode(bj.snode)) continue;
-        const index_t mj = ue.m;
-        const real_t* tdata = stash->storage.data() + ue.offset;
-        auto scratch =
-            ws.stage_zero(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
-        dense::gemm_minus_nt(mi, mj, ns, ldata, mi, tdata, mj,
-                             scratch.data(), mi);
-        g_.grid().add_compute(dense::gemm_flops(mi, mj, ns),
-                              ComputeKind::SchurUpdate);
-        // Scatter into the lower-triangular target.
-        if (bi.snode == bj.snode) {
-          SLU3D_CHECK(F_.has_diag(bi.snode), "Schur target diag not owned");
-          auto d = F_.diag(bi.snode);
-          const index_t f = bs_.first_col(bi.snode);
-          const index_t nd = bs_.snode_size(bi.snode);
-          for (index_t c = 0; c < mj; ++c) {
-            const index_t tc = bj.rows[static_cast<std::size_t>(c)] - f;
-            for (index_t r = 0; r < mi; ++r)
-              d[static_cast<std::size_t>((bi.rows[static_cast<std::size_t>(r)] - f) +
-                                         tc * nd)] +=
-                  scratch[static_cast<std::size_t>(r + c * mi)];
-          }
-        } else {
-          OwnedBlock* blk = F_.find_lblock(bj.snode, bi.snode);
-          SLU3D_CHECK(blk != nullptr, "Schur target L block not owned");
-          const auto& brows =
-              bs_.lpanel(bj.snode)[static_cast<std::size_t>(blk->panel_idx)].rows;
-          auto pos = ws.index_stage(static_cast<std::size_t>(mi));
-          locate_sorted_subset(bi.rows, brows, pos);
-          const auto mt = brows.size();
-          const index_t f = bs_.first_col(bj.snode);
-          for (index_t c = 0; c < mj; ++c) {
-            const auto tc = static_cast<std::size_t>(
-                bj.rows[static_cast<std::size_t>(c)] - f);
-            for (index_t r = 0; r < mi; ++r)
-              blk->data[static_cast<std::size_t>(pos[static_cast<std::size_t>(r)]) +
-                        tc * mt] += scratch[static_cast<std::size_t>(r + c * mi)];
-          }
-        }
-      }
+    OwnedBlock* blk = F.find_lblock(bj.snode, bi.snode);
+    SLU3D_CHECK(blk != nullptr, "Schur target L block not owned");
+    const auto& brows =
+        bs.lpanel(bj.snode)[static_cast<std::size_t>(blk->panel_idx)].rows;
+    auto pos = dense::KernelScratch::per_rank().index_stage(
+        static_cast<std::size_t>(mi));
+    locate_sorted_subset(bi.rows, brows, pos);
+    const auto mt = brows.size();
+    const index_t f = bs.first_col(bj.snode);
+    for (index_t c = 0; c < mj; ++c) {
+      const auto tc =
+          static_cast<std::size_t>(bj.rows[static_cast<std::size_t>(c)] - f);
+      for (index_t r = 0; r < mi; ++r)
+        blk->data[static_cast<std::size_t>(pos[static_cast<std::size_t>(r)]) +
+                  tc * mt] += scratch[static_cast<std::size_t>(r + c * mi)];
     }
-    dense::KernelScratch::per_rank().recycle(std::move(stash->storage));
-    stash->storage = std::vector<real_t>{};
-    stash->row_entries.clear();
-    stash->col_entries.clear();
-    stash->k = -1;
   }
-
-  DistCholFactors& F_;
-  sim::ProcessGrid2D& g_;
-  const BlockStructure& bs_;
-  Chol2dOptions opt_;
-  std::vector<Stash> stash_;       ///< slot pool, <= lookahead+1 live slots
-  std::vector<real_t> diag_buf_;   ///< reused diagonal broadcast buffer
 };
 
 }  // namespace
@@ -366,7 +240,7 @@ class Chol2dDriver {
 void factorize_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,
                            std::span<const int> snodes,
                            const Chol2dOptions& options) {
-  Chol2dDriver(F, grid, options).run(snodes);
+  pipeline::PanelEngine<CholPanelPolicy>(F, grid, options).run(snodes);
 }
 
 void solve_2d_cholesky(DistCholFactors& F, sim::ProcessGrid2D& grid,

@@ -14,6 +14,7 @@
 
 #include "lu2d/dist_factors.hpp"  // OwnedBlock
 #include "numeric/cholesky.hpp"
+#include "pipeline/options.hpp"
 #include "simmpi/process_grid.hpp"
 
 namespace slu3d {
@@ -60,14 +61,9 @@ class DistCholFactors {
   std::vector<std::vector<OwnedBlock>> lblocks_;
 };
 
-struct Chol2dOptions {
-  int lookahead = 8;
-  int tag_base = 0;
-  /// Non-blocking panel broadcasts drained at the Schur phase (see
-  /// Lu2dOptions::async). The transposed-role relay rank still syncs on
-  /// its row-role request inline, since it re-broadcasts that payload.
-  bool async = true;
-};
+/// Same scheduling knobs as the LU variant (pipeline/options.hpp); the
+/// historical name survives for callers.
+using Chol2dOptions = pipeline::PanelOptions;
 
 /// Distributed right-looking Cholesky over `snodes` (ascending).
 /// Collective over grid.grid(). Works on masked (3D) layouts too.

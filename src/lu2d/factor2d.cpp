@@ -1,3 +1,8 @@
+// LU variant policy for the shared 2D panel-pipeline engine
+// (pipeline/panel_pipeline.hpp): GETRF on the diagonal, row+column
+// diagonal broadcasts, L and U panel TRSMs, U-role column broadcasts
+// rooted at the diagonal owner's process row, and the two-sided Schur
+// scatter (diag / L / U targets).
 #include "lu2d/factor2d.hpp"
 
 #include <algorithm>
@@ -6,6 +11,7 @@
 #include "numeric/dense_kernels.hpp"
 #include "numeric/kernel_scratch.hpp"
 #include "numeric/schur.hpp"
+#include "pipeline/panel_pipeline.hpp"
 #include "support/check.hpp"
 
 namespace slu3d {
@@ -15,290 +21,169 @@ namespace {
 using sim::CommPlane;
 using sim::ComputeKind;
 
-/// One broadcast panel block staged for the Schur phase: `m*ns` (L) or
-/// `ns*m` (U) values at `offset` in the stash's flat storage.
-struct StashEntry {
-  int panel_idx;
-  std::size_t offset;
-  index_t m;
-};
-
-/// Broadcast panels of one in-flight supernode, stashed until its Schur
-/// update has been applied. Entries are appended in ascending panel_idx
-/// order; storage is one flat buffer borrowed from the per-rank scratch
-/// pool, so the look-ahead hot path performs no per-supernode node
-/// allocations. In async mode `requests` holds the outstanding panel
-/// ibcasts, drained only when the Schur phase consumes the payloads.
-struct PanelStash {
-  int k = -1;  ///< supernode, or -1 when the slot is free
-  std::vector<StashEntry> lentries, uentries;
-  std::vector<real_t> storage;
-  std::vector<sim::Request> requests;
-};
-
-class Factor2dDriver {
- public:
-  Factor2dDriver(Dist2dFactors& F, sim::ProcessGrid2D& grid,
-                 const Lu2dOptions& opt)
-      : F_(F), g_(grid), bs_(F.structure()), opt_(opt) {}
-
-  void run(std::span<const int> snodes) {
-    // Position of each supernode in the list and the latest position of
-    // any updater, for the lookahead schedule. All ranks compute the same
-    // schedule from the (replicated) symbolic structure.
-    std::vector<int> last_upd_pos(static_cast<std::size_t>(bs_.n_snodes()), -1);
-    for (int idx = 0; idx < static_cast<int>(snodes.size()); ++idx) {
-      const int k = snodes[static_cast<std::size_t>(idx)];
-      SLU3D_CHECK(idx == 0 || snodes[static_cast<std::size_t>(idx - 1)] < k,
-                  "snodes must be ascending");
-      for (const PanelBlock& blk : bs_.lpanel(k))
-        last_upd_pos[static_cast<std::size_t>(blk.snode)] = idx;
-    }
-
-    std::vector<bool> fired(static_cast<std::size_t>(bs_.n_snodes()), false);
-    const int n = static_cast<int>(snodes.size());
-    for (int idx = 0; idx < n; ++idx) {
-      const int limit = std::min(n - 1, idx + opt_.lookahead);
-      for (int w = idx; w <= limit; ++w) {
-        const int j = snodes[static_cast<std::size_t>(w)];
-        if (!fired[static_cast<std::size_t>(j)] &&
-            last_upd_pos[static_cast<std::size_t>(j)] < idx) {
-          panel_phase(j);
-          fired[static_cast<std::size_t>(j)] = true;
-        }
-      }
-      schur_phase(snodes[static_cast<std::size_t>(idx)]);
-    }
+/// Adds V into the owned target block (bi, bj) — the distributed version
+/// of schur_scatter_add.
+void scatter_local(Dist2dFactors& F, const BlockStructure& bs, int bi, int bj,
+                   std::span<const index_t> rows_i,
+                   std::span<const index_t> cols_j, std::span<const real_t> v) {
+  const auto mi = static_cast<index_t>(rows_i.size());
+  const auto mj = static_cast<index_t>(cols_j.size());
+  if (bi == bj) {
+    SLU3D_CHECK(F.has_diag(bi), "Schur target diag not owned");
+    auto d = F.diag(bi);
+    const index_t f = bs.first_col(bi);
+    const index_t nsd = bs.snode_size(bi);
+    for (index_t c = 0; c < mj; ++c)
+      for (index_t r = 0; r < mi; ++r)
+        d[static_cast<std::size_t>((rows_i[static_cast<std::size_t>(r)] - f) +
+                                   (cols_j[static_cast<std::size_t>(c)] - f) * nsd)] +=
+            v[static_cast<std::size_t>(r + c * mi)];
+    return;
   }
-
- private:
-  int tag(int k, int op) const { return opt_.tag_base + 8 * k + op; }
-
-  /// Claims a free stash slot (at most lookahead+1 are ever live, so the
-  /// linear scans here are trivial).
-  PanelStash& stash_alloc(int k) {
-    for (PanelStash& s : stash_)
-      if (s.k < 0) {
-        s.k = k;
-        return s;
-      }
-    stash_.emplace_back();
-    stash_.back().k = k;
-    return stash_.back();
+  if (bi > bj) {  // L panel of bj, ancestor block bi
+    OwnedBlock* blk = F.find_lblock(bj, bi);
+    SLU3D_CHECK(blk != nullptr, "Schur target L block not owned");
+    const auto& brows =
+        bs.lpanel(bj)[static_cast<std::size_t>(blk->panel_idx)].rows;
+    auto pos = dense::KernelScratch::per_rank().index_stage(
+        static_cast<std::size_t>(mi));
+    locate_sorted_subset(rows_i, brows, pos);
+    const auto m = brows.size();
+    const index_t f = bs.first_col(bj);
+    for (index_t c = 0; c < mj; ++c)
+      for (index_t r = 0; r < mi; ++r)
+        blk->data[static_cast<std::size_t>(pos[static_cast<std::size_t>(r)]) +
+                  static_cast<std::size_t>(cols_j[static_cast<std::size_t>(c)] - f) * m] +=
+            v[static_cast<std::size_t>(r + c * mi)];
+    return;
   }
+  // bi < bj: U panel of bi, ancestor block bj.
+  OwnedBlock* blk = F.find_ublock(bi, bj);
+  SLU3D_CHECK(blk != nullptr, "Schur target U block not owned");
+  const auto& bcols =
+      bs.lpanel(bi)[static_cast<std::size_t>(blk->panel_idx)].rows;
+  auto pos = dense::KernelScratch::per_rank().index_stage(
+      static_cast<std::size_t>(mj));
+  locate_sorted_subset(cols_j, bcols, pos);
+  const auto nsu = static_cast<std::size_t>(bs.snode_size(bi));
+  const index_t f = bs.first_col(bi);
+  for (index_t c = 0; c < mj; ++c)
+    for (index_t r = 0; r < mi; ++r)
+      blk->data[static_cast<std::size_t>(rows_i[static_cast<std::size_t>(r)] - f) +
+                static_cast<std::size_t>(pos[static_cast<std::size_t>(c)]) * nsu] +=
+          v[static_cast<std::size_t>(r + c * mi)];
+}
 
-  PanelStash* stash_find(int k) {
-    for (PanelStash& s : stash_)
-      if (s.k == k) return &s;
-    return nullptr;
-  }
+struct LuPanelPolicy {
+  using Factors = Dist2dFactors;
+  static constexpr bool kSymmetric = false;
+  static constexpr int kRowPanelOp = 2;  ///< L-panel row broadcast tag op
+  static constexpr int kColPanelOp = 3;  ///< U-panel column broadcast tag op
 
-  void panel_phase(int k) {
-    const index_t ns = bs_.snode_size(k);
-    if (ns == 0) return;
-    PanelStash& stash = stash_alloc(k);
-    const int pxk = k % g_.Px();
-    const int pyk = k % g_.Py();
-    const bool in_prow = g_.px() == pxk;
-    const bool in_pcol = g_.py() == pyk;
+  /// GETRF at the owner of (k,k), diagonal broadcast along the owner's
+  /// process row (for U panel solves) and column (for L), then the panel
+  /// TRSMs on the owning process column / row.
+  template <class Engine>
+  static void factor_and_solve(Engine& e, int k, index_t ns,
+                               std::vector<real_t>& diag_buf) {
+    Factors& F = e.factors();
+    sim::ProcessGrid2D& g = e.grid();
+    const BlockStructure& bs = e.structure();
+    const int pxk = k % g.Px();
+    const int pyk = k % g.Py();
+    const bool in_prow = g.px() == pxk;
+    const bool in_pcol = g.py() == pyk;
 
-    // 1+2: diagonal factorization at the owner, broadcast along the
-    // owner's process row (for U panel solves) and column (for L). The
-    // diagonal is consumed by the panel solves right below, so these
-    // broadcasts stay blocking even in async mode.
-    diag_buf_.assign(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns), 0.0);
-    if (F_.owns(k, k)) {
-      auto d = F_.diag(k);
+    diag_buf.assign(static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns),
+                    0.0);
+    if (F.owns(k, k)) {
+      auto d = F.diag(k);
       dense::getrf_nopiv(ns, d.data(), ns);
-      g_.grid().add_compute(dense::getrf_flops(ns), ComputeKind::DiagFactor);
-      std::copy(d.begin(), d.end(), diag_buf_.begin());
+      g.grid().add_compute(dense::getrf_flops(ns), ComputeKind::DiagFactor);
+      std::copy(d.begin(), d.end(), diag_buf.begin());
     }
-    if (in_prow) g_.row().bcast(pyk, tag(k, 0), diag_buf_, CommPlane::XY);
-    if (in_pcol) g_.col().bcast(pxk, tag(k, 1), diag_buf_, CommPlane::XY);
+    if (in_prow) g.row().bcast(pyk, e.tag(k, 0), diag_buf, CommPlane::XY);
+    if (in_pcol) g.col().bcast(pxk, e.tag(k, 1), diag_buf, CommPlane::XY);
 
-    // 3: panel solves on the owning process column / row.
     if (in_pcol) {
-      for (OwnedBlock& blk : F_.lblocks(k)) {
+      for (OwnedBlock& blk : F.lblocks(k)) {
         const index_t m =
-            bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
-        dense::trsm_right_upper(ns, m, diag_buf_.data(), ns, blk.data.data(), m);
-        g_.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
+            bs.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
+        dense::trsm_right_upper(ns, m, diag_buf.data(), ns, blk.data.data(), m);
+        g.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
       }
     }
     if (in_prow) {
-      for (OwnedBlock& blk : F_.ublocks(k)) {
+      for (OwnedBlock& blk : F.ublocks(k)) {
         const index_t m =
-            bs_.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
-        dense::trsm_left_lower_unit(ns, m, diag_buf_.data(), ns,
+            bs.lpanel(k)[static_cast<std::size_t>(blk.panel_idx)].n_rows();
+        dense::trsm_left_lower_unit(ns, m, diag_buf.data(), ns,
                                     blk.data.data(), ns);
-        g_.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
+        g.grid().add_compute(dense::trsm_flops(ns, m), ComputeKind::PanelSolve);
       }
     }
+  }
 
-    // 4: panel broadcast. L block (a, k) goes along process row (a % Px);
-    // U block (k, a) goes along process column (a % Py). Empty (ragged)
-    // blocks are skipped outright instead of broadcasting 0-byte payloads.
-    // First lay out the flat stash storage — spans handed to ibcast must
-    // stay put — then post the broadcasts.
-    const auto panel = bs_.lpanel(k);
-    std::size_t total = 0;
-    for (int pi = 0; pi < static_cast<int>(panel.size()); ++pi) {
-      const PanelBlock& blk = panel[static_cast<std::size_t>(pi)];
-      const index_t m = blk.n_rows();
-      if (m == 0) continue;
-      const auto elems = static_cast<std::size_t>(m) * static_cast<std::size_t>(ns);
-      if (blk.snode % g_.Px() == g_.px()) {
-        stash.lentries.push_back({pi, total, m});
-        total += elems;
-      }
-      if (blk.snode % g_.Py() == g_.py()) {
-        stash.uentries.push_back({pi, total, m});
-        total += elems;
-      }
-    }
-    stash.storage = dense::KernelScratch::per_rank().borrow();
-    stash.storage.resize(total, 0.0);
+  static std::span<const real_t> row_payload(Factors& F, int k, int a) {
+    const OwnedBlock* ob = F.find_lblock(k, a);
+    SLU3D_CHECK(ob != nullptr, "owner missing L block");
+    return ob->data;
+  }
 
-    for (const StashEntry& e : stash.lentries) {
-      const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
+  /// U block (k, a) goes down process column a % Py, rooted at the
+  /// diagonal owner's process row; payload is the owner's U block.
+  template <class Engine>
+  static void post_col_entries(Engine& e, pipeline::PanelStash& stash, int k,
+                               index_t ns) {
+    Factors& F = e.factors();
+    sim::ProcessGrid2D& g = e.grid();
+    const auto panel = e.structure().lpanel(k);
+    const int pxk = k % g.Px();
+    const bool in_prow = g.px() == pxk;
+    for (const pipeline::StashEntry& en : stash.col_entries) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(en.panel_idx)];
       const std::span<real_t> buf{
-          stash.storage.data() + e.offset,
-          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns)};
-      if (in_pcol) {
-        const OwnedBlock* ob = F_.find_lblock(k, blk.snode);
-        SLU3D_CHECK(ob != nullptr, "owner missing L block");
-        std::copy(ob->data.begin(), ob->data.end(), buf.begin());
-      }
-      if (opt_.async)
-        stash.requests.push_back(
-            g_.row().ibcast(pyk, tag(k, 2), buf, CommPlane::XY));
-      else
-        g_.row().bcast(pyk, tag(k, 2), buf, CommPlane::XY);
-    }
-    for (const StashEntry& e : stash.uentries) {
-      const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
-      const std::span<real_t> buf{
-          stash.storage.data() + e.offset,
-          static_cast<std::size_t>(ns) * static_cast<std::size_t>(e.m)};
+          stash.storage.data() + en.offset,
+          static_cast<std::size_t>(ns) * static_cast<std::size_t>(en.m)};
       if (in_prow) {
-        const OwnedBlock* ob = F_.find_ublock(k, blk.snode);
+        const OwnedBlock* ob = F.find_ublock(k, blk.snode);
         SLU3D_CHECK(ob != nullptr, "owner missing U block");
         std::copy(ob->data.begin(), ob->data.end(), buf.begin());
       }
-      if (opt_.async)
-        stash.requests.push_back(
-            g_.col().ibcast(pxk, tag(k, 3), buf, CommPlane::XY));
+      if (e.options().async)
+        stash.ops.push_back(
+            {g.col().ibcast(pxk, e.tag(k, kColPanelOp), buf, CommPlane::XY),
+             -1, 0, 0, 0});
       else
-        g_.col().bcast(pxk, tag(k, 3), buf, CommPlane::XY);
+        g.col().bcast(pxk, e.tag(k, kColPanelOp), buf, CommPlane::XY);
     }
   }
 
-  void schur_phase(int k) {
-    const index_t ns = bs_.snode_size(k);
-    if (ns == 0) return;
-    PanelStash* stash = stash_find(k);
-    SLU3D_CHECK(stash != nullptr, "panel not factored before Schur phase");
-    // Drain the outstanding panel broadcasts only now: every update
-    // between the panel's post and this point has overlapped the transfer.
-    sim::wait_all(stash->requests);
-    stash->requests.clear();
-
-    const auto panel = bs_.lpanel(k);
-    dense::KernelScratch& ws = dense::KernelScratch::per_rank();
-    for (const StashEntry& le : stash->lentries) {
-      const PanelBlock& bi = panel[static_cast<std::size_t>(le.panel_idx)];
-      const index_t mi = le.m;
-      const real_t* ldata = stash->storage.data() + le.offset;
-      for (const StashEntry& ue : stash->uentries) {
-        const PanelBlock& bj = panel[static_cast<std::size_t>(ue.panel_idx)];
-        const index_t mj = ue.m;
-        const real_t* udata = stash->storage.data() + ue.offset;
-        // Target block (bi.snode, bj.snode) is owned by this rank by
-        // construction of the stashes; skip if its column supernode is not
-        // materialized on this grid (3D masked layouts).
-        const int target_col = std::min(bi.snode, bj.snode);
-        if (!F_.wants_snode(target_col)) continue;
-        auto scratch =
-            ws.stage_zero(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
-        dense::gemm_minus(mi, mj, ns, ldata, mi, udata, ns, scratch.data(), mi);
-        g_.grid().add_compute(dense::gemm_flops(mi, mj, ns),
-                              ComputeKind::SchurUpdate);
-        scatter_local(bi.snode, bj.snode, bi.rows, bj.rows, scratch);
-      }
-    }
-    dense::KernelScratch::per_rank().recycle(std::move(stash->storage));
-    stash->storage = {};
-    stash->lentries.clear();
-    stash->uentries.clear();
-    stash->k = -1;
+  /// Target block (bi, bj) is owned by this rank by construction of the
+  /// stashes; skip if its column supernode is not materialized on this
+  /// grid (3D masked layouts).
+  static bool wants_target(const Factors& F, int bi, int bj) {
+    return F.wants_snode(std::min(bi, bj));
   }
 
-  /// Adds V into the owned target block (bi, bj) — the distributed version
-  /// of schur_scatter_add.
-  void scatter_local(int bi, int bj, std::span<const index_t> rows_i,
-                     std::span<const index_t> cols_j,
-                     std::span<const real_t> v) {
-    const auto mi = static_cast<index_t>(rows_i.size());
-    const auto mj = static_cast<index_t>(cols_j.size());
-    if (bi == bj) {
-      SLU3D_CHECK(F_.has_diag(bi), "Schur target diag not owned");
-      auto d = F_.diag(bi);
-      const index_t f = bs_.first_col(bi);
-      const index_t nsd = bs_.snode_size(bi);
-      for (index_t c = 0; c < mj; ++c)
-        for (index_t r = 0; r < mi; ++r)
-          d[static_cast<std::size_t>((rows_i[static_cast<std::size_t>(r)] - f) +
-                                     (cols_j[static_cast<std::size_t>(c)] - f) * nsd)] +=
-              v[static_cast<std::size_t>(r + c * mi)];
-      return;
-    }
-    if (bi > bj) {  // L panel of bj, ancestor block bi
-      OwnedBlock* blk = F_.find_lblock(bj, bi);
-      SLU3D_CHECK(blk != nullptr, "Schur target L block not owned");
-      const auto& brows =
-          bs_.lpanel(bj)[static_cast<std::size_t>(blk->panel_idx)].rows;
-      auto pos = dense::KernelScratch::per_rank().index_stage(
-          static_cast<std::size_t>(mi));
-      locate_sorted_subset(rows_i, brows, pos);
-      const auto m = brows.size();
-      const index_t f = bs_.first_col(bj);
-      for (index_t c = 0; c < mj; ++c)
-        for (index_t r = 0; r < mi; ++r)
-          blk->data[static_cast<std::size_t>(pos[static_cast<std::size_t>(r)]) +
-                    static_cast<std::size_t>(cols_j[static_cast<std::size_t>(c)] - f) * m] +=
-              v[static_cast<std::size_t>(r + c * mi)];
-      return;
-    }
-    // bi < bj: U panel of bi, ancestor block bj.
-    OwnedBlock* blk = F_.find_ublock(bi, bj);
-    SLU3D_CHECK(blk != nullptr, "Schur target U block not owned");
-    const auto& bcols =
-        bs_.lpanel(bi)[static_cast<std::size_t>(blk->panel_idx)].rows;
-    auto pos = dense::KernelScratch::per_rank().index_stage(
-        static_cast<std::size_t>(mj));
-    locate_sorted_subset(cols_j, bcols, pos);
-    const auto nsu = static_cast<std::size_t>(bs_.snode_size(bi));
-    const index_t f = bs_.first_col(bi);
-    for (index_t c = 0; c < mj; ++c)
-      for (index_t r = 0; r < mi; ++r)
-        blk->data[static_cast<std::size_t>(rows_i[static_cast<std::size_t>(r)] - f) +
-                  static_cast<std::size_t>(pos[static_cast<std::size_t>(c)]) * nsu] +=
-            v[static_cast<std::size_t>(r + c * mi)];
+  template <class Engine>
+  static void schur_pair(Engine& e, const PanelBlock& bi, index_t mi,
+                         const real_t* ldata, const PanelBlock& bj, index_t mj,
+                         const real_t* udata, index_t ns,
+                         std::span<real_t> scratch) {
+    dense::gemm_minus(mi, mj, ns, ldata, mi, udata, ns, scratch.data(), mi);
+    e.grid().grid().add_compute(dense::gemm_flops(mi, mj, ns),
+                                ComputeKind::SchurUpdate);
+    scatter_local(e.factors(), e.structure(), bi.snode, bj.snode, bi.rows,
+                  bj.rows, scratch);
   }
-
-  Dist2dFactors& F_;
-  sim::ProcessGrid2D& g_;
-  const BlockStructure& bs_;
-  Lu2dOptions opt_;
-  std::vector<PanelStash> stash_;  ///< slot pool, reused across supernodes
-  std::vector<real_t> diag_buf_;   ///< reusable diagonal broadcast buffer
 };
 
 }  // namespace
 
 void factorize_2d(Dist2dFactors& F, sim::ProcessGrid2D& grid,
                   std::span<const int> snodes, const Lu2dOptions& options) {
-  Factor2dDriver(F, grid, options).run(snodes);
+  pipeline::PanelEngine<LuPanelPolicy>(F, grid, options).run(snodes);
 }
 
 }  // namespace slu3d

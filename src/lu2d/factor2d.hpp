@@ -4,9 +4,9 @@
 //   diagonal broadcast along the owner's process row and column, panel
 //   solves at the owning row/column of processes, panel broadcast, then
 //   the owner-only-update Schur complement on every rank.
-// Pipelining via the elimination-tree lookahead window (§II-F) is
-// included: panel factorization of up to `lookahead` future supernodes is
-// issued as soon as all their updaters have completed.
+// The schedule (lookahead pipelining, stash slots, non-blocking panel
+// broadcasts) lives in the shared engine, pipeline/panel_pipeline.hpp;
+// this header's implementation supplies only the LU variant policy.
 //
 // `snodes` restricts the factorization to a node list — this is exactly
 // the dSparseLU2D(A, nList) primitive that Algorithm 1 (the 3D algorithm)
@@ -16,23 +16,14 @@
 #include <span>
 
 #include "lu2d/dist_factors.hpp"
+#include "pipeline/options.hpp"
 #include "simmpi/process_grid.hpp"
 
 namespace slu3d {
 
-struct Lu2dOptions {
-  /// Lookahead window size in supernodes (SuperLU_DIST uses 8-20; 0
-  /// disables pipelining).
-  int lookahead = 8;
-  /// Base message tag; the driver uses tags [tag_base, tag_base + 8*n_snodes).
-  int tag_base = 0;
-  /// Post the look-ahead window's panel broadcasts as non-blocking
-  /// requests, drained lazily at the consuming Schur phase — so panel
-  /// transfer time is hidden behind earlier supernodes' updates. Per-plane
-  /// byte counters are identical to the blocking schedule (same binomial
-  /// trees); only the simulated critical path changes.
-  bool async = true;
-};
+/// Scheduling knobs — identical for both 2D variants, so the struct lives
+/// in pipeline/options.hpp; the historical name survives for callers.
+using Lu2dOptions = pipeline::PanelOptions;
 
 /// Factorizes the supernodes in `snodes` (ascending elimination order) in
 /// place on every rank of `grid`. Collective over grid.grid(). Schur

@@ -1,7 +1,13 @@
+// 3D LU driver: setup of the masked replicated layouts plus the LU
+// instantiation of the shared z-reduction engine (pipeline/zreduce.hpp);
+// the per-level 2D primitive is factorize_2d and the wire format is the
+// LuFactorsAccess trait's (diag, L ascending, U ascending).
 #include "lu3d/factor3d.hpp"
 
 #include <algorithm>
 
+#include "pipeline/factors_access.hpp"
+#include "pipeline/zreduce.hpp"
 #include "support/check.hpp"
 
 namespace slu3d {
@@ -13,53 +19,6 @@ using sim::CommPlane;
 constexpr int kReduceTagBase = (1 << 22);
 constexpr int kGatherTag = (1 << 22) + 64;
 
-/// Appends every block of supernode s owned by this rank, in deterministic
-/// (diag, L ascending, U ascending) order.
-void pack_snode(const Dist2dFactors& F, int s, std::vector<real_t>& out) {
-  if (F.has_diag(s)) {
-    const auto d = F.diag(s);
-    out.insert(out.end(), d.begin(), d.end());
-  }
-  for (const OwnedBlock& b : F.lblocks(s))
-    out.insert(out.end(), b.data.begin(), b.data.end());
-  for (const OwnedBlock& b : F.ublocks(s))
-    out.insert(out.end(), b.data.begin(), b.data.end());
-}
-
-/// Packed length of supernode s on this rank. Ranks sharing (px, py) on
-/// z-adjacent grids hold identical masked layouts for common ancestors,
-/// so sender and receiver compute the same value independently — empty
-/// chunks can be skipped symmetrically without a handshake.
-std::size_t packed_elems(const Dist2dFactors& F, int s) {
-  std::size_t n = 0;
-  if (F.has_diag(s)) n += F.diag(s).size();
-  for (const OwnedBlock& b : F.lblocks(s)) n += b.data.size();
-  for (const OwnedBlock& b : F.ublocks(s)) n += b.data.size();
-  return n;
-}
-
-/// Mirror of pack_snode: adds the packed stream into the local blocks.
-std::size_t add_snode(Dist2dFactors& F, int s, std::span<const real_t> buf,
-                      std::size_t pos) {
-  if (F.has_diag(s)) {
-    auto d = F.diag(s);
-    SLU3D_CHECK(pos + d.size() <= buf.size(), "reduction stream underflow");
-    for (std::size_t i = 0; i < d.size(); ++i) d[i] += buf[pos + i];
-    pos += d.size();
-  }
-  for (OwnedBlock& b : F.lblocks(s)) {
-    SLU3D_CHECK(pos + b.data.size() <= buf.size(), "reduction stream underflow");
-    for (std::size_t i = 0; i < b.data.size(); ++i) b.data[i] += buf[pos + i];
-    pos += b.data.size();
-  }
-  for (OwnedBlock& b : F.ublocks(s)) {
-    SLU3D_CHECK(pos + b.data.size() <= buf.size(), "reduction stream underflow");
-    for (std::size_t i = 0; i < b.data.size(); ++i) b.data[i] += buf[pos + i];
-    pos += b.data.size();
-  }
-  return pos;
-}
-
 }  // namespace
 
 Dist2dFactors make_3d_factors(const BlockStructure& bs,
@@ -70,115 +29,26 @@ Dist2dFactors make_3d_factors(const BlockStructure& bs,
   Dist2dFactors F(bs, plane.Px(), plane.Py(), plane.px(), plane.py(),
                   part.mask_for(grid.pz()));
   F.fill_from(Ap);
-  // Replicated copies on non-anchor grids start at zero so the pairwise
-  // z-reductions sum to A + all Schur updates exactly once.
-  for (int s = 0; s < bs.n_snodes(); ++s) {
-    if (!part.on_grid(s, grid.pz()) || part.anchor_of(s) == grid.pz()) continue;
-    if (F.has_diag(s)) std::fill(F.diag(s).begin(), F.diag(s).end(), 0.0);
-    for (OwnedBlock& b : F.lblocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
-    for (OwnedBlock& b : F.ublocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
-  }
+  pipeline::zero_nonanchor_replicas<pipeline::LuFactorsAccess>(F, part,
+                                                               grid.pz());
   return F;
 }
 
 void refill_3d_factors(Dist2dFactors& F, sim::ProcessGrid3D& grid,
                        const ForestPartition& part, const CsrMatrix& Ap) {
-  const BlockStructure& bs = F.structure();
   F.zero();
   F.fill_from(Ap);
-  for (int s = 0; s < bs.n_snodes(); ++s) {
-    if (!part.on_grid(s, grid.pz()) || part.anchor_of(s) == grid.pz()) continue;
-    if (F.has_diag(s)) std::fill(F.diag(s).begin(), F.diag(s).end(), 0.0);
-    for (OwnedBlock& b : F.lblocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
-    for (OwnedBlock& b : F.ublocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
-  }
+  pipeline::zero_nonanchor_replicas<pipeline::LuFactorsAccess>(F, part,
+                                                               grid.pz());
 }
 
 void factorize_3d(Dist2dFactors& F, sim::ProcessGrid3D& grid,
                   const ForestPartition& part, const Lu3dOptions& options) {
-  const BlockStructure& bs = F.structure();
-  const int l = part.n_levels() - 1;
-  const int pz = grid.pz();
-
-  // Outstanding per-ancestor reduction chunks (async mode). A chunk for
-  // supernode s is drained right before the level that factors s — until
-  // then its transfer rides under the 2D factorization of deeper levels.
-  struct Pending {
-    sim::Request req;
-    int s;
-  };
-  std::vector<Pending> outstanding;
-  auto drain = [&](auto&& keep_pending) {
-    std::size_t kept = 0;
-    for (Pending& p : outstanding) {
-      if (keep_pending(p.s)) {
-        outstanding[kept++] = std::move(p);
-        continue;
-      }
-      const std::vector<real_t> buf = p.req.take();
-      const std::size_t pos = add_snode(F, p.s, buf, 0);
-      SLU3D_CHECK(pos == buf.size(), "reduction chunk not fully consumed");
-    }
-    outstanding.resize(kept);
-  };
-
-  for (int lvl = l; lvl >= 0; --lvl) {
-    const int step = 1 << (l - lvl);
-    if (pz % step != 0) continue;  // this grid is inactive at this level
-
-    // Chunks feeding this level's supernodes must be in before they are
-    // factored; deeper chunks keep overlapping.
-    if (options.async)
-      drain([&](int s) { return part.level_of(s) < lvl; });
-
-    const std::vector<int> nodes = part.nodes_at(pz, lvl);
-    factorize_2d(F, grid.plane(), nodes, options.lu2d);
-
-    if (lvl == 0) break;
-
-    // Ancestor-Reduction: the (2k+1)-th active grid sends its copies of
-    // every common-ancestor block to the (2k)-th, which accumulates them.
-    const int k = pz / step;
-    std::vector<int> ancestors;
-    for (int s = 0; s < bs.n_snodes(); ++s)
-      if (part.level_of(s) < lvl && part.on_grid(s, pz)) ancestors.push_back(s);
-
-    if (k % 2 == 1) {
-      if (options.async) {
-        // The outgoing copies must include everything received so far.
-        drain([](int) { return false; });
-        std::vector<real_t> buf;
-        for (int s : ancestors) {
-          buf.clear();
-          pack_snode(F, s, buf);
-          if (buf.empty()) continue;  // peer skips the matching irecv
-          grid.zline().isend(pz - step, kReduceTagBase + lvl, buf,
-                             CommPlane::Z);
-        }
-      } else {
-        std::vector<real_t> buf;
-        for (int s : ancestors) pack_snode(F, s, buf);
-        grid.zline().send(pz - step, kReduceTagBase + lvl, buf, CommPlane::Z);
-      }
-    } else {
-      if (options.async) {
-        for (int s : ancestors) {
-          if (packed_elems(F, s) == 0) continue;
-          outstanding.push_back(
-              {grid.zline().irecv(pz + step, kReduceTagBase + lvl,
-                                  CommPlane::Z),
-               s});
-        }
-      } else {
-        const auto buf =
-            grid.zline().recv(pz + step, kReduceTagBase + lvl, CommPlane::Z);
-        std::size_t pos = 0;
-        for (int s : ancestors) pos = add_snode(F, s, buf, pos);
-        SLU3D_CHECK(pos == buf.size(), "reduction stream not fully consumed");
-      }
-    }
-  }
-  SLU3D_CHECK(outstanding.empty(), "undrained reduction chunks");
+  pipeline::run_3d_levels<pipeline::LuFactorsAccess>(
+      F, grid, part, options, kReduceTagBase,
+      [&](sim::ProcessGrid2D& plane, std::span<const int> nodes) {
+        factorize_2d(F, plane, nodes, options.lu2d);
+      });
 }
 
 std::optional<SupernodalMatrix> gather_3d_to_root(const Dist2dFactors& F,
@@ -192,7 +62,8 @@ std::optional<SupernodalMatrix> gather_3d_to_root(const Dist2dFactors& F,
   // Every rank packs the supernodes anchored on its grid.
   std::vector<real_t> mine;
   for (int s = 0; s < bs.n_snodes(); ++s)
-    if (part.anchor_of(s) == grid.pz()) pack_snode(F, s, mine);
+    if (part.anchor_of(s) == grid.pz())
+      pipeline::pack_snode<pipeline::LuFactorsAccess>(F, s, mine);
 
   if (world.rank() != 0) {
     world.send(0, kGatherTag, mine, CommPlane::Z);

@@ -10,18 +10,15 @@
 
 #include "lu2d/factor2d.hpp"
 #include "lu3d/forest_partition.hpp"
+#include "pipeline/options.hpp"
 
 namespace slu3d {
 
-struct Lu3dOptions {
+/// 3D driver options: the shared z-reduction knobs (async overlap,
+/// chunk_snodes, Dense/Sparse packing — see pipeline::ZRedOptions) plus
+/// the 2D panel-pipeline options applied at every forest level.
+struct Lu3dOptions : pipeline::ZRedOptions {
   Lu2dOptions lu2d;
-  /// Chunk the pairwise z-axis ancestor reduction into one non-blocking
-  /// message per ancestor supernode, and drain each chunk only when its
-  /// elimination-forest level is factored — overlapping the reduction
-  /// transfer with the 2D factorization of deeper levels. Byte volume per
-  /// plane is identical to the single blocking message; only message
-  /// counts and the critical path change.
-  bool async = true;
 };
 
 /// Creates the per-rank factor storage for the 3D layout: grid pz

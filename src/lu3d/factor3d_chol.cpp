@@ -1,7 +1,14 @@
+// 3D Cholesky driver: setup of the masked replicated layouts plus the
+// symmetric instantiation of the shared z-reduction engine
+// (pipeline/zreduce.hpp); the per-level 2D primitive is
+// factorize_2d_cholesky and the wire format is the CholFactorsAccess
+// trait's (triangle-packed diag, L ascending).
 #include "lu3d/factor3d_chol.hpp"
 
 #include <algorithm>
 
+#include "pipeline/factors_access.hpp"
+#include "pipeline/zreduce.hpp"
 #include "support/check.hpp"
 
 namespace slu3d {
@@ -13,51 +20,6 @@ using sim::CommPlane;
 constexpr int kReduceTagBase = (1 << 23);
 constexpr int kGatherTag = (1 << 23) + 64;
 
-void pack_snode(const DistCholFactors& F, int s, std::vector<real_t>& out) {
-  if (F.has_diag(s)) {
-    // Only the lower triangle is meaningful; pack it column-major.
-    const auto d = F.diag(s);
-    const auto ns = static_cast<index_t>(F.structure().snode_size(s));
-    for (index_t c = 0; c < ns; ++c)
-      for (index_t r = c; r < ns; ++r)
-        out.push_back(d[static_cast<std::size_t>(r + c * ns)]);
-  }
-  for (const OwnedBlock& b : F.lblocks(s))
-    out.insert(out.end(), b.data.begin(), b.data.end());
-}
-
-/// Packed length of supernode s on this rank (triangle-packed diagonal).
-/// Symmetric across z-adjacent grids sharing (px, py) — see factor3d.cpp.
-std::size_t packed_elems(const DistCholFactors& F, int s) {
-  std::size_t n = 0;
-  if (F.has_diag(s)) {
-    const auto ns = static_cast<std::size_t>(F.structure().snode_size(s));
-    n += ns * (ns + 1) / 2;
-  }
-  for (const OwnedBlock& b : F.lblocks(s)) n += b.data.size();
-  return n;
-}
-
-std::size_t add_snode(DistCholFactors& F, int s, std::span<const real_t> buf,
-                      std::size_t pos) {
-  if (F.has_diag(s)) {
-    auto d = F.diag(s);
-    const auto ns = static_cast<index_t>(F.structure().snode_size(s));
-    SLU3D_CHECK(pos + static_cast<std::size_t>(ns) * (static_cast<std::size_t>(ns) + 1) / 2 <=
-                    buf.size(),
-                "reduction stream underflow");
-    for (index_t c = 0; c < ns; ++c)
-      for (index_t r = c; r < ns; ++r)
-        d[static_cast<std::size_t>(r + c * ns)] += buf[pos++];
-  }
-  for (OwnedBlock& b : F.lblocks(s)) {
-    SLU3D_CHECK(pos + b.data.size() <= buf.size(), "reduction stream underflow");
-    for (std::size_t i = 0; i < b.data.size(); ++i) b.data[i] += buf[pos + i];
-    pos += b.data.size();
-  }
-  return pos;
-}
-
 }  // namespace
 
 DistCholFactors make_3d_chol_factors(const BlockStructure& bs,
@@ -68,94 +30,19 @@ DistCholFactors make_3d_chol_factors(const BlockStructure& bs,
   DistCholFactors F(bs, plane.Px(), plane.Py(), plane.px(), plane.py(),
                     part.mask_for(grid.pz()));
   F.fill_from(Ap);
-  for (int s = 0; s < bs.n_snodes(); ++s) {
-    if (!part.on_grid(s, grid.pz()) || part.anchor_of(s) == grid.pz()) continue;
-    if (F.has_diag(s)) std::fill(F.diag(s).begin(), F.diag(s).end(), 0.0);
-    for (OwnedBlock& b : F.lblocks(s)) std::fill(b.data.begin(), b.data.end(), 0.0);
-  }
+  pipeline::zero_nonanchor_replicas<pipeline::CholFactorsAccess>(F, part,
+                                                                 grid.pz());
   return F;
 }
 
 void factorize_3d_cholesky(DistCholFactors& F, sim::ProcessGrid3D& grid,
                            const ForestPartition& part,
                            const Chol3dOptions& options) {
-  const BlockStructure& bs = F.structure();
-  const int l = part.n_levels() - 1;
-  const int pz = grid.pz();
-
-  // Outstanding per-ancestor reduction chunks (async mode); drained just
-  // before the level that factors them — see factorize_3d.
-  struct Pending {
-    sim::Request req;
-    int s;
-  };
-  std::vector<Pending> outstanding;
-  auto drain = [&](auto&& keep_pending) {
-    std::size_t kept = 0;
-    for (Pending& p : outstanding) {
-      if (keep_pending(p.s)) {
-        outstanding[kept++] = std::move(p);
-        continue;
-      }
-      const std::vector<real_t> buf = p.req.take();
-      const std::size_t pos = add_snode(F, p.s, buf, 0);
-      SLU3D_CHECK(pos == buf.size(), "reduction chunk not fully consumed");
-    }
-    outstanding.resize(kept);
-  };
-
-  for (int lvl = l; lvl >= 0; --lvl) {
-    const int step = 1 << (l - lvl);
-    if (pz % step != 0) continue;
-
-    if (options.async)
-      drain([&](int s) { return part.level_of(s) < lvl; });
-
-    const std::vector<int> nodes = part.nodes_at(pz, lvl);
-    factorize_2d_cholesky(F, grid.plane(), nodes, options.chol2d);
-
-    if (lvl == 0) break;
-
-    const int k = pz / step;
-    std::vector<int> ancestors;
-    for (int s = 0; s < bs.n_snodes(); ++s)
-      if (part.level_of(s) < lvl && part.on_grid(s, pz)) ancestors.push_back(s);
-
-    if (k % 2 == 1) {
-      if (options.async) {
-        drain([](int) { return false; });
-        std::vector<real_t> buf;
-        for (int s : ancestors) {
-          buf.clear();
-          pack_snode(F, s, buf);
-          if (buf.empty()) continue;
-          grid.zline().isend(pz - step, kReduceTagBase + lvl, buf,
-                             CommPlane::Z);
-        }
-      } else {
-        std::vector<real_t> buf;
-        for (int s : ancestors) pack_snode(F, s, buf);
-        grid.zline().send(pz - step, kReduceTagBase + lvl, buf, CommPlane::Z);
-      }
-    } else {
-      if (options.async) {
-        for (int s : ancestors) {
-          if (packed_elems(F, s) == 0) continue;
-          outstanding.push_back(
-              {grid.zline().irecv(pz + step, kReduceTagBase + lvl,
-                                  CommPlane::Z),
-               s});
-        }
-      } else {
-        const auto buf =
-            grid.zline().recv(pz + step, kReduceTagBase + lvl, CommPlane::Z);
-        std::size_t pos = 0;
-        for (int s : ancestors) pos = add_snode(F, s, buf, pos);
-        SLU3D_CHECK(pos == buf.size(), "reduction stream not fully consumed");
-      }
-    }
-  }
-  SLU3D_CHECK(outstanding.empty(), "undrained reduction chunks");
+  pipeline::run_3d_levels<pipeline::CholFactorsAccess>(
+      F, grid, part, options, kReduceTagBase,
+      [&](sim::ProcessGrid2D& plane, std::span<const int> nodes) {
+        factorize_2d_cholesky(F, plane, nodes, options.chol2d);
+      });
 }
 
 std::optional<CholeskyFactors> gather_3d_cholesky(const DistCholFactors& F,
@@ -168,7 +55,8 @@ std::optional<CholeskyFactors> gather_3d_cholesky(const DistCholFactors& F,
 
   std::vector<real_t> mine;
   for (int s = 0; s < bs.n_snodes(); ++s)
-    if (part.anchor_of(s) == grid.pz()) pack_snode(F, s, mine);
+    if (part.anchor_of(s) == grid.pz())
+      pipeline::pack_snode<pipeline::CholFactorsAccess>(F, s, mine);
 
   if (world.rank() != 0) {
     world.send(0, kGatherTag, mine, CommPlane::Z);

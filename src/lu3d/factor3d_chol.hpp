@@ -9,6 +9,7 @@
 
 #include "lu2d/dist_chol.hpp"
 #include "lu3d/forest_partition.hpp"
+#include "pipeline/options.hpp"
 #include "simmpi/process_grid.hpp"
 
 namespace slu3d {
@@ -21,10 +22,10 @@ DistCholFactors make_3d_chol_factors(const BlockStructure& bs,
                                      const ForestPartition& part,
                                      const CsrMatrix& Ap);
 
-struct Chol3dOptions {
+/// Same shape as Lu3dOptions: the shared z-reduction knobs (see
+/// pipeline::ZRedOptions) plus the per-level 2D options.
+struct Chol3dOptions : pipeline::ZRedOptions {
   Chol2dOptions chol2d;
-  /// Chunked non-blocking z-axis ancestor reduction (see Lu3dOptions).
-  bool async = true;
 };
 
 /// Runs Algorithm 1 with the Cholesky 2D primitive. Collective over the

@@ -10,6 +10,8 @@
 // zero-skipping variant sparse-scatter callers may opt into.
 #pragma once
 
+#include <cstddef>
+
 #include "support/types.hpp"
 
 namespace slu3d {
@@ -65,6 +67,12 @@ void gemm_minus(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
 
 /// y <- L^{-1} y for one vector (unit lower part of a).
 void trsv_lower_unit(index_t n, const real_t* a, index_t lda, real_t* y);
+
+/// True if all n values are (+/-) zero. Used by the sparse z-reduction
+/// packing to detect ancestor blocks a subtree never touched; kept here so
+/// the scan shares the kernels' unrolling style and stays off the
+/// per-element-branch path.
+bool all_zero(const real_t* x, std::size_t n);
 
 // ---- Cholesky kernels (the LL^T variant, paper §VII) -------------------
 

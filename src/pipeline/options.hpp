@@ -1,0 +1,79 @@
+// Shared option structs for the factorization-pipeline subsystem. The LU
+// and Cholesky variants of the 2D panel pipeline take identical scheduling
+// knobs, and the two 3D drivers take identical z-reduction knobs, so both
+// pairs collapse into one struct each; the historical names
+// (Lu2dOptions/Chol2dOptions, Lu3dOptions/Chol3dOptions) remain as aliases
+// or thin wrappers in the variant headers. Validation happens once, in the
+// shared engines (validate_panel_options / validate_zred_options), instead
+// of being re-implemented (or silently skipped) per variant.
+#pragma once
+
+#include "support/check.hpp"
+
+namespace slu3d::pipeline {
+
+/// Scheduling knobs of the 2D panel pipeline (one supernode's diagonal
+/// factorization + panel solves + panel broadcast + Schur update, pipelined
+/// through the elimination-tree lookahead window of §II-F).
+struct PanelOptions {
+  /// Lookahead window size in supernodes (SuperLU_DIST uses 8-20; 0
+  /// disables pipelining).
+  int lookahead = 8;
+  /// Base message tag; the engine uses tags [tag_base, tag_base + 8*n_snodes).
+  int tag_base = 0;
+  /// Post the look-ahead window's panel broadcasts as non-blocking
+  /// requests, drained lazily at the consuming Schur phase — so panel
+  /// transfer time is hidden behind earlier supernodes' updates. Per-plane
+  /// byte counters are identical to the blocking schedule (same binomial
+  /// trees); only the simulated critical path changes.
+  bool async = true;
+};
+
+/// How the z-axis ancestor-reduction payloads are packed on the wire.
+enum class ZRedPacking {
+  /// Every allocated ancestor block travels, zeros included — the paper's
+  /// scheme, byte-identical to the historical drivers.
+  Dense,
+  /// Each chunk carries a per-block presence bitmap and omits blocks whose
+  /// local accumulation is still entirely zero (common for ancestors a
+  /// subtree never touched). Numerically identical — skipped blocks
+  /// contribute nothing — but the reduction volume W_red shrinks. Savings
+  /// are reported in RankStats::zred_* (see comm_stats.hpp).
+  Sparse,
+};
+
+/// Knobs of the 3D driver: the per-level z-axis ancestor reduction.
+struct ZRedOptions {
+  /// Chunk the pairwise z-axis ancestor reduction into non-blocking
+  /// messages drained only when their elimination-forest level is factored
+  /// — overlapping the reduction transfer with the 2D factorization of
+  /// deeper levels. Byte volume per plane is identical to the single
+  /// blocking message; only message counts and the critical path change.
+  bool async = true;
+  /// Ancestor supernodes per reduction message in async mode (>= 1).
+  /// 1 reproduces the historical per-supernode chunking; larger values
+  /// trade overlap granularity for fewer messages. Ignored when async is
+  /// false (the blocking path always sends one message per level).
+  int chunk_snodes = 1;
+  /// Wire format of the reduction payloads; Dense is byte-identical to the
+  /// historical drivers, Sparse is the opt-in volume optimization.
+  ZRedPacking packing = ZRedPacking::Dense;
+};
+
+/// Validates the 2D panel-pipeline options once, at engine entry.
+inline void validate_panel_options(const PanelOptions& opt) {
+  SLU3D_CHECK(opt.lookahead >= 0,
+              "pipeline: lookahead must be non-negative (0 disables pipelining)");
+  SLU3D_CHECK(opt.tag_base >= 0, "pipeline: tag_base must be non-negative");
+}
+
+/// Validates the z-reduction options once, at engine entry.
+inline void validate_zred_options(const ZRedOptions& opt) {
+  SLU3D_CHECK(opt.chunk_snodes > 0,
+              "pipeline: reduction chunk size (chunk_snodes) must be positive");
+  SLU3D_CHECK(opt.packing == ZRedPacking::Dense ||
+                  opt.packing == ZRedPacking::Sparse,
+              "pipeline: unknown ZRedPacking value");
+}
+
+}  // namespace slu3d::pipeline

@@ -1,0 +1,279 @@
+// The shared 2D panel-pipeline engine. One supernode flows through
+//   panel_phase:  diagonal factorization + diagonal broadcast + panel
+//                 solves (variant policy), then panel broadcast into a
+//                 stash slot (engine),
+//   schur_phase:  drain of the outstanding broadcasts (engine) + the
+//                 owner-only-update Schur complement (variant policy per
+//                 block pair),
+// pipelined through the elimination-tree lookahead window of §II-F: panel
+// phases of up to `lookahead` future supernodes are issued as soon as all
+// their updaters have completed, so in async mode their broadcasts overlap
+// earlier supernodes' Schur updates.
+//
+// The engine owns everything the LU and Cholesky drivers used to duplicate:
+// the lookahead schedule, the stash slot pool (flat storage borrowed from
+// the per-rank scratch arena), entry layout, the non-blocking post/drain
+// protocol, and the deferred-relay bookkeeping the symmetric variant needs
+// for its transposed-role re-broadcasts. A VariantPolicy supplies only the
+// numeric identity of the variant:
+//
+//   using Factors = ...;            // Dist2dFactors or DistCholFactors
+//   static constexpr bool kSymmetric;   // triangle-only Schur pairs
+//   static constexpr int kRowPanelOp;   // tag op of the row-role bcast
+//   factor_and_solve(eng, k, ns)    // diag factor/bcast + panel solves
+//   row_payload(F, k, a)            // owner's row-role (L) block data
+//   post_col_entries(eng, stash, k, ns)  // column-role broadcast pattern
+//   wants_target(F, bi, bj)         // is the Schur target materialized?
+//   schur_pair(eng, bi, mi, ld, bj, mj, cd, ns, out)  // GEMM + scatter
+//
+// Tags, post order, and payload layout are exactly the historical drivers',
+// so dense-mode per-rank byte/message counters are unchanged (pinned by
+// PipelineGolden.* in tests/test_pipeline.cpp).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "numeric/kernel_scratch.hpp"
+#include "pipeline/options.hpp"
+#include "simmpi/process_grid.hpp"
+#include "support/check.hpp"
+#include "symbolic/block_structure.hpp"
+
+namespace slu3d::pipeline {
+
+/// One broadcast panel block staged for the Schur phase: `m*ns` (row role)
+/// or `ns*m` (column role) values at `offset` in the stash's flat storage.
+struct StashEntry {
+  int panel_idx;
+  std::size_t offset;
+  index_t m;
+};
+
+/// One posted non-blocking operation, drained in post order at the Schur
+/// phase. `relay_pi < 0` is a plain outstanding request; `relay_pi >= 0` is
+/// the symmetric variant's deferred transposed-role re-broadcast: the relay
+/// rank copies its row-role payload (offset `row_off`, an earlier op) to
+/// `col_off` and re-broadcasts it only at the drain, never as a blocking
+/// wait inside panel_phase (which could deadlock against peers whose
+/// forwarding waits also run at their drains).
+struct PanelAsyncOp {
+  sim::Request req;
+  int relay_pi = -1;
+  std::size_t row_off = 0, col_off = 0, elems = 0;
+};
+
+/// Broadcast panels of one in-flight supernode, stashed until its Schur
+/// update has been applied. Entries are appended in ascending panel_idx
+/// order; storage is one flat buffer borrowed from the per-rank scratch
+/// pool, so the look-ahead hot path performs no per-supernode node
+/// allocations.
+struct PanelStash {
+  int k = -1;  ///< supernode, or -1 when the slot is free
+  std::vector<StashEntry> row_entries, col_entries;
+  std::vector<real_t> storage;
+  std::vector<PanelAsyncOp> ops;
+
+  const StashEntry* find_row_entry(int pi) const {
+    for (const StashEntry& e : row_entries)
+      if (e.panel_idx == pi) return &e;
+    return nullptr;
+  }
+};
+
+template <class Policy>
+class PanelEngine {
+ public:
+  using Factors = typename Policy::Factors;
+
+  PanelEngine(Factors& F, sim::ProcessGrid2D& grid, const PanelOptions& opt)
+      : F_(F), g_(grid), bs_(F.structure()), opt_(opt) {
+    validate_panel_options(opt_);
+  }
+
+  /// Factorizes the supernodes in `snodes` (ascending elimination order).
+  void run(std::span<const int> snodes) {
+    // Position of each supernode in the list and the latest position of
+    // any updater, for the lookahead schedule. All ranks compute the same
+    // schedule from the (replicated) symbolic structure.
+    std::vector<int> last_upd_pos(static_cast<std::size_t>(bs_.n_snodes()), -1);
+    for (int idx = 0; idx < static_cast<int>(snodes.size()); ++idx) {
+      const int k = snodes[static_cast<std::size_t>(idx)];
+      SLU3D_CHECK(idx == 0 || snodes[static_cast<std::size_t>(idx - 1)] < k,
+                  "snodes must be ascending");
+      for (const PanelBlock& blk : bs_.lpanel(k))
+        last_upd_pos[static_cast<std::size_t>(blk.snode)] = idx;
+    }
+
+    std::vector<bool> fired(static_cast<std::size_t>(bs_.n_snodes()), false);
+    const int n = static_cast<int>(snodes.size());
+    for (int idx = 0; idx < n; ++idx) {
+      const int limit = std::min(n - 1, idx + opt_.lookahead);
+      for (int w = idx; w <= limit; ++w) {
+        const int j = snodes[static_cast<std::size_t>(w)];
+        if (!fired[static_cast<std::size_t>(j)] &&
+            last_upd_pos[static_cast<std::size_t>(j)] < idx) {
+          panel_phase(j);
+          fired[static_cast<std::size_t>(j)] = true;
+        }
+      }
+      schur_phase(snodes[static_cast<std::size_t>(idx)]);
+    }
+  }
+
+  Factors& factors() { return F_; }
+  sim::ProcessGrid2D& grid() { return g_; }
+  const BlockStructure& structure() const { return bs_; }
+  const PanelOptions& options() const { return opt_; }
+  int tag(int k, int op) const { return opt_.tag_base + 8 * k + op; }
+
+ private:
+  /// Claims a free stash slot (at most lookahead+1 are ever live, so the
+  /// linear scans here are trivial).
+  PanelStash& stash_alloc(int k) {
+    for (PanelStash& s : stash_)
+      if (s.k < 0) {
+        s.k = k;
+        return s;
+      }
+    stash_.emplace_back();
+    stash_.back().k = k;
+    return stash_.back();
+  }
+
+  PanelStash* stash_find(int k) {
+    for (PanelStash& s : stash_)
+      if (s.k == k) return &s;
+    return nullptr;
+  }
+
+  void panel_phase(int k) {
+    const index_t ns = bs_.snode_size(k);
+    if (ns == 0) return;
+    PanelStash& stash = stash_alloc(k);
+
+    // Diagonal factorization, diagonal broadcast, and panel solves are the
+    // variant's identity (LU: GETRF + row/col diag bcast + L/U TRSMs;
+    // Cholesky: POTRF + column diag bcast + L TRSM). The diagonal is
+    // consumed by the panel solves immediately, so those broadcasts stay
+    // blocking even in async mode.
+    Policy::factor_and_solve(*this, k, ns, diag_buf_);
+
+    // Panel broadcast. A row-role entry (block row a with a % Px == px)
+    // travels along this process row; a column-role entry (a % Py == py)
+    // travels along a process column (the variant decides which one and
+    // how). Empty (ragged) blocks are skipped outright instead of
+    // broadcasting 0-byte payloads. First lay out the flat stash storage —
+    // spans handed to ibcast must stay put — then post the broadcasts.
+    const auto panel = bs_.lpanel(k);
+    std::size_t total = 0;
+    for (int pi = 0; pi < static_cast<int>(panel.size()); ++pi) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(pi)];
+      const index_t m = blk.n_rows();
+      if (m == 0) continue;
+      const auto elems =
+          static_cast<std::size_t>(m) * static_cast<std::size_t>(ns);
+      if (blk.snode % g_.Px() == g_.px()) {
+        stash.row_entries.push_back({pi, total, m});
+        total += elems;
+      }
+      if (blk.snode % g_.Py() == g_.py()) {
+        stash.col_entries.push_back({pi, total, m});
+        total += elems;
+      }
+    }
+    stash.storage = dense::KernelScratch::per_rank().borrow();
+    stash.storage.resize(total, 0.0);
+
+    // Row role: root is the owning process column's representative; the
+    // payload is the owner's L block. Identical for both variants.
+    const int pyk = k % g_.Py();
+    const bool in_pcol = g_.py() == pyk;
+    for (const StashEntry& e : stash.row_entries) {
+      const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
+      const std::span<real_t> buf{
+          stash.storage.data() + e.offset,
+          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns)};
+      if (in_pcol) {
+        const std::span<const real_t> src =
+            Policy::row_payload(F_, k, blk.snode);
+        SLU3D_CHECK(src.size() == buf.size(), "owner missing L block");
+        std::copy(src.begin(), src.end(), buf.begin());
+      }
+      if (opt_.async)
+        stash.ops.push_back({g_.row().ibcast(pyk, tag(k, Policy::kRowPanelOp),
+                                             buf, sim::CommPlane::XY),
+                             -1, 0, 0, 0});
+      else
+        g_.row().bcast(pyk, tag(k, Policy::kRowPanelOp), buf,
+                       sim::CommPlane::XY);
+    }
+
+    // Column role: LU broadcasts the owner's U blocks down the diagonal
+    // owner's process column; the symmetric variant relays the transposed
+    // L payload through the (a%Px, a%Py) rank, possibly deferred.
+    Policy::post_col_entries(*this, stash, k, ns);
+  }
+
+  void schur_phase(int k) {
+    const index_t ns = bs_.snode_size(k);
+    if (ns == 0) return;
+    PanelStash* stash = stash_find(k);
+    SLU3D_CHECK(stash != nullptr, "panel not factored before Schur phase");
+
+    // Drain the outstanding broadcasts only now, in post order: every
+    // update between the panel's post and this point has overlapped the
+    // transfer. Deferred relay roots forward as soon as their row-role
+    // payload (an earlier op) is in; the root post forwards to the column
+    // subtree immediately and completes.
+    const auto panel = bs_.lpanel(k);
+    for (PanelAsyncOp& op : stash->ops) {
+      if (op.relay_pi < 0) {
+        op.req.wait();
+        continue;
+      }
+      std::copy_n(stash->storage.data() + op.row_off, op.elems,
+                  stash->storage.data() + op.col_off);
+      const PanelBlock& blk = panel[static_cast<std::size_t>(op.relay_pi)];
+      const std::span<real_t> buf{stash->storage.data() + op.col_off,
+                                  op.elems};
+      g_.col().ibcast(blk.snode % g_.Px(), tag(k, Policy::kColPanelOp), buf,
+                      sim::CommPlane::XY);
+    }
+    stash->ops.clear();
+
+    dense::KernelScratch& ws = dense::KernelScratch::per_rank();
+    for (const StashEntry& le : stash->row_entries) {
+      const PanelBlock& bi = panel[static_cast<std::size_t>(le.panel_idx)];
+      const index_t mi = le.m;
+      const real_t* ldata = stash->storage.data() + le.offset;
+      for (const StashEntry& ue : stash->col_entries) {
+        const PanelBlock& bj = panel[static_cast<std::size_t>(ue.panel_idx)];
+        if constexpr (Policy::kSymmetric) {
+          if (bj.snode > bi.snode) break;  // lower triangle only
+        }
+        if (!Policy::wants_target(F_, bi.snode, bj.snode)) continue;
+        const index_t mj = ue.m;
+        const real_t* cdata = stash->storage.data() + ue.offset;
+        auto scratch = ws.stage_zero(static_cast<std::size_t>(mi) *
+                                     static_cast<std::size_t>(mj));
+        Policy::schur_pair(*this, bi, mi, ldata, bj, mj, cdata, ns, scratch);
+      }
+    }
+    dense::KernelScratch::per_rank().recycle(std::move(stash->storage));
+    stash->storage = std::vector<real_t>{};
+    stash->row_entries.clear();
+    stash->col_entries.clear();
+    stash->k = -1;
+  }
+
+  Factors& F_;
+  sim::ProcessGrid2D& g_;
+  const BlockStructure& bs_;
+  PanelOptions opt_;
+  std::vector<PanelStash> stash_;  ///< slot pool, <= lookahead+1 live slots
+  std::vector<real_t> diag_buf_;   ///< reusable diagonal broadcast buffer
+};
+
+}  // namespace slu3d::pipeline

@@ -25,6 +25,13 @@ struct RankStats {
   std::array<double, kNumComputeKinds> compute_seconds{};
   std::array<offset_t, kNumComputeKinds> flops{};
   double clock = 0.0;  ///< final logical time of the rank
+  /// Sparse z-reduction accounting (sender side; zero unless
+  /// ZRedPacking::Sparse is enabled — see pipeline/options.hpp). `saved`
+  /// is dense-equivalent bytes minus actual payload, bitmap overhead
+  /// included, so it can go (slightly) negative on fully dense levels.
+  offset_t zred_blocks_total = 0;    ///< ancestor blocks considered
+  offset_t zred_blocks_skipped = 0;  ///< blocks omitted as all-zero
+  offset_t zred_bytes_saved = 0;     ///< W_red bytes avoided vs Dense
   /// Clock advance spent blocked for message arrivals: the sum over all
   /// receives (blocking recv and Request::wait alike) of
   /// max(0, sender_completion - local clock). With non-blocking

@@ -718,6 +718,24 @@ double RunResult::max_compute_seconds(ComputeKind kind) const {
   return best;
 }
 
+offset_t RunResult::total_zred_bytes_saved() const {
+  offset_t total = 0;
+  for (const auto& r : ranks) total += r.zred_bytes_saved;
+  return total;
+}
+
+offset_t RunResult::total_zred_blocks_skipped() const {
+  offset_t total = 0;
+  for (const auto& r : ranks) total += r.zred_blocks_skipped;
+  return total;
+}
+
+offset_t RunResult::total_zred_blocks_total() const {
+  offset_t total = 0;
+  for (const auto& r : ranks) total += r.zred_blocks_total;
+  return total;
+}
+
 struct RuntimeAccess {
   static Comm make_world(detail::Context* ctx, int n_ranks, int rank) {
     std::vector<int> members(static_cast<std::size_t>(n_ranks));
