@@ -37,6 +37,15 @@ struct DistMetrics {
   offset_t zred_blocks_skipped = 0;
   offset_t zred_blocks_total = 0;
   offset_t z_bytes_sent = 0;
+  /// Sparse panel-packing savings (zero under PanelPacking::Dense): root
+  /// payload bytes the XY panel broadcasts avoided (net of bitmap frames),
+  /// the dense-equivalent payload those broadcasts would have carried, and
+  /// the all-zero per-entry data messages elided entirely. saved / dense
+  /// is the fraction of panel payload eliminated (fig10's Psaved column).
+  offset_t panel_saved = 0;
+  offset_t panel_dense = 0;
+  offset_t panel_saved_msgs = 0;
+  offset_t xy_bytes_sent = 0;
 };
 
 /// Default Edison-like machine model shared by all benches.
@@ -47,7 +56,9 @@ inline sim::MachineModel machine_model() { return sim::MachineModel{}; }
 inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
                                int Px, int Py, int Pz, int lookahead = 8,
                                PartitionStrategy strategy = PartitionStrategy::Greedy,
-                               pipeline::ZRedPacking packing = pipeline::ZRedPacking::Dense) {
+                               pipeline::ZRedPacking packing = pipeline::ZRedPacking::Dense,
+                               pipeline::PanelPacking panel_packing =
+                                   pipeline::PanelPacking::Dense) {
   const ForestPartition part(bs, Pz, strategy);
   const int P = Px * Py * Pz;
   std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
@@ -58,6 +69,7 @@ inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
         mem[static_cast<std::size_t>(world.rank())] = F.allocated_bytes();
         Lu3dOptions opt;
         opt.lu2d.lookahead = lookahead;
+        opt.lu2d.packing = panel_packing;
         opt.packing = packing;
         factorize_3d(F, grid, part, opt);
       });
@@ -76,6 +88,10 @@ inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
   m.zred_blocks_skipped = res.total_zred_blocks_skipped();
   m.zred_blocks_total = res.total_zred_blocks_total();
   m.z_bytes_sent = res.total_bytes_sent(sim::CommPlane::Z);
+  m.panel_saved = res.total_panel_saved_bytes();
+  m.panel_dense = res.total_panel_dense_bytes();
+  m.panel_saved_msgs = res.total_panel_saved_msgs();
+  m.xy_bytes_sent = res.total_bytes_sent(sim::CommPlane::XY);
   for (offset_t b : mem) {
     m.mem_total += b;
     m.mem_max = std::max(m.mem_max, b);

@@ -27,7 +27,8 @@ void export_fig9_fig10_fig11(const std::string& dir) {
   std::ofstream f9(dir + "/fig9_normalized_time.csv");
   f9 << "matrix,class,P,Pz,Px,Py,time_s,t_scu_s,t_comm_s\n";
   std::ofstream f10(dir + "/fig10_comm_volume.csv");
-  f10 << "matrix,class,P,Pz,w_fact_bytes,w_red_bytes\n";
+  f10 << "matrix,class,P,Pz,w_fact_bytes,w_red_bytes,panel_saved_bytes,"
+         "panel_dense_bytes,panel_saved_msgs\n";
   std::ofstream f11(dir + "/fig11_memory.csv");
   f11 << "matrix,class,P,Pz,mem_total_bytes,mem_max_bytes\n";
 
@@ -41,11 +42,18 @@ void export_fig9_fig10_fig11(const std::string& dir) {
         if (P % Pz != 0) continue;
         const auto [Px, Py] = bench::square_ish(P / Pz);
         const auto m = bench::run_dist_lu(bs, Ap, Px, Py, Pz);
+        // Sparse-panel re-run for the Psaved columns (factors bitwise
+        // unchanged; only the XY wire format differs).
+        const auto pp = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
+                                           PartitionStrategy::Greedy,
+                                           pipeline::ZRedPacking::Dense,
+                                           pipeline::PanelPacking::Sparse);
         f9 << t.name << ',' << cls << ',' << P << ',' << Pz << ',' << Px
            << ',' << Py << ',' << m.time << ',' << m.t_scu << ',' << m.t_comm
            << '\n';
         f10 << t.name << ',' << cls << ',' << P << ',' << Pz << ','
-            << m.w_fact << ',' << m.w_red << '\n';
+            << m.w_fact << ',' << m.w_red << ',' << pp.panel_saved << ','
+            << pp.panel_dense << ',' << pp.panel_saved_msgs << '\n';
         f11 << t.name << ',' << cls << ',' << P << ',' << Pz << ','
             << m.mem_total << ',' << m.mem_max << '\n';
       }

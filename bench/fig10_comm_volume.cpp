@@ -18,11 +18,14 @@ int main() {
 
     std::cout << "\n=== " << t.name << " (" << (t.planar ? "planar" : "non-planar")
               << ") ===\n";
-    // Dense columns reproduce the paper's W_fact/W_red; the last two
-    // columns re-run the reduction with ZRedPacking::Sparse and report the
-    // volume the presence-bitmap packing eliminates (numerics unchanged).
+    // Dense columns reproduce the paper's W_fact/W_red; the Zsaved columns
+    // re-run the reduction with ZRedPacking::Sparse, the Psaved columns the
+    // XY panel broadcasts with PanelPacking::Sparse, and report the volume
+    // each presence-bitmap packing eliminates (numerics unchanged either
+    // way — see tests/test_comm_equivalence.cpp).
     TextTable table({"P", "Pz", "W_fact(B)", "W_red(B)", "W_total(B)",
-                     "vs 2D", "Zsaved(B)", "Zsaved(%)"});
+                     "vs 2D", "Zsaved(B)", "Zsaved(%)", "Psaved(B)",
+                     "Psaved(%)"});
     for (int P : {64, 128}) {
       offset_t w2d = 0;
       for (int Pz : {1, 2, 4, 8, 16}) {
@@ -31,6 +34,10 @@ int main() {
         const auto sp = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
                                            PartitionStrategy::Greedy,
                                            pipeline::ZRedPacking::Sparse);
+        const auto pp = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
+                                           PartitionStrategy::Greedy,
+                                           pipeline::ZRedPacking::Dense,
+                                           pipeline::PanelPacking::Sparse);
         const offset_t total = m.w_fact + m.w_red;
         if (Pz == 1) w2d = total;
         const offset_t dense_eq = sp.z_bytes_sent + sp.zred_saved;
@@ -38,13 +45,19 @@ int main() {
                                ? 100.0 * static_cast<double>(sp.zred_saved) /
                                      static_cast<double>(dense_eq)
                                : 0.0;
+        const double ppct = pp.panel_dense > 0
+                                ? 100.0 * static_cast<double>(pp.panel_saved) /
+                                      static_cast<double>(pp.panel_dense)
+                                : 0.0;
         table.add_row({std::to_string(P), std::to_string(Pz),
                        std::to_string(m.w_fact), std::to_string(m.w_red),
                        std::to_string(total),
                        TextTable::num(static_cast<double>(w2d) /
                                       static_cast<double>(total), 2) + "x",
                        std::to_string(sp.zred_saved),
-                       TextTable::num(pct, 1) + "%"});
+                       TextTable::num(pct, 1) + "%",
+                       std::to_string(pp.panel_saved),
+                       TextTable::num(ppct, 1) + "%"});
       }
     }
     table.print(std::cout);

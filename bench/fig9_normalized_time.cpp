@@ -25,19 +25,32 @@ int main() {
     // normalizes to 2D SuperLU_DIST on 16 nodes).
     const auto base_run = bench::run_dist_lu(bs, Ap, 8, 8, 1);
     const double baseline = base_run.time;
+    // The Psaved column re-runs each point with PanelPacking::Sparse and
+    // reports the fraction of XY panel-broadcast payload the presence
+    // bitmaps eliminate (factors are bitwise unchanged).
     TextTable table({"P", "Pz", "PXY", "T/T2d", "T_scu/T2d", "T_comm/T2d",
-                     "speedup"});
+                     "speedup", "Psaved(%)"});
     for (int P : machine_sizes) {
       for (int Pz : pz_values) {
         if (P % Pz != 0) continue;
         const auto [Px, Py] = bench::square_ish(P / Pz);
         const auto m = bench::run_dist_lu(bs, Ap, Px, Py, Pz);
+        const auto pp = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
+                                           PartitionStrategy::Greedy,
+                                           pipeline::ZRedPacking::Dense,
+                                           pipeline::PanelPacking::Sparse);
+        const double psaved =
+            pp.panel_dense > 0
+                ? 100.0 * static_cast<double>(pp.panel_saved) /
+                      static_cast<double>(pp.panel_dense)
+                : 0.0;
         table.add_row({std::to_string(P), std::to_string(Pz),
                        std::to_string(Px) + "x" + std::to_string(Py),
                        TextTable::num(m.time / baseline),
                        TextTable::num(m.t_scu / baseline),
                        TextTable::num(m.t_comm / baseline),
-                       TextTable::num(baseline / m.time, 2)});
+                       TextTable::num(baseline / m.time, 2),
+                       TextTable::num(psaved, 1)});
       }
     }
     table.print(std::cout);

@@ -147,6 +147,18 @@ struct CholPanelPolicy {
   /// forwarding is deferred (relay_pi >= 0) to the Schur drain, never a
   /// blocking wait inside the panel phase (which could deadlock against
   /// peers whose forwarding waits also run at their drains).
+  ///
+  /// Under PanelPacking::Sparse this role stays *dense*: its payloads
+  /// originate on one rank per block row (the relay), so no single rank of
+  /// the broadcast column could compute a presence frame for all entries
+  /// the way the row/U roles' data roots can. The row role still packs;
+  /// every relay copy below reads a dense row-role region regardless —
+  /// the in-column relay is the row-role root (the engine expands the
+  /// root's packed buffer right after the post), the deferred relay copies
+  /// at the drain after the row request's wait-time expansion, and
+  /// all-zero row entries (which send no data message at all) have their
+  /// region zero-filled by the presence-frame exchange. That is also why
+  /// the symmetric variant never prunes stash entries.
   template <class Engine>
   static void post_col_entries(Engine& e, pipeline::PanelStash& stash, int k,
                                index_t ns) {

@@ -131,7 +131,12 @@ struct LuPanelPolicy {
   }
 
   /// U block (k, a) goes down process column a % Py, rooted at the
-  /// diagonal owner's process row; payload is the owner's U block.
+  /// diagonal owner's process row; payload is the owner's U block. Under
+  /// PanelPacking::Sparse the owner's process row holds every U payload of
+  /// the supernode, so the column role packs exactly like the engine's row
+  /// role: one presence frame down the column first (tag op kColFrameOp),
+  /// then per-entry packed broadcasts; all-zero entries are pruned, which
+  /// also removes their Schur pairs (their contribution is zero anyway).
   template <class Engine>
   static void post_col_entries(Engine& e, pipeline::PanelStash& stash, int k,
                                index_t ns) {
@@ -140,22 +145,49 @@ struct LuPanelPolicy {
     const auto panel = e.structure().lpanel(k);
     const int pxk = k % g.Px();
     const bool in_prow = g.px() == pxk;
-    for (const pipeline::StashEntry& en : stash.col_entries) {
-      const PanelBlock& blk = panel[static_cast<std::size_t>(en.panel_idx)];
-      const std::span<real_t> buf{
-          stash.storage.data() + en.offset,
-          static_cast<std::size_t>(ns) * static_cast<std::size_t>(en.m)};
+    const bool sparse = e.sparse_packing();
+    auto u_payload = [&](const pipeline::StashEntry& en) -> std::span<const real_t> {
+      const OwnedBlock* ob =
+          F.find_ublock(k, panel[static_cast<std::size_t>(en.panel_idx)].snode);
+      SLU3D_CHECK(ob != nullptr, "owner missing U block");
+      return ob->data;
+    };
+    if (sparse)
+      e.exchange_presence_frame(g.col(), pxk, e.tag(k, pipeline::kColFrameOp),
+                                stash, stash.col_entries, stash.col_bits,
+                                in_prow, ns, u_payload, /*prune_absent=*/true);
+    for (int i = 0; i < static_cast<int>(stash.col_entries.size()); ++i) {
+      const pipeline::StashEntry& en =
+          stash.col_entries[static_cast<std::size_t>(i)];
+      const auto dense_elems =
+          static_cast<std::size_t>(ns) * static_cast<std::size_t>(en.m);
+      const std::size_t wire = sparse ? en.packed : dense_elems;
+      const std::span<real_t> buf{stash.storage.data() + en.offset, wire};
       if (in_prow) {
-        const OwnedBlock* ob = F.find_ublock(k, blk.snode);
-        SLU3D_CHECK(ob != nullptr, "owner missing U block");
-        std::copy(ob->data.begin(), ob->data.end(), buf.begin());
+        const std::span<const real_t> src = u_payload(en);
+        SLU3D_CHECK(src.size() == dense_elems, "owner U block size mismatch");
+        if (sparse)
+          Engine::pack_present(src, stash.col_bits, en.bits_off, buf.data());
+        else
+          std::copy(src.begin(), src.end(), buf.begin());
       }
-      if (e.options().async)
+      if (e.options().async) {
         stash.ops.push_back(
             {g.col().ibcast(pxk, e.tag(k, kColPanelOp), buf, CommPlane::XY),
              -1, 0, 0, 0});
-      else
+        if (sparse) {
+          if (in_prow) {
+            // The root's payload is snapshotted at post; restore dense now.
+            e.expand_entry(stash, en, stash.col_bits, ns);
+          } else {
+            stash.ops.back().exp_role = 1;
+            stash.ops.back().exp_idx = i;
+          }
+        }
+      } else {
         g.col().bcast(pxk, e.tag(k, kColPanelOp), buf, CommPlane::XY);
+        if (sparse) e.expand_entry(stash, en, stash.col_bits, ns);
+      }
     }
   }
 

@@ -12,12 +12,36 @@
 
 namespace slu3d::pipeline {
 
+/// How the 2D panel-broadcast payloads are packed on the wire.
+enum class PanelPacking {
+  /// Panels travel as the full m x ns union blocks, zeros included — the
+  /// historical scheme, byte-identical to the golden fig9 counters.
+  Dense,
+  /// Each panel role prepends one presence-bitmap frame (1 bit per scalar)
+  /// to the supernode's broadcasts and ships only the present scalars;
+  /// blocks whose payload is entirely zero send no data message at all.
+  /// Ancestor union blocks are ragged (per-column symbolic patterns inside
+  /// the dense m x ns rectangle), so 10-25% of the dense panel payload is
+  /// zero scalars even though whole blocks are almost never zero. Factors
+  /// stay bitwise identical; savings are reported in RankStats::panel_*
+  /// (see comm_stats.hpp). The Cholesky transposed (column) role stays
+  /// dense — its presence bits live on ranks outside the broadcast column.
+  Sparse,
+};
+
+/// Upper bound on the lookahead window. The stash slot pool holds
+/// lookahead+1 live supernodes, each pinning flat panel storage plus
+/// outstanding requests; beyond this bound the "window" is no longer a
+/// window and a mistyped value (e.g. a tag base passed as lookahead) would
+/// silently pin the whole factorization in memory.
+inline constexpr int kMaxPanelLookahead = 4096;
+
 /// Scheduling knobs of the 2D panel pipeline (one supernode's diagonal
 /// factorization + panel solves + panel broadcast + Schur update, pipelined
 /// through the elimination-tree lookahead window of §II-F).
 struct PanelOptions {
   /// Lookahead window size in supernodes (SuperLU_DIST uses 8-20; 0
-  /// disables pipelining).
+  /// disables pipelining). Must be <= kMaxPanelLookahead.
   int lookahead = 8;
   /// Base message tag; the engine uses tags [tag_base, tag_base + 8*n_snodes).
   int tag_base = 0;
@@ -27,6 +51,9 @@ struct PanelOptions {
   /// byte counters are identical to the blocking schedule (same binomial
   /// trees); only the simulated critical path changes.
   bool async = true;
+  /// Wire format of the panel broadcasts; Dense is byte-identical to the
+  /// historical drivers, Sparse is the opt-in volume optimization.
+  PanelPacking packing = PanelPacking::Dense;
 };
 
 /// How the z-axis ancestor-reduction payloads are packed on the wire.
@@ -64,7 +91,13 @@ struct ZRedOptions {
 inline void validate_panel_options(const PanelOptions& opt) {
   SLU3D_CHECK(opt.lookahead >= 0,
               "pipeline: lookahead must be non-negative (0 disables pipelining)");
+  SLU3D_CHECK(opt.lookahead <= kMaxPanelLookahead,
+              "pipeline: lookahead exceeds the stash slot pool bound "
+              "(kMaxPanelLookahead)");
   SLU3D_CHECK(opt.tag_base >= 0, "pipeline: tag_base must be non-negative");
+  SLU3D_CHECK(opt.packing == PanelPacking::Dense ||
+                  opt.packing == PanelPacking::Sparse,
+              "pipeline: unknown PanelPacking value");
 }
 
 /// Validates the z-reduction options once, at engine entry.

@@ -29,9 +29,26 @@
 // Tags, post order, and payload layout are exactly the historical drivers',
 // so dense-mode per-rank byte/message counters are unchanged (pinned by
 // PipelineGolden.* in tests/test_pipeline.cpp).
+//
+// PanelPacking::Sparse (opt-in) replaces each role's dense payloads with a
+// two-phase wire format (see DESIGN.md "Sparse panel packing"):
+//   phase 1  one *blocking* presence-frame broadcast per supernode per
+//            role, from the role's data root along the role's comm: the
+//            concatenated per-entry scalar bitmaps (1 bit per scalar of the
+//            dense m x ns block, 64 bits per real_t word). After it, every
+//            rank of the comm knows each entry's packed length.
+//   phase 2  the usual per-entry broadcasts, but carrying only the present
+//            scalars; entries whose payload is entirely zero send nothing.
+// Stash storage keeps the *dense* layout and offsets; a packed payload
+// lands at the entry's offset and is expanded in place (backward, so the
+// packed prefix never overruns its dense positions): on the root right
+// after the post (ibcast snapshots the payload at post time), on receivers
+// right after the drain wait (after the request's subtree forwarding).
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -43,12 +60,24 @@
 
 namespace slu3d::pipeline {
 
+/// Tag ops of the sparse-mode presence-frame broadcasts. Ops 0-3 are taken
+/// by the variants' diagonal/panel broadcasts; the tag stride is 8 per
+/// supernode, so 4 and 5 are free in both variants.
+inline constexpr int kRowFrameOp = 4;  ///< row-role frame, along the row comm
+inline constexpr int kColFrameOp = 5;  ///< col-role frame, along the col comm
+
 /// One broadcast panel block staged for the Schur phase: `m*ns` (row role)
 /// or `ns*m` (column role) values at `offset` in the stash's flat storage.
+/// Under PanelPacking::Sparse the entry also carries its presence-bitmap
+/// location (`bits_off`, in 64-bit words into the role's bits vector) and
+/// the number of present scalars actually on the wire (`packed`); the
+/// storage region is still the dense `offset`/`m` layout after expansion.
 struct StashEntry {
   int panel_idx;
   std::size_t offset;
   index_t m;
+  std::size_t bits_off = 0;
+  std::size_t packed = 0;
 };
 
 /// One posted non-blocking operation, drained in post order at the Schur
@@ -57,23 +86,30 @@ struct StashEntry {
 /// rank copies its row-role payload (offset `row_off`, an earlier op) to
 /// `col_off` and re-broadcasts it only at the drain, never as a blocking
 /// wait inside panel_phase (which could deadlock against peers whose
-/// forwarding waits also run at their drains).
+/// forwarding waits also run at their drains). `exp_role >= 0` marks a
+/// sparse-mode receiver request whose entry (`row_entries[exp_idx]` for
+/// role 0, `col_entries[exp_idx]` for role 1) must be expanded from packed
+/// to dense right after the wait.
 struct PanelAsyncOp {
   sim::Request req;
   int relay_pi = -1;
   std::size_t row_off = 0, col_off = 0, elems = 0;
+  int exp_role = -1;
+  int exp_idx = -1;
 };
 
 /// Broadcast panels of one in-flight supernode, stashed until its Schur
 /// update has been applied. Entries are appended in ascending panel_idx
 /// order; storage is one flat buffer borrowed from the per-rank scratch
 /// pool, so the look-ahead hot path performs no per-supernode node
-/// allocations.
+/// allocations. `row_bits`/`col_bits` hold the decoded presence bitmaps in
+/// sparse mode (empty in dense mode or when the role has no entries).
 struct PanelStash {
   int k = -1;  ///< supernode, or -1 when the slot is free
   std::vector<StashEntry> row_entries, col_entries;
   std::vector<real_t> storage;
   std::vector<PanelAsyncOp> ops;
+  std::vector<std::uint64_t> row_bits, col_bits;
 
   const StashEntry* find_row_entry(int pi) const {
     for (const StashEntry& e : row_entries)
@@ -127,19 +163,145 @@ class PanelEngine {
   const BlockStructure& structure() const { return bs_; }
   const PanelOptions& options() const { return opt_; }
   int tag(int k, int op) const { return opt_.tag_base + 8 * k + op; }
+  bool sparse_packing() const { return opt_.packing == PanelPacking::Sparse; }
+
+  /// 64-bit words needed for a scalar presence bitmap over `elems` values.
+  static constexpr std::size_t bitmap_words(std::size_t elems) {
+    return (elems + 63) / 64;
+  }
+
+  /// Sparse-mode phase 1 for one role: the root computes the per-entry
+  /// scalar presence bitmaps from its payloads, every rank of `comm`
+  /// receives them in one blocking frame broadcast (bitmap words bit_cast
+  /// through real_t, same comm and root as the role's data broadcasts),
+  /// and each entry's `bits_off`/`packed` are filled in on all ranks —
+  /// after which packed data-broadcast lengths are known everywhere.
+  /// Savings are accounted on the root only (once per payload, like the
+  /// z-reduction counters). With `prune_absent`, entries whose payload is
+  /// entirely zero are erased — their data broadcast *and* their Schur
+  /// pairs disappear (sound: all-zero panels contribute nothing). Without
+  /// it (the symmetric variant, whose relay lookups and transposed role
+  /// need every entry), such entries stay but their dense storage region is
+  /// zero-filled here, since no data message will overwrite it.
+  template <class PayloadFn>
+  void exchange_presence_frame(sim::Comm& comm, int root, int frame_tag,
+                               PanelStash& stash,
+                               std::vector<StashEntry>& entries,
+                               std::vector<std::uint64_t>& bits, bool is_root,
+                               index_t ns, PayloadFn&& payload,
+                               bool prune_absent) {
+    bits.clear();
+    if (entries.empty()) return;
+    std::size_t total_words = 0, dense_scalars = 0;
+    for (StashEntry& e : entries) {
+      const auto elems =
+          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+      e.bits_off = total_words;
+      total_words += bitmap_words(elems);
+      dense_scalars += elems;
+    }
+    bits.assign(total_words, 0);
+    if (is_root) {
+      for (StashEntry& e : entries) {
+        const std::span<const real_t> src = payload(e);
+        SLU3D_CHECK(src.size() == static_cast<std::size_t>(e.m) *
+                                      static_cast<std::size_t>(ns),
+                    "panel payload size mismatch");
+        for (std::size_t i = 0; i < src.size(); ++i)
+          if (src[i] != 0.0)
+            bits[e.bits_off + i / 64] |= std::uint64_t{1} << (i % 64);
+      }
+    }
+    frame_buf_.resize(total_words);
+    for (std::size_t w = 0; w < total_words; ++w)
+      frame_buf_[w] = std::bit_cast<real_t>(bits[w]);
+    comm.bcast(root, frame_tag, frame_buf_, sim::CommPlane::XY);
+    if (!is_root)
+      for (std::size_t w = 0; w < total_words; ++w)
+        bits[w] = std::bit_cast<std::uint64_t>(frame_buf_[w]);
+    std::size_t packed_scalars = 0, absent_entries = 0;
+    for (StashEntry& e : entries) {
+      const auto elems =
+          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+      std::size_t n_present = 0;
+      for (std::size_t w = 0; w < bitmap_words(elems); ++w)
+        n_present += static_cast<std::size_t>(std::popcount(bits[e.bits_off + w]));
+      e.packed = n_present;
+      packed_scalars += n_present;
+      if (n_present == 0) ++absent_entries;
+    }
+    // A single-member comm broadcasts nothing (the role's data stays
+    // local), so there is no wire volume to save — don't book any.
+    if (is_root && comm.size() > 1) {
+      sim::RankStats& st = comm.stats();
+      st.panel_dense_bytes +=
+          static_cast<offset_t>(dense_scalars * sizeof(real_t));
+      st.panel_saved_bytes +=
+          static_cast<offset_t>(dense_scalars * sizeof(real_t)) -
+          static_cast<offset_t>((packed_scalars + total_words) * sizeof(real_t));
+      st.panel_saved_msgs += static_cast<offset_t>(absent_entries);
+    }
+    if (prune_absent)
+      std::erase_if(entries, [](const StashEntry& e) { return e.packed == 0; });
+    else
+      for (const StashEntry& e : entries)
+        if (e.packed == 0)
+          std::fill_n(stash.storage.data() + e.offset,
+                      static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns),
+                      0.0);
+  }
+
+  /// Packs the present scalars of `src` (per the bitmap at `bits_off`) into
+  /// the head of `dst`. The caller (a role root) computed the bitmap from
+  /// the same payload, so exactly `packed` scalars are written.
+  static void pack_present(std::span<const real_t> src,
+                           const std::vector<std::uint64_t>& bits,
+                           std::size_t bits_off, real_t* dst) {
+    std::size_t p = 0;
+    for (std::size_t i = 0; i < src.size(); ++i)
+      if ((bits[bits_off + i / 64] >> (i % 64)) & 1) dst[p++] = src[i];
+  }
+
+  /// Expands a packed entry in place: the `packed` present scalars at the
+  /// head of the entry's storage region move backward to their dense
+  /// positions, absent positions zero-filled. In place is safe because the
+  /// packed read index never exceeds the dense write index.
+  void expand_entry(PanelStash& stash, const StashEntry& e,
+                    const std::vector<std::uint64_t>& bits, index_t ns) const {
+    const auto elems =
+        static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+    real_t* buf = stash.storage.data() + e.offset;
+    std::size_t p = e.packed;
+    for (std::size_t d = elems; d-- > 0;)
+      buf[d] = ((bits[e.bits_off + d / 64] >> (d % 64)) & 1) ? buf[--p] : 0.0;
+  }
 
  private:
-  /// Claims a free stash slot (at most lookahead+1 are ever live, so the
-  /// linear scans here are trivial).
+  /// Claims a free stash slot. The pool invariant — at most lookahead+1
+  /// slots live at once, and never two slots for the same supernode (the
+  /// per-supernode tags would alias their broadcasts) — is what makes the
+  /// linear scans here and in stash_find sound; both halves are checked.
   PanelStash& stash_alloc(int k) {
-    for (PanelStash& s : stash_)
+    PanelStash* free_slot = nullptr;
+    int live = 0;
+    for (PanelStash& s : stash_) {
+      SLU3D_CHECK(s.k != k,
+                  "stash slot for this supernode is already live (its panel "
+                  "tags would alias)");
       if (s.k < 0) {
-        s.k = k;
-        return s;
+        if (free_slot == nullptr) free_slot = &s;
+      } else {
+        ++live;
       }
-    stash_.emplace_back();
-    stash_.back().k = k;
-    return stash_.back();
+    }
+    SLU3D_CHECK(live <= opt_.lookahead,
+                "stash pool exceeds lookahead+1 live slots");
+    if (free_slot == nullptr) {
+      stash_.emplace_back();
+      free_slot = &stash_.back();
+    }
+    free_slot->k = k;
+    return *free_slot;
   }
 
   PanelStash* stash_find(int k) {
@@ -165,7 +327,8 @@ class PanelEngine {
     // travels along a process column (the variant decides which one and
     // how). Empty (ragged) blocks are skipped outright instead of
     // broadcasting 0-byte payloads. First lay out the flat stash storage —
-    // spans handed to ibcast must stay put — then post the broadcasts.
+    // spans handed to ibcast must stay put, and the dense offsets double as
+    // the expansion targets in sparse mode — then post the broadcasts.
     const auto panel = bs_.lpanel(k);
     std::size_t total = 0;
     for (int pi = 0; pi < static_cast<int>(panel.size()); ++pi) {
@@ -187,32 +350,68 @@ class PanelEngine {
     stash.storage.resize(total, 0.0);
 
     // Row role: root is the owning process column's representative; the
-    // payload is the owner's L block. Identical for both variants.
+    // payload is the owner's L block. Identical for both variants. In
+    // sparse mode the presence frame travels first (blocking, so packed
+    // lengths are known before any data posts); the asymmetric variant
+    // prunes all-zero entries outright, the symmetric one keeps them for
+    // its relay bookkeeping and merely elides their data messages.
     const int pyk = k % g_.Py();
     const bool in_pcol = g_.py() == pyk;
-    for (const StashEntry& e : stash.row_entries) {
+    const bool sparse = sparse_packing();
+    if (sparse)
+      exchange_presence_frame(
+          g_.row(), pyk, tag(k, kRowFrameOp), stash, stash.row_entries,
+          stash.row_bits, in_pcol, ns,
+          [&](const StashEntry& e) {
+            return Policy::row_payload(
+                F_, k, panel[static_cast<std::size_t>(e.panel_idx)].snode);
+          },
+          /*prune_absent=*/!Policy::kSymmetric);
+    for (int i = 0; i < static_cast<int>(stash.row_entries.size()); ++i) {
+      const StashEntry& e = stash.row_entries[static_cast<std::size_t>(i)];
       const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
-      const std::span<real_t> buf{
-          stash.storage.data() + e.offset,
-          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns)};
+      const auto dense_elems =
+          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+      const std::size_t wire = sparse ? e.packed : dense_elems;
+      if (wire == 0) continue;  // all-zero sparse entry: no data message
+      const std::span<real_t> buf{stash.storage.data() + e.offset, wire};
       if (in_pcol) {
         const std::span<const real_t> src =
             Policy::row_payload(F_, k, blk.snode);
-        SLU3D_CHECK(src.size() == buf.size(), "owner missing L block");
-        std::copy(src.begin(), src.end(), buf.begin());
+        SLU3D_CHECK(src.size() == dense_elems, "owner missing L block");
+        if (sparse)
+          pack_present(src, stash.row_bits, e.bits_off, buf.data());
+        else
+          std::copy(src.begin(), src.end(), buf.begin());
       }
-      if (opt_.async)
+      if (opt_.async) {
         stash.ops.push_back({g_.row().ibcast(pyk, tag(k, Policy::kRowPanelOp),
                                              buf, sim::CommPlane::XY),
                              -1, 0, 0, 0});
-      else
+        if (sparse) {
+          if (in_pcol) {
+            // ibcast snapshots the root's payload at post time, so the
+            // packed prefix can be expanded back to dense right away —
+            // which is what keeps the symmetric relay copies (which read
+            // row-role regions during post_col_entries) dense-only.
+            expand_entry(stash, e, stash.row_bits, ns);
+          } else {
+            stash.ops.back().exp_role = 0;
+            stash.ops.back().exp_idx = i;
+          }
+        }
+      } else {
         g_.row().bcast(pyk, tag(k, Policy::kRowPanelOp), buf,
                        sim::CommPlane::XY);
+        if (sparse) expand_entry(stash, e, stash.row_bits, ns);
+      }
     }
 
     // Column role: LU broadcasts the owner's U blocks down the diagonal
-    // owner's process column; the symmetric variant relays the transposed
-    // L payload through the (a%Px, a%Py) rank, possibly deferred.
+    // owner's process column (packed the same way in sparse mode); the
+    // symmetric variant relays the transposed L payload through the
+    // (a%Px, a%Py) rank, possibly deferred — always dense, because the
+    // relay's presence bits live on ranks outside the broadcast column.
     Policy::post_col_entries(*this, stash, k, ns);
   }
 
@@ -225,12 +424,21 @@ class PanelEngine {
     // Drain the outstanding broadcasts only now, in post order: every
     // update between the panel's post and this point has overlapped the
     // transfer. Deferred relay roots forward as soon as their row-role
-    // payload (an earlier op) is in; the root post forwards to the column
-    // subtree immediately and completes.
+    // payload (an earlier op, expanded right at its wait in sparse mode)
+    // is in; the root post forwards to the column subtree immediately and
+    // completes.
     const auto panel = bs_.lpanel(k);
     for (PanelAsyncOp& op : stash->ops) {
       if (op.relay_pi < 0) {
         op.req.wait();
+        if (op.exp_role == 0)
+          expand_entry(*stash,
+                       stash->row_entries[static_cast<std::size_t>(op.exp_idx)],
+                       stash->row_bits, ns);
+        else if (op.exp_role == 1)
+          expand_entry(*stash,
+                       stash->col_entries[static_cast<std::size_t>(op.exp_idx)],
+                       stash->col_bits, ns);
         continue;
       }
       std::copy_n(stash->storage.data() + op.row_off, op.elems,
@@ -265,6 +473,8 @@ class PanelEngine {
     stash->storage = std::vector<real_t>{};
     stash->row_entries.clear();
     stash->col_entries.clear();
+    stash->row_bits.clear();
+    stash->col_bits.clear();
     stash->k = -1;
   }
 
@@ -274,6 +484,7 @@ class PanelEngine {
   PanelOptions opt_;
   std::vector<PanelStash> stash_;  ///< slot pool, <= lookahead+1 live slots
   std::vector<real_t> diag_buf_;   ///< reusable diagonal broadcast buffer
+  std::vector<real_t> frame_buf_;  ///< reusable presence-frame wire buffer
 };
 
 }  // namespace slu3d::pipeline

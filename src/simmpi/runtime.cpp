@@ -91,6 +91,29 @@ class Context {
     mb.cv.notify_all();
   }
 
+  /// Reserves the next push slot of `key` at the destination *now*, for a
+  /// delivery that will be executed later. An ibcast forwards to its tree
+  /// children only when the parent payload is waited on, and two in-flight
+  /// ibcasts on the same (root, tag) may be waited in either order — the
+  /// slot reserved at post time keeps the downstream match in post order
+  /// (MPI's non-overtaking rule), so equal-tag broadcasts never alias.
+  std::uint64_t acquire_push_slot(int dst_world, const MsgKey& key) {
+    Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
+    const std::lock_guard<std::mutex> lock(mb.mu);
+    return mb.queues[key].next_push++;
+  }
+
+  /// Second half of acquire_push_slot: lands the envelope in its slot.
+  void deliver_at(int dst_world, const MsgKey& key, std::uint64_t slot,
+                  Envelope env) {
+    Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
+    {
+      const std::lock_guard<std::mutex> lock(mb.mu);
+      mb.queues[key].ready.emplace(slot, std::move(env));
+    }
+    mb.cv.notify_all();
+  }
+
   /// Blocks until the envelope matching `ticket` has been delivered.
   Envelope take_ticket(int dst_world, const MsgKey& key, std::uint64_t ticket) {
     Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
@@ -179,6 +202,10 @@ struct RequestState {
   std::vector<real_t> payload;    ///< irecv result, moved out by take()
   std::span<real_t> buf{};        ///< ibcast destination
   std::vector<int> child_worlds;  ///< ibcast subtree, fed on completion
+  /// Push slots at each child, reserved at post time so a forward executed
+  /// at wait time still matches downstream in post order (no equal-tag
+  /// aliasing between in-flight broadcasts).
+  std::vector<std::uint64_t> child_slots;
 
   RankStats& st() { return ctx->stats[static_cast<std::size_t>(me_world)]; }
 
@@ -192,7 +219,8 @@ struct RequestState {
     if (child_worlds.empty()) return;
     auto& s = st();
     const offset_t bytes = payload_bytes(buf.size());
-    for (const int dst : child_worlds) {
+    for (std::size_t c = 0; c < child_worlds.size(); ++c) {
+      const int dst = child_worlds[c];
       const double start = std::max(fb, ctx->net_busy[static_cast<std::size_t>(me_world)]);
       const double arrival = start + ctx->model.message_time(bytes);
       ctx->net_busy[static_cast<std::size_t>(me_world)] = arrival;
@@ -202,8 +230,8 @@ struct RequestState {
                              ComputeKind::Other});
       s.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
       s.messages_sent[static_cast<std::size_t>(plane)] += 1;
-      ctx->deliver(dst, {comm_id, me_world, ftag},
-                   {std::vector<real_t>(buf.begin(), buf.end()), arrival});
+      ctx->deliver_at(dst, {comm_id, me_world, ftag}, child_slots[c],
+                      {std::vector<real_t>(buf.begin(), buf.end()), arrival});
     }
   }
 
@@ -533,6 +561,11 @@ Request Comm::ibcast(int root, int tag, std::span<real_t> buf, CommPlane plane) 
     if (vrank + m < p)
       state->child_worlds.push_back(
           members_[static_cast<std::size_t>(((vrank + m) + root) % p)]);
+  // Reserve each child's matching slot now: forwards may execute at wait
+  // time, out of post order across equal-tag broadcasts.
+  for (const int dst : state->child_worlds)
+    state->child_slots.push_back(
+        ctx_->acquire_push_slot(dst, {comm_id_, me, state->ftag}));
   if (vrank == 0) {
     state->forward_children(state->post_clock);
     state->completed = true;
@@ -733,6 +766,24 @@ offset_t RunResult::total_zred_blocks_skipped() const {
 offset_t RunResult::total_zred_blocks_total() const {
   offset_t total = 0;
   for (const auto& r : ranks) total += r.zred_blocks_total;
+  return total;
+}
+
+offset_t RunResult::total_panel_dense_bytes() const {
+  offset_t total = 0;
+  for (const auto& r : ranks) total += r.panel_dense_bytes;
+  return total;
+}
+
+offset_t RunResult::total_panel_saved_bytes() const {
+  offset_t total = 0;
+  for (const auto& r : ranks) total += r.panel_saved_bytes;
+  return total;
+}
+
+offset_t RunResult::total_panel_saved_msgs() const {
+  offset_t total = 0;
+  for (const auto& r : ranks) total += r.panel_saved_msgs;
   return total;
 }
 

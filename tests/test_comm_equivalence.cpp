@@ -1,0 +1,447 @@
+// Communication-schedule equivalence harness. The pipeline engines now have
+// three orthogonal schedule/wire knobs per plane — blocking vs async,
+// PanelPacking (XY panel broadcasts), ZRedPacking + chunking (Z ancestor
+// reduction) — and every combination must factor to the *same numbers* as
+// the dense/blocking baseline while never moving more bytes on either
+// plane. This file sweeps variant x grid shape x lookahead x packing x
+// chunking and asserts exactly that, subsuming the one-off pins that
+// test_pipeline.cpp accumulated per PR:
+//  - factors compare equal entry-for-entry against a *Z-schedule-matched*
+//    dense reference (operator==, so the +-0.0 produced by skipping an
+//    all-zero Schur contribution is equal to the -0.0 the dense GEMM would
+//    have added). Wire-format packing and the 2D panel schedule (lookahead,
+//    blocking vs async broadcasts) never change the numbers; the Z *drain*
+//    schedule (async z-reduction x chunk_snodes) legitimately does, because
+//    it interleaves the z-axis additions with local Schur updates in a
+//    different order — so each sweep point is compared against the dense
+//    run with the same (z-async, chunk) signature,
+//  - XY received volume is monotonically non-increasing vs. the baseline:
+//    exactly equal for dense panel packing (async/blocking share the same
+//    binomial trees), strictly smaller under sparse panel packing,
+//  - Z received volume reconciles exactly against the zred_saved counter
+//    (which nets out the bitmap-frame overhead and is allowed to go
+//    slightly negative on mostly-dense reduction levels),
+//  - the RankStats/RunResult savings counters agree with which packing ran.
+// It also pins the seed golden fig9 counters under an *explicitly* Dense
+// panel packing (the default must stay Dense — enforced at compile time),
+// and the fig10 acceptance bar: >= 15% of the panel-broadcast payload
+// eliminated on a K2D5pt-class matrix at Pz = 4.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "lu3d/factor3d.hpp"
+#include "lu3d/factor3d_chol.hpp"
+#include "order/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+
+namespace slu3d {
+namespace {
+
+using sim::CommPlane;
+using sim::MachineModel;
+using sim::ProcessGrid3D;
+using sim::RunResult;
+using sim::run_ranks;
+
+const MachineModel kModel{};
+
+struct Problem {
+  BlockStructure bs;
+  CsrMatrix Ap;
+};
+
+Problem fig9_problem(bool planar) {
+  if (planar) {
+    const GridGeometry g{48, 48, 1};
+    const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+    const SeparatorTree tree = geometric_nd(g, {.leaf_size = 16});
+    return {BlockStructure(A, tree), A.permuted_symmetric(tree.perm())};
+  }
+  const GridGeometry g{12, 12, 12};
+  const CsrMatrix A = grid3d_laplacian(g, Stencil3D::SevenPoint);
+  const SeparatorTree tree = geometric_nd(g, {.leaf_size = 24});
+  return {BlockStructure(A, tree), A.permuted_symmetric(tree.perm())};
+}
+
+/// One point of the sweep: every schedule/wire knob of both planes.
+struct Knobs {
+  const char* name;
+  int lookahead;
+  bool async;
+  pipeline::PanelPacking panel;
+  pipeline::ZRedPacking zred;
+  int chunk;
+};
+
+/// The reference every sweep point is compared against: blocking schedule,
+/// dense wire format on both planes.
+constexpr Knobs kBaseline{"blocking_dense_la8", 8, false,
+                          pipeline::PanelPacking::Dense,
+                          pipeline::ZRedPacking::Dense, 1};
+
+constexpr Knobs kSweep[] = {
+    {"async_dense_la8", 8, true, pipeline::PanelPacking::Dense,
+     pipeline::ZRedPacking::Dense, 1},
+    {"async_dense_la0", 0, true, pipeline::PanelPacking::Dense,
+     pipeline::ZRedPacking::Dense, 1},
+    {"async_sparsepanel_la0", 0, true, pipeline::PanelPacking::Sparse,
+     pipeline::ZRedPacking::Dense, 1},
+    {"async_sparsepanel_la8", 8, true, pipeline::PanelPacking::Sparse,
+     pipeline::ZRedPacking::Dense, 1},
+    {"blocking_sparsepanel_la8", 8, false, pipeline::PanelPacking::Sparse,
+     pipeline::ZRedPacking::Dense, 1},
+    {"async_sparsezred_chunk2_la8", 8, true, pipeline::PanelPacking::Dense,
+     pipeline::ZRedPacking::Sparse, 2},
+    {"async_allsparse_chunk3_la8", 8, true, pipeline::PanelPacking::Sparse,
+     pipeline::ZRedPacking::Sparse, 3},
+};
+
+Lu3dOptions lu_options(const Knobs& k) {
+  Lu3dOptions o;
+  o.lu2d.lookahead = k.lookahead;
+  o.lu2d.async = k.async;
+  o.lu2d.packing = k.panel;
+  o.async = k.async;
+  o.packing = k.zred;
+  o.chunk_snodes = k.chunk;
+  return o;
+}
+
+Chol3dOptions chol_options(const Knobs& k) {
+  Chol3dOptions o;
+  o.chol2d.lookahead = k.lookahead;
+  o.chol2d.async = k.async;
+  o.chol2d.packing = k.panel;
+  o.async = k.async;
+  o.packing = k.zred;
+  o.chunk_snodes = k.chunk;
+  return o;
+}
+
+struct LuRun {
+  SupernodalMatrix F;
+  RunResult res;
+};
+
+/// `gather` pulls the factors back to rank 0 *inside* the simulated run, so
+/// the gather traffic is part of the counters. It is identical across all
+/// sweep points of one problem/shape (the factors are identical), so it
+/// cancels out of every relative comparison — but the seed golden counters
+/// were pinned without it, so the golden pin runs with gather = false.
+LuRun run_lu(const Problem& p, int Px, int Py, int Pz, const Knobs& k,
+             bool gather = true) {
+  const ForestPartition part(p.bs, Pz);
+  LuRun out{SupernodalMatrix(p.bs), {}};
+  std::mutex mu;
+  const Lu3dOptions opt = lu_options(k);
+  out.res = run_ranks(Px * Py * Pz, kModel, [&](sim::Comm& world) {
+    auto grid = ProcessGrid3D::create(world, Px, Py, Pz);
+    Dist2dFactors F = make_3d_factors(p.bs, grid, part, p.Ap);
+    factorize_3d(F, grid, part, opt);
+    if (!gather) return;
+    auto full = gather_3d_to_root(F, world, grid, part);
+    if (full.has_value()) {
+      const std::lock_guard<std::mutex> lock(mu);
+      out.F = std::move(*full);
+    }
+  });
+  return out;
+}
+
+struct CholRun {
+  CholeskyFactors F;
+  RunResult res;
+};
+
+CholRun run_chol(const Problem& p, int Px, int Py, int Pz, const Knobs& k,
+                 bool gather = true) {
+  const ForestPartition part(p.bs, Pz);
+  CholRun out{CholeskyFactors(p.bs), {}};
+  std::mutex mu;
+  const Chol3dOptions opt = chol_options(k);
+  out.res = run_ranks(Px * Py * Pz, kModel, [&](sim::Comm& world) {
+    auto grid = ProcessGrid3D::create(world, Px, Py, Pz);
+    DistCholFactors F = make_3d_chol_factors(p.bs, grid, part, p.Ap);
+    factorize_3d_cholesky(F, grid, part, opt);
+    if (!gather) return;
+    auto full = gather_3d_cholesky(F, world, grid, part);
+    if (full.has_value()) {
+      const std::lock_guard<std::mutex> lock(mu);
+      out.F = std::move(*full);
+    }
+  });
+  return out;
+}
+
+/// Counts elementwise (operator==) mismatches between two factor storages,
+/// remembering the first for the failure message. Whole-storage compare is
+/// O(nnz), cheap enough to run the full sweep under the sanitizers.
+struct Mismatch {
+  std::size_t count = 0;
+  std::string first;
+
+  void compare(std::span<const real_t> a, std::span<const real_t> b,
+               const char* what, int s) {
+    if (a.size() != b.size()) {
+      ++count;
+      if (first.empty())
+        first = std::string(what) + " snode " + std::to_string(s) +
+                ": size mismatch";
+      return;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a[i] != b[i]) {
+        ++count;
+        if (first.empty())
+          first = std::string(what) + " snode " + std::to_string(s) + " idx " +
+                  std::to_string(i) + ": " + std::to_string(a[i]) +
+                  " != " + std::to_string(b[i]);
+      }
+  }
+};
+
+void expect_factors_equal(const SupernodalMatrix& a, const SupernodalMatrix& b) {
+  Mismatch mm;
+  for (int s = 0; s < a.structure().n_snodes(); ++s) {
+    mm.compare(a.diag(s), b.diag(s), "diag", s);
+    mm.compare(a.lpanel(s), b.lpanel(s), "L", s);
+    mm.compare(a.upanel(s), b.upanel(s), "U", s);
+  }
+  EXPECT_EQ(mm.count, 0u) << "first mismatch: " << mm.first;
+}
+
+void expect_factors_equal(const CholeskyFactors& a, const CholeskyFactors& b) {
+  Mismatch mm;
+  for (int s = 0; s < a.structure().n_snodes(); ++s) {
+    mm.compare(a.diag(s), b.diag(s), "diag", s);
+    mm.compare(a.lpanel(s), b.lpanel(s), "L", s);
+  }
+  EXPECT_EQ(mm.count, 0u) << "first mismatch: " << mm.first;
+}
+
+struct PlaneTotals {
+  offset_t bytes[2] = {0, 0};
+  offset_t msgs[2] = {0, 0};
+};
+
+PlaneTotals plane_totals(const RunResult& res) {
+  PlaneTotals t;
+  for (const auto& r : res.ranks)
+    for (std::size_t pl = 0; pl < 2; ++pl) {
+      t.bytes[pl] += r.bytes_received[pl];
+      t.msgs[pl] += r.messages_received[pl];
+    }
+  return t;
+}
+
+/// The per-sweep-point assertions shared by both variants.
+void check_against_baseline(const Knobs& k, int Pz, const RunResult& base,
+                            const RunResult& v) {
+  const PlaneTotals bt = plane_totals(base);
+  const PlaneTotals vt = plane_totals(v);
+  // XY is monotone non-increasing: no combination may move more panel
+  // bytes than the baseline.
+  EXPECT_LE(vt.bytes[0], bt.bytes[0]) << "XY volume regressed";
+  // Z is exact-accounted: the zred_saved counter reconciles the sparse
+  // volume to the dense one to the byte (and may be slightly *negative* on
+  // problems whose reduction levels are mostly dense — the per-chunk
+  // bitmap overhead is included in the counter by design, so the identity
+  // is the invariant, not strict shrinkage).
+  EXPECT_EQ(vt.bytes[1] + v.total_zred_bytes_saved(), bt.bytes[1])
+      << "Z volume not reconciled by zred_saved";
+  if (k.panel == pipeline::PanelPacking::Dense) {
+    // Dense XY wire format is schedule-invariant: async/blocking and any
+    // lookahead share the same binomial trees, byte for byte.
+    EXPECT_EQ(vt.bytes[0], bt.bytes[0]);
+    EXPECT_EQ(vt.msgs[0], bt.msgs[0]);
+    EXPECT_EQ(v.total_panel_dense_bytes(), 0);
+    EXPECT_EQ(v.total_panel_saved_bytes(), 0);
+    EXPECT_EQ(v.total_panel_saved_msgs(), 0);
+  } else {
+    // Ragged ancestor panels are 10-25% zero scalars on the fig9 problems,
+    // well above the 1/64 bitmap-frame overhead: strict XY win.
+    EXPECT_LT(vt.bytes[0], bt.bytes[0]);
+    EXPECT_GT(v.total_panel_dense_bytes(), 0);
+    EXPECT_GT(v.total_panel_saved_bytes(), 0);
+    EXPECT_LT(v.total_panel_saved_bytes(), v.total_panel_dense_bytes());
+  }
+  if (k.zred == pipeline::ZRedPacking::Dense) {
+    EXPECT_EQ(v.total_zred_bytes_saved(), 0);
+    EXPECT_EQ(v.total_zred_blocks_total(), 0);
+  } else if (Pz > 1) {
+    EXPECT_GT(v.total_zred_blocks_total(), 0);  // the packer engaged
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The sweep: every knob combination on every fig9 grid shape, both variants.
+// ---------------------------------------------------------------------------
+
+struct ShapeCase {
+  const char* cls;
+  int Px, Py, Pz;
+};
+
+constexpr ShapeCase kShapes[] = {
+    {"planar", 4, 4, 1},    {"planar", 2, 4, 2}, {"planar", 2, 2, 4},
+    {"planar", 1, 2, 8},    {"nonplanar", 2, 2, 4},
+};
+
+/// Reference knobs for factor comparison: dense wire format on both planes
+/// with the sweep point's Z drain schedule (z-async, chunk). Everything a
+/// sweep point changes on top of its reference — panel packing, zred
+/// packing, lookahead, 2D blocking vs async — must be bitwise-neutral.
+constexpr Knobs factor_reference(const Knobs& k) {
+  return {"dense_reference", 8, k.async, pipeline::PanelPacking::Dense,
+          pipeline::ZRedPacking::Dense, k.chunk};
+}
+
+constexpr bool same_zsig(const Knobs& a, const Knobs& b) {
+  return a.async == b.async && a.chunk == b.chunk;
+}
+
+class CommEquivalence : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(CommEquivalence, LuFactorsEqualAndVolumesMonotone) {
+  const ShapeCase& c = GetParam();
+  const Problem p = fig9_problem(std::string(c.cls) == "planar");
+  const LuRun base = run_lu(p, c.Px, c.Py, c.Pz, kBaseline);
+  for (const Knobs& k : kSweep) {
+    SCOPED_TRACE(k.name);
+    const LuRun v = run_lu(p, c.Px, c.Py, c.Pz, k);
+    const Knobs ref = factor_reference(k);
+    const LuRun& r = same_zsig(k, kBaseline)
+                         ? base
+                         : run_lu(p, c.Px, c.Py, c.Pz, ref);
+    expect_factors_equal(r.F, v.F);
+    check_against_baseline(k, c.Pz, base.res, v.res);
+  }
+}
+
+TEST_P(CommEquivalence, CholFactorsEqualAndVolumesMonotone) {
+  const ShapeCase& c = GetParam();
+  const Problem p = fig9_problem(std::string(c.cls) == "planar");
+  const CholRun base = run_chol(p, c.Px, c.Py, c.Pz, kBaseline);
+  for (const Knobs& k : kSweep) {
+    SCOPED_TRACE(k.name);
+    const CholRun v = run_chol(p, c.Px, c.Py, c.Pz, k);
+    const Knobs ref = factor_reference(k);
+    const CholRun& r = same_zsig(k, kBaseline)
+                           ? base
+                           : run_chol(p, c.Px, c.Py, c.Pz, ref);
+    expect_factors_equal(r.F, v.F);
+    check_against_baseline(k, c.Pz, base.res, v.res);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig9Shapes, CommEquivalence, ::testing::ValuesIn(kShapes),
+    [](const auto& pi) {
+      return std::string(pi.param.cls) + "_" + std::to_string(pi.param.Px) +
+             "x" + std::to_string(pi.param.Py) + "x" +
+             std::to_string(pi.param.Pz);
+    });
+
+// ---------------------------------------------------------------------------
+// Seed golden pin: dense packing must stay the default, and an explicitly
+// Dense run must reproduce the seed fig9 counters bit for bit. (The full
+// default-options table lives in test_pipeline.cpp; this re-pins the same
+// seed numbers through the new packing knob, so a change to the Dense wire
+// format and a change of the default are caught separately.)
+// ---------------------------------------------------------------------------
+
+static_assert(pipeline::PanelOptions{}.packing == pipeline::PanelPacking::Dense,
+              "dense panel packing must remain the default");
+static_assert(pipeline::ZRedOptions{}.packing == pipeline::ZRedPacking::Dense,
+              "dense z-reduction packing must remain the default");
+
+TEST(DensePackingGolden, ExplicitDenseReproducesSeedFig9Counters) {
+  const Problem p = fig9_problem(true);
+  Knobs k = kBaseline;
+  k.name = "explicit_dense";
+  k.async = true;  // seed counters were pinned with the async default
+  // gather = false: the seed table in test_pipeline.cpp measures the
+  // factorization only, without the gather-to-root traffic.
+  {
+    const LuRun r = run_lu(p, 4, 4, 1, k, /*gather=*/false);
+    const PlaneTotals t = plane_totals(r.res);
+    EXPECT_EQ(t.bytes[0], 3369936);  // seed value, tests/test_pipeline.cpp
+    EXPECT_EQ(t.msgs[0], 6840);
+    const CholRun c = run_chol(p, 4, 4, 1, k, /*gather=*/false);
+    const PlaneTotals ct = plane_totals(c.res);
+    EXPECT_EQ(ct.bytes[0], 2753712);
+    EXPECT_EQ(ct.msgs[0], 6069);
+  }
+  {
+    const LuRun r = run_lu(p, 2, 2, 4, k, /*gather=*/false);
+    const PlaneTotals t = plane_totals(r.res);
+    EXPECT_EQ(t.bytes[0], 1123312);
+    EXPECT_EQ(t.bytes[1], 100232);
+    const CholRun c = run_chol(p, 2, 2, 4, k, /*gather=*/false);
+    const PlaneTotals ct = plane_totals(c.res);
+    EXPECT_EQ(ct.bytes[0], 917904);
+    EXPECT_EQ(ct.bytes[1], 50880);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The fig10 acceptance bar: on a K2D5pt-class matrix (fig10's planar
+// family: five-point grid Laplacian, leaf 32, geometric ND) at Pz = 4,
+// sparse panel packing must eliminate at least 15% of the dense-equivalent
+// panel-broadcast payload, and the saving must show up both in the
+// RunResult aggregates and in the XY totals.
+// ---------------------------------------------------------------------------
+
+TEST(CommEquivalence, Fig10ClassPanelSavingsAtLeast15Percent) {
+  const GridGeometry g{64, 64, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = geometric_nd(g, {.leaf_size = 32});
+  const Problem p{BlockStructure(A, tree), A.permuted_symmetric(tree.perm())};
+
+  Knobs dense = kBaseline;
+  dense.name = "dense";
+  dense.async = true;
+  Knobs sparse = dense;
+  sparse.name = "sparsepanel";
+  sparse.panel = pipeline::PanelPacking::Sparse;
+
+  const LuRun rd = run_lu(p, 2, 2, 4, dense);
+  const LuRun rs = run_lu(p, 2, 2, 4, sparse);
+  expect_factors_equal(rd.F, rs.F);
+
+  const auto saved = rs.res.total_panel_saved_bytes();
+  const auto dense_eq = rs.res.total_panel_dense_bytes();
+  ASSERT_GT(dense_eq, 0);
+  const double ratio =
+      static_cast<double>(saved) / static_cast<double>(dense_eq);
+  EXPECT_GE(ratio, 0.15) << "panel payload saving " << ratio * 100 << "%";
+  EXPECT_LT(plane_totals(rs.res).bytes[0], plane_totals(rd.res).bytes[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Slot-pool validation: a lookahead beyond the stash pool bound is rejected
+// up front, at the shared validation point and through the 3D drivers.
+// ---------------------------------------------------------------------------
+
+TEST(PanelOptionsValidation, LookaheadBeyondSlotPoolBoundRejected) {
+  pipeline::PanelOptions po;
+  po.lookahead = pipeline::kMaxPanelLookahead;
+  EXPECT_NO_THROW(pipeline::validate_panel_options(po));
+  po.lookahead = pipeline::kMaxPanelLookahead + 1;
+  EXPECT_THROW(pipeline::validate_panel_options(po), Error);
+
+  const GridGeometry g{8, 8, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = geometric_nd(g, {.leaf_size = 8});
+  const Problem p{BlockStructure(A, tree), A.permuted_symmetric(tree.perm())};
+  Knobs k = kBaseline;
+  k.lookahead = pipeline::kMaxPanelLookahead + 1;
+  EXPECT_THROW(run_lu(p, 2, 2, 1, k), Error);
+  EXPECT_THROW(run_chol(p, 2, 2, 1, k), Error);
+}
+
+}  // namespace
+}  // namespace slu3d

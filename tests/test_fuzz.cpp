@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
+#include "lu3d/factor3d.hpp"
 #include "lu3d/solver3d.hpp"
 #include "numeric/seq_lu.hpp"
 #include "order/nested_dissection.hpp"
@@ -104,6 +106,145 @@ TEST_P(RandomPipelineFuzz, Distributed3dSolvesRandomSystem) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineFuzz, ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------------
+// Sparse panel packing under randomized sparsity patterns: every random
+// matrix/shape/lookahead draw must solve to the bit-identical answer with
+// PanelPacking::Sparse as with Dense — the wire format is not allowed to
+// touch the numbers, whatever presence pattern the panels happen to have.
+// ---------------------------------------------------------------------------
+
+class RandomPackingFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPackingFuzz, SparsePanelPackingSolvesBitIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 6271 + 31);
+  const index_t n = 40 + rng.next_index(80);
+  // Vary density across seeds: sparse path-like graphs up to near-dense
+  // blocks, so panels range from mostly-zero to fully populated.
+  const index_t extra = n / 2 + rng.next_index(3 * n);
+  const CsrMatrix A = random_matrix(n, extra, seed + 500, (seed % 3) == 0);
+
+  Solver3dOptions opt;
+  const int shapes[][3] = {{2, 2, 1}, {2, 1, 2}, {1, 2, 4}, {2, 2, 2},
+                           {1, 3, 2}, {2, 3, 1}};
+  const auto& s = shapes[seed % 6];
+  opt.Px = s[0];
+  opt.Py = s[1];
+  opt.Pz = s[2];
+  opt.nd.leaf_size = 4 + rng.next_index(10);
+  opt.lu3d.lu2d.lookahead = static_cast<int>(rng.next_index(12));
+  opt.lu3d.lu2d.async = (seed % 2) == 0;
+
+  const auto nu = static_cast<std::size_t>(n);
+  std::vector<real_t> xref(nu), b(nu), xd(nu), xs(nu);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+
+  opt.lu3d.lu2d.packing = pipeline::PanelPacking::Dense;
+  const auto repd = solve_distributed_3d(A, b, xd, opt);
+  opt.lu3d.lu2d.packing = pipeline::PanelPacking::Sparse;
+  const auto reps = solve_distributed_3d(A, b, xs, opt);
+
+  EXPECT_LT(repd.residual, 1e-11) << "seed " << seed;
+  EXPECT_LT(reps.residual, 1e-11) << "seed " << seed;
+  for (std::size_t i = 0; i < nu; ++i)
+    ASSERT_EQ(xd[i], xs[i]) << "seed " << seed << " i=" << i;
+  // Packing may only remove bytes from the XY factor volume, never add
+  // more than the 1/64 bitmap frames it sends.
+  EXPECT_LE(reps.w_fact, repd.w_fact + repd.w_fact / 32 + 64) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPackingFuzz, ::testing::Range(0, 12));
+
+TEST(Fuzz, FullyDensePanelsSurviveSparsePacking) {
+  // Near-dense matrix: presence bitmaps are (almost) all ones, the degenerate
+  // end of the packing format. Must stay bit-identical to the dense wire.
+  const index_t n = 36;
+  const CsrMatrix A = random_matrix(n, n * n, 4242, false);
+  const auto nu = static_cast<std::size_t>(n);
+  std::vector<real_t> b(nu, 1.0), xd(nu), xs(nu);
+  Solver3dOptions opt;
+  opt.Px = 2;
+  opt.Py = 2;
+  opt.Pz = 1;
+  opt.nd.leaf_size = 6;
+  opt.lu3d.lu2d.packing = pipeline::PanelPacking::Dense;
+  const auto repd = solve_distributed_3d(A, b, xd, opt);
+  opt.lu3d.lu2d.packing = pipeline::PanelPacking::Sparse;
+  const auto reps = solve_distributed_3d(A, b, xs, opt);
+  EXPECT_LT(repd.residual, 1e-12);
+  EXPECT_LT(reps.residual, 1e-12);
+  for (std::size_t i = 0; i < nu; ++i) ASSERT_EQ(xd[i], xs[i]) << "i=" << i;
+}
+
+TEST(Fuzz, AllZeroAncestorPanelsArePrunedWholesale) {
+  // Two path islands coupled to a bridge clique only through *explicit
+  // zeros*: the entries exist structurally (so the separator panels are
+  // allocated and broadcast) but every value in them is 0.0 for the whole
+  // factorization. Sparse packing must collapse those broadcasts to their
+  // presence frame — no data message at all (panel_saved_msgs counts them)
+  // — while the factors stay bit-identical to the dense wire.
+  const index_t m = 12, nb = 4;
+  const index_t n = 2 * m + nb;
+  CooMatrix coo(n, n);
+  auto path = [&](index_t base) {
+    for (index_t i = 0; i + 1 < m; ++i) {
+      coo.add(base + i, base + i + 1, -1.0);
+      coo.add(base + i + 1, base + i, -1.0);
+    }
+  };
+  path(0);
+  path(m);
+  for (index_t i = 0; i < nb; ++i)  // bridge clique, nonzero internally
+    for (index_t j = 0; j < nb; ++j)
+      if (i != j) coo.add(2 * m + i, 2 * m + j, -0.5);
+  for (index_t i = 0; i < m; i += 2)
+    for (index_t v = 0; v < nb; ++v) {  // island <-> bridge: explicit zeros
+      coo.add(i, 2 * m + v, 0.0);
+      coo.add(2 * m + v, i, 0.0);
+      coo.add(m + i, 2 * m + v, 0.0);
+      coo.add(2 * m + v, m + i, 0.0);
+    }
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 4.0);
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+  const SeparatorTree tree = nested_dissection(A, {.leaf_size = 4});
+  const BlockStructure bs(A, tree);
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  const ForestPartition part(bs, 1);
+
+  auto run = [&](pipeline::PanelPacking packing, SupernodalMatrix* out) {
+    Lu3dOptions o;
+    o.lu2d.packing = packing;
+    std::mutex mu;
+    return sim::run_ranks(4, sim::MachineModel{}, [&](sim::Comm& world) {
+      auto grid = sim::ProcessGrid3D::create(world, 2, 2, 1);
+      Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
+      factorize_3d(F, grid, part, o);
+      auto full = gather_3d_to_root(F, world, grid, part);
+      if (full.has_value()) {
+        const std::lock_guard<std::mutex> lock(mu);
+        *out = std::move(*full);
+      }
+    });
+  };
+  SupernodalMatrix fd(bs), fs(bs);
+  run(pipeline::PanelPacking::Dense, &fd);
+  const sim::RunResult rs = run(pipeline::PanelPacking::Sparse, &fs);
+
+  for (int s = 0; s < bs.n_snodes(); ++s) {
+    const auto a = fd.lpanel(s), b2 = fs.lpanel(s);
+    ASSERT_EQ(a.size(), b2.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      ASSERT_EQ(a[i], b2[i]) << "L snode " << s << " idx " << i;
+    const auto u = fd.upanel(s), u2 = fs.upanel(s);
+    for (std::size_t i = 0; i < u.size(); ++i)
+      ASSERT_EQ(u[i], u2[i]) << "U snode " << s << " idx " << i;
+  }
+  // The zero-coupled panels vanish from the wire entirely.
+  EXPECT_GT(rs.total_panel_saved_msgs(), 0);
+  EXPECT_GT(rs.total_panel_saved_bytes(), 0);
+}
 
 TEST(Fuzz, DenseLeafMatrixSingleSupernode) {
   // Matrix small enough to be one relaxed leaf: the whole pipeline

@@ -355,6 +355,32 @@ TEST(NonBlocking, IbcastMatchesBcastCountersAndOverlaps) {
   EXPECT_LT(async.max_clock(), blocking.max_clock());
 }
 
+TEST(NonBlocking, EqualTagIbcastsInFlightNeverAlias) {
+  // The panel pipeline's lookahead window keeps several supernode
+  // broadcasts in flight at once, and the per-supernode tag space wraps if
+  // two live supernodes ever share tag(k, op). This pins the runtime
+  // guarantee the stash relies on: two ibcasts posted on the SAME
+  // (root, tag) pair FIFO-match in post order — the first wait always
+  // receives the first payload, even when the waits are issued in reverse.
+  constexpr int kP = 4;
+  run_ranks(kP, kModel, [](Comm& world) {
+    std::vector<real_t> a(4), b(4);
+    if (world.rank() == 1) {
+      a = {10, 11, 12, 13};
+      b = {20, 21, 22, 23};
+    }
+    Request ra = world.ibcast(1, 7, a, CommPlane::XY);
+    Request rb = world.ibcast(1, 7, b, CommPlane::XY);
+    world.add_compute(1000, ComputeKind::Other);
+    rb.wait();  // reversed wait order must not swap the payloads
+    ra.wait();
+    EXPECT_DOUBLE_EQ(a[0], 10) << "rank " << world.rank();
+    EXPECT_DOUBLE_EQ(a[3], 13) << "rank " << world.rank();
+    EXPECT_DOUBLE_EQ(b[0], 20) << "rank " << world.rank();
+    EXPECT_DOUBLE_EQ(b[3], 23) << "rank " << world.rank();
+  });
+}
+
 TEST(NonBlocking, SymmetricExchangeWithReversedWaitsDoesNotDeadlock) {
   // Both ranks post their receive, send, compute, then wait their own
   // requests last — a schedule that deadlocks under rendezvous blocking
