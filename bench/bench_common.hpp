@@ -9,7 +9,9 @@
 //   memory  — numeric block bytes, total and max per rank.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "order/nested_dissection.hpp"
 #include "sparse/generators.hpp"
 #include "support/table.hpp"
+#include "threads/thread_pool.hpp"
 
 namespace slu3d::bench {
 
@@ -46,7 +49,28 @@ struct DistMetrics {
   offset_t panel_dense = 0;
   offset_t panel_saved_msgs = 0;
   offset_t xy_bytes_sent = 0;
+  /// Host wall-clock seconds of the whole run_ranks call and the per-rank
+  /// compute-thread count it ran with. Unlike every simulated counter
+  /// above (bitwise independent of threading), wall_s measures the real
+  /// machine — it is the column the thread-pool speedups show up in.
+  double wall_s = 0;
+  int threads = 1;
 };
+
+/// Parses `--threads N` / `--threads=N` from argv (0 = SLU3D_THREADS env or
+/// 1); every bench driver forwards the result into run_dist_lu / the
+/// kernel pools so speedup sweeps don't need env juggling.
+inline int bench_threads(int argc, char** argv) {
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--threads=", 10) == 0)
+      threads = std::atoi(a + 10);
+    else if (std::strcmp(a, "--threads") == 0 && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+  }
+  return threads;
+}
 
 /// Default Edison-like machine model shared by all benches.
 inline sim::MachineModel machine_model() { return sim::MachineModel{}; }
@@ -58,10 +82,12 @@ inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
                                PartitionStrategy strategy = PartitionStrategy::Greedy,
                                pipeline::ZRedPacking packing = pipeline::ZRedPacking::Dense,
                                pipeline::PanelPacking panel_packing =
-                                   pipeline::PanelPacking::Dense) {
+                                   pipeline::PanelPacking::Dense,
+                               int threads = 0) {
   const ForestPartition part(bs, Pz, strategy);
   const int P = Px * Py * Pz;
   std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
+  const auto wall0 = std::chrono::steady_clock::now();
   const sim::RunResult res =
       sim::run_ranks(P, machine_model(), [&](sim::Comm& world) {
         auto grid = sim::ProcessGrid3D::create(world, Px, Py, Pz);
@@ -70,11 +96,15 @@ inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
         Lu3dOptions opt;
         opt.lu2d.lookahead = lookahead;
         opt.lu2d.packing = panel_packing;
+        opt.lu2d.threads = threads;
         opt.packing = packing;
         factorize_3d(F, grid, part, opt);
       });
+  const auto wall1 = std::chrono::steady_clock::now();
 
   DistMetrics m;
+  m.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  m.threads = threads::resolve_threads(threads);
   m.time = res.max_clock();
   // Critical-path rank: the one with the largest final clock.
   const sim::RankStats* crit = &res.ranks.front();

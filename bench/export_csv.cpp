@@ -13,19 +13,22 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <string>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "numeric/dense_kernels.hpp"
+#include "numeric/kernel_scratch.hpp"
 #include "support/rng.hpp"
 
 namespace {
 
 using namespace slu3d;
 
-void export_fig9_fig10_fig11(const std::string& dir) {
+void export_fig9_fig10_fig11(const std::string& dir, int threads) {
   const auto suite = paper_test_suite(bench::bench_scale());
   std::ofstream f9(dir + "/fig9_normalized_time.csv");
-  f9 << "matrix,class,P,Pz,Px,Py,time_s,t_scu_s,t_comm_s\n";
+  f9 << "matrix,class,P,Pz,Px,Py,time_s,t_scu_s,t_comm_s,wall_s,threads\n";
   std::ofstream f10(dir + "/fig10_comm_volume.csv");
   f10 << "matrix,class,P,Pz,w_fact_bytes,w_red_bytes,panel_saved_bytes,"
          "panel_dense_bytes,panel_saved_msgs\n";
@@ -41,16 +44,21 @@ void export_fig9_fig10_fig11(const std::string& dir) {
       for (int Pz : {1, 2, 4, 8, 16}) {
         if (P % Pz != 0) continue;
         const auto [Px, Py] = bench::square_ish(P / Pz);
-        const auto m = bench::run_dist_lu(bs, Ap, Px, Py, Pz);
+        const auto m = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
+                                          PartitionStrategy::Greedy,
+                                          pipeline::ZRedPacking::Dense,
+                                          pipeline::PanelPacking::Dense,
+                                          threads);
         // Sparse-panel re-run for the Psaved columns (factors bitwise
         // unchanged; only the XY wire format differs).
         const auto pp = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
                                            PartitionStrategy::Greedy,
                                            pipeline::ZRedPacking::Dense,
-                                           pipeline::PanelPacking::Sparse);
+                                           pipeline::PanelPacking::Sparse,
+                                           threads);
         f9 << t.name << ',' << cls << ',' << P << ',' << Pz << ',' << Px
            << ',' << Py << ',' << m.time << ',' << m.t_scu << ',' << m.t_comm
-           << '\n';
+           << ',' << m.wall_s << ',' << m.threads << '\n';
         f10 << t.name << ',' << cls << ',' << P << ',' << Pz << ','
             << m.w_fact << ',' << m.w_red << ',' << pp.panel_saved << ','
             << pp.panel_dense << ',' << pp.panel_saved_msgs << '\n';
@@ -119,12 +127,18 @@ double measure_gflops(offset_t flops, const std::function<void()>& body) {
   return static_cast<double>(flops) / best / 1e9;
 }
 
-void export_kernel_benchmarks(const std::string& dir) {
+void export_kernel_benchmarks(const std::string& dir, int threads) {
+  // Thread count of the "blocked-tN" sweep: the explicit --threads value,
+  // else the acceptance configuration of 4 participants. Wall-clock
+  // speedup over "blocked" depends on the host actually having the cores
+  // (host_cores below records what this run had to work with).
+  const int tcount = threads > 0 ? threads : 4;
   std::ofstream out(dir + "/BENCH_kernels.json");
-  out << "{\n  \"unit\": \"GFLOP/s\",\n  \"kernels\": [";
+  out << "{\n  \"unit\": \"GFLOP/s\",\n  \"host_cores\": "
+      << std::thread::hardware_concurrency() << ",\n  \"kernels\": [";
   bool first = true;
-  auto emit = [&](const char* kernel, const char* variant, index_t n,
-                  double gflops) {
+  auto emit = [&](const std::string& kernel, const std::string& variant,
+                  index_t n, double gflops) {
     out << (first ? "" : ",") << "\n    {\"kernel\": \"" << kernel
         << "\", \"variant\": \"" << variant << "\", \"n\": " << n
         << ", \"gflops\": " << gflops << "}";
@@ -185,6 +199,26 @@ void export_kernel_benchmarks(const std::string& dir) {
            dense::ref::trsm_right_upper(n, m, a0.data(), n, br.data(), m);
          }));
   }
+  // Threaded GEMM sweep: same kernels through a ParallelKernels pool (the
+  // form the pipeline engines install per rank). Sizes start at 128 —
+  // below the m*n*k fan-out threshold the pool is bypassed by design.
+  {
+    dense::ParallelKernels pk(tcount);
+    const std::string variant = "blocked-t" + std::to_string(tcount);
+    for (index_t n : {128, 256, 384, 512}) {
+      const auto a = random_dominant_matrix(n, 4);
+      const auto b = random_dominant_matrix(n, 5);
+      std::vector<real_t> c(a.size(), 0.0);
+      const offset_t fl = dense::gemm_flops(n, n, n);
+      emit("gemm_minus", variant, n, measure_gflops(fl, [&] {
+             dense::gemm_minus(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+           }));
+      emit("gemm_minus_nt", variant, n, measure_gflops(fl, [&] {
+             dense::gemm_minus_nt(n, n, n, a.data(), n, b.data(), n, c.data(),
+                                  n);
+           }));
+    }
+  }
   out << "\n  ]\n}\n";
   std::cout << "wrote " << dir << "/BENCH_kernels.json\n";
 }
@@ -194,16 +228,22 @@ void export_kernel_benchmarks(const std::string& dir) {
 int main(int argc, char** argv) {
   bool kernels_only = false;
   std::string dir = "results";
+  const int threads = slu3d::bench::bench_threads(argc, argv);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--kernels-only") == 0)
+    if (std::strcmp(argv[i], "--kernels-only") == 0) {
       kernels_only = true;
-    else
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      // parsed by bench_threads
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      ++i;  // skip the value
+    } else {
       dir = argv[i];
+    }
   }
   std::filesystem::create_directories(dir);
-  export_kernel_benchmarks(dir);
+  export_kernel_benchmarks(dir, threads);
   if (!kernels_only) {
-    export_fig9_fig10_fig11(dir);
+    export_fig9_fig10_fig11(dir, threads);
     export_fig12(dir);
     std::cout << "CSV files written to " << dir
               << "; plot with tools/plot_results.py\n";

@@ -8,8 +8,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slu3d;
+  const int threads = bench::bench_threads(argc, argv);
   const auto suite = paper_test_suite(bench::bench_scale());
   const std::vector<int> machine_sizes{16, 64, 128};
   const std::vector<int> pz_values{1, 2, 4, 8, 16};
@@ -23,22 +24,31 @@ int main() {
               << ", n=" << t.A.n_rows() << ") ===\n";
     // Normalize everything to the 2D algorithm at P = 64 (the paper
     // normalizes to 2D SuperLU_DIST on 16 nodes).
-    const auto base_run = bench::run_dist_lu(bs, Ap, 8, 8, 1);
+    const auto base_run = bench::run_dist_lu(bs, Ap, 8, 8, 1, 8,
+                                             PartitionStrategy::Greedy,
+                                             pipeline::ZRedPacking::Dense,
+                                             pipeline::PanelPacking::Dense,
+                                             threads);
     const double baseline = base_run.time;
     // The Psaved column re-runs each point with PanelPacking::Sparse and
     // reports the fraction of XY panel-broadcast payload the presence
     // bitmaps eliminate (factors are bitwise unchanged).
     TextTable table({"P", "Pz", "PXY", "T/T2d", "T_scu/T2d", "T_comm/T2d",
-                     "speedup", "Psaved(%)"});
+                     "speedup", "Psaved(%)", "wall_s", "thr"});
     for (int P : machine_sizes) {
       for (int Pz : pz_values) {
         if (P % Pz != 0) continue;
         const auto [Px, Py] = bench::square_ish(P / Pz);
-        const auto m = bench::run_dist_lu(bs, Ap, Px, Py, Pz);
+        const auto m = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
+                                          PartitionStrategy::Greedy,
+                                          pipeline::ZRedPacking::Dense,
+                                          pipeline::PanelPacking::Dense,
+                                          threads);
         const auto pp = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
                                            PartitionStrategy::Greedy,
                                            pipeline::ZRedPacking::Dense,
-                                           pipeline::PanelPacking::Sparse);
+                                           pipeline::PanelPacking::Sparse,
+                                           threads);
         const double psaved =
             pp.panel_dense > 0
                 ? 100.0 * static_cast<double>(pp.panel_saved) /
@@ -50,7 +60,9 @@ int main() {
                        TextTable::num(m.t_scu / baseline),
                        TextTable::num(m.t_comm / baseline),
                        TextTable::num(baseline / m.time, 2),
-                       TextTable::num(psaved, 1)});
+                       TextTable::num(psaved, 1),
+                       TextTable::num(m.wall_s, 3),
+                       std::to_string(m.threads)});
       }
     }
     table.print(std::cout);

@@ -211,9 +211,10 @@ struct CholPanelPolicy {
                          std::span<real_t> scratch) {
     Factors& F = e.factors();
     const BlockStructure& bs = e.structure();
+    // Modelled flops are charged by the engine on the rank thread before
+    // the pairs fan out (schur_pair may run on a pool worker, which must
+    // not touch the simulator).
     dense::gemm_minus_nt(mi, mj, ns, ldata, mi, tdata, mj, scratch.data(), mi);
-    e.grid().grid().add_compute(dense::gemm_flops(mi, mj, ns),
-                                ComputeKind::SchurUpdate);
     if (bi.snode == bj.snode) {
       SLU3D_CHECK(F.has_diag(bi.snode), "Schur target diag not owned");
       auto d = F.diag(bi.snode);

@@ -13,6 +13,7 @@
 #include "numeric/schur.hpp"
 #include "pipeline/panel_pipeline.hpp"
 #include "support/check.hpp"
+#include "threads/thread_pool.hpp"
 
 namespace slu3d {
 
@@ -156,6 +157,18 @@ struct LuPanelPolicy {
       e.exchange_presence_frame(g.col(), pxk, e.tag(k, pipeline::kColFrameOp),
                                 stash, stash.col_entries, stash.col_bits,
                                 in_prow, ns, u_payload, /*prune_absent=*/true);
+    if (sparse && in_prow) {
+      // Pre-pack every surviving U payload in parallel (disjoint storage
+      // regions per entry); the post loop below then only posts.
+      threads::parallel_for(
+          static_cast<std::ptrdiff_t>(stash.col_entries.size()),
+          [&](std::ptrdiff_t t, int) {
+            const pipeline::StashEntry& en =
+                stash.col_entries[static_cast<std::size_t>(t)];
+            Engine::pack_present(u_payload(en), stash.col_bits, en.bits_off,
+                                 stash.storage.data() + en.offset);
+          });
+    }
     for (int i = 0; i < static_cast<int>(stash.col_entries.size()); ++i) {
       const pipeline::StashEntry& en =
           stash.col_entries[static_cast<std::size_t>(i)];
@@ -163,13 +176,10 @@ struct LuPanelPolicy {
           static_cast<std::size_t>(ns) * static_cast<std::size_t>(en.m);
       const std::size_t wire = sparse ? en.packed : dense_elems;
       const std::span<real_t> buf{stash.storage.data() + en.offset, wire};
-      if (in_prow) {
+      if (in_prow && !sparse) {
         const std::span<const real_t> src = u_payload(en);
         SLU3D_CHECK(src.size() == dense_elems, "owner U block size mismatch");
-        if (sparse)
-          Engine::pack_present(src, stash.col_bits, en.bits_off, buf.data());
-        else
-          std::copy(src.begin(), src.end(), buf.begin());
+        std::copy(src.begin(), src.end(), buf.begin());
       }
       if (e.options().async) {
         stash.ops.push_back(
@@ -203,9 +213,10 @@ struct LuPanelPolicy {
                          const real_t* ldata, const PanelBlock& bj, index_t mj,
                          const real_t* udata, index_t ns,
                          std::span<real_t> scratch) {
+    // Modelled flops are charged by the engine on the rank thread before
+    // the pairs fan out (schur_pair may run on a pool worker, which must
+    // not touch the simulator).
     dense::gemm_minus(mi, mj, ns, ldata, mi, udata, ns, scratch.data(), mi);
-    e.grid().grid().add_compute(dense::gemm_flops(mi, mj, ns),
-                                ComputeKind::SchurUpdate);
     scatter_local(e.factors(), e.structure(), bi.snode, bj.snode, bi.rows,
                   bj.rows, scratch);
   }

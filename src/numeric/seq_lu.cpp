@@ -1,21 +1,25 @@
 #include "numeric/seq_lu.hpp"
 
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "numeric/dense_kernels.hpp"
 #include "numeric/kernel_scratch.hpp"
 #include "numeric/schur.hpp"
 #include "support/check.hpp"
+#include "threads/thread_pool.hpp"
 
 namespace slu3d {
 
 namespace {
 
 /// Factor one supernode's diagonal + panels and apply its Schur update.
-/// The Schur staging block comes from the per-rank scratch arena, so the
-/// loop performs no per-supernode allocation once the arena has warmed up.
-void eliminate_snode(SupernodalMatrix& F, int s, dense::KernelScratch& ws) {
+/// The Schur staging block comes from the per-rank scratch arena and the
+/// pair work list is reused across supernodes, so the loop performs no
+/// per-supernode allocation once the arena has warmed up.
+void eliminate_snode(SupernodalMatrix& F, int s,
+                     std::vector<std::pair<int, int>>& pairs) {
   const BlockStructure& bs = F.structure();
   const index_t ns = bs.snode_size(s);
   if (ns == 0) return;  // empty separator block
@@ -30,22 +34,32 @@ void eliminate_snode(SupernodalMatrix& F, int s, dense::KernelScratch& ws) {
   dense::trsm_right_upper(ns, m, F.diag(s).data(), ns, F.lpanel(s).data(), m);
   dense::trsm_left_lower_unit(ns, m, F.diag(s).data(), ns, F.upanel(s).data(), ns);
 
-  // 3. Schur-complement update, block pair by block pair.
+  // 3. Schur-complement update, block pair by block pair. The pairs are
+  // flattened and fanned out across the ambient thread pool: each (bi, bj)
+  // pair scatters into a distinct target block, so the partitions are
+  // disjoint and the result is bitwise identical to the serial sweep.
   const auto panel = bs.lpanel(s);
-  const auto rows = F.panel_rows(s);
-  for (const PanelBlock& bi : panel) {
-    const auto [oi, mi] = F.block_range(s, bi.snode);
-    for (const PanelBlock& bj : panel) {
-      const auto [oj, mj] = F.block_range(s, bj.snode);
-      // V = -(L block) * (U block), then scatter-add.
-      auto scratch =
-          ws.stage_zero(static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
-      dense::gemm_minus(mi, mj, ns, F.lpanel(s).data() + oi, m,
-                        F.upanel(s).data() + static_cast<std::size_t>(oj) * static_cast<std::size_t>(ns),
-                        ns, scratch.data(), mi);
-      schur_scatter_add(F, bi.snode, bj.snode, bi.rows, bj.rows, scratch);
-    }
-  }
+  pairs.clear();
+  for (int i = 0; i < static_cast<int>(panel.size()); ++i)
+    for (int j = 0; j < static_cast<int>(panel.size()); ++j)
+      pairs.push_back({i, j});
+  threads::parallel_for(
+      static_cast<std::ptrdiff_t>(pairs.size()), [&](std::ptrdiff_t t, int) {
+        const auto [i, j] = pairs[static_cast<std::size_t>(t)];
+        const PanelBlock& bi = panel[static_cast<std::size_t>(i)];
+        const PanelBlock& bj = panel[static_cast<std::size_t>(j)];
+        const auto [oi, mi] = F.block_range(s, bi.snode);
+        const auto [oj, mj] = F.block_range(s, bj.snode);
+        // V = -(L block) * (U block), then scatter-add.
+        auto scratch = dense::KernelScratch::per_rank().stage_zero(
+            static_cast<std::size_t>(mi) * static_cast<std::size_t>(mj));
+        dense::gemm_minus(mi, mj, ns, F.lpanel(s).data() + oi, m,
+                          F.upanel(s).data() +
+                              static_cast<std::size_t>(oj) *
+                                  static_cast<std::size_t>(ns),
+                          ns, scratch.data(), mi);
+        schur_scatter_add(F, bi.snode, bj.snode, bi.rows, bj.rows, scratch);
+      });
 }
 
 }  // namespace
@@ -57,11 +71,15 @@ void factorize_sequential(SupernodalMatrix& F) {
 }
 
 void factorize_snodes_sequential(SupernodalMatrix& F, std::span<const int> snodes) {
-  dense::KernelScratch& ws = dense::KernelScratch::per_rank();
+  // Attach the ambient compute pool unless a caller (e.g. the pipeline
+  // engine, whose schur_pair tasks reach eliminate_leading_block) already
+  // installed one or we are the pool ourselves.
+  dense::ParallelKernels::ensure_rank_local(threads::resolve_threads(0));
+  std::vector<std::pair<int, int>> pairs;
   for (int s : snodes) {
     SLU3D_CHECK(F.has_snode(s) || F.structure().snode_size(s) == 0,
                 "supernode not allocated");
-    eliminate_snode(F, s, ws);
+    eliminate_snode(F, s, pairs);
   }
 }
 

@@ -54,6 +54,15 @@ struct PanelOptions {
   /// Wire format of the panel broadcasts; Dense is byte-identical to the
   /// historical drivers, Sparse is the opt-in volume optimization.
   PanelPacking packing = PanelPacking::Dense;
+  /// Per-rank compute participants (caller thread + pool workers) for the
+  /// dense kernels and the Schur scatter. 0 (the default) defers to the
+  /// SLU3D_THREADS environment variable, falling back to 1 (the historical
+  /// single-threaded rank). Workers come out of the process-wide
+  /// threads::WorkerBudget, so asking for more than the host has degrades
+  /// gracefully. Factors, RankStats counters, and simulated clocks are
+  /// bitwise identical for every value — threading is a wall-clock-only
+  /// optimization (see DESIGN.md, "Funneled threading model").
+  int threads = 0;
 };
 
 /// How the z-axis ancestor-reduction payloads are packed on the wire.
@@ -98,6 +107,8 @@ inline void validate_panel_options(const PanelOptions& opt) {
   SLU3D_CHECK(opt.packing == PanelPacking::Dense ||
                   opt.packing == PanelPacking::Sparse,
               "pipeline: unknown PanelPacking value");
+  SLU3D_CHECK(opt.threads >= 0,
+              "pipeline: threads must be >= 0 (0 = SLU3D_THREADS env or 1)");
 }
 
 /// Validates the z-reduction options once, at engine entry.

@@ -50,13 +50,16 @@
 #include <bit>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "numeric/dense_kernels.hpp"
 #include "numeric/kernel_scratch.hpp"
 #include "pipeline/options.hpp"
 #include "simmpi/process_grid.hpp"
 #include "support/check.hpp"
 #include "symbolic/block_structure.hpp"
+#include "threads/thread_pool.hpp"
 
 namespace slu3d::pipeline {
 
@@ -126,6 +129,11 @@ class PanelEngine {
   PanelEngine(Factors& F, sim::ProcessGrid2D& grid, const PanelOptions& opt)
       : F_(F), g_(grid), bs_(F.structure()), opt_(opt) {
     validate_panel_options(opt_);
+    // Attach this rank thread's compute pool (created lazily, reused across
+    // engines — one per 3D level — and resized only when the option
+    // changes). All communication stays on this thread; the pool only ever
+    // executes the packing / GEMM / scatter closures below.
+    dense::ParallelKernels::rank_local(threads::resolve_threads(opt_.threads));
   }
 
   /// Factorizes the supernodes in `snodes` (ascending elimination order).
@@ -202,15 +210,21 @@ class PanelEngine {
     }
     bits.assign(total_words, 0);
     if (is_root) {
-      for (StashEntry& e : entries) {
-        const std::span<const real_t> src = payload(e);
-        SLU3D_CHECK(src.size() == static_cast<std::size_t>(e.m) *
-                                      static_cast<std::size_t>(ns),
-                    "panel payload size mismatch");
-        for (std::size_t i = 0; i < src.size(); ++i)
-          if (src[i] != 0.0)
-            bits[e.bits_off + i / 64] |= std::uint64_t{1} << (i % 64);
-      }
+      // Each entry's bitmap occupies its own word range (bits_off is
+      // word-aligned per entry), so the per-entry builds write disjoint
+      // words and fan out across the pool.
+      threads::parallel_for(
+          static_cast<std::ptrdiff_t>(entries.size()),
+          [&](std::ptrdiff_t t, int) {
+            StashEntry& e = entries[static_cast<std::size_t>(t)];
+            const std::span<const real_t> src = payload(e);
+            SLU3D_CHECK(src.size() == static_cast<std::size_t>(e.m) *
+                                          static_cast<std::size_t>(ns),
+                        "panel payload size mismatch");
+            for (std::size_t i = 0; i < src.size(); ++i)
+              if (src[i] != 0.0)
+                bits[e.bits_off + i / 64] |= std::uint64_t{1} << (i % 64);
+          });
     }
     frame_buf_.resize(total_words);
     for (std::size_t w = 0; w < total_words; ++w)
@@ -367,6 +381,23 @@ class PanelEngine {
                 F_, k, panel[static_cast<std::size_t>(e.panel_idx)].snode);
           },
           /*prune_absent=*/!Policy::kSymmetric);
+    if (sparse && in_pcol) {
+      // Pre-pack every present row-role payload in parallel — each entry
+      // packs into its own disjoint storage region (the presence frame has
+      // already fixed the packed lengths) — so the post loop below only
+      // posts broadcasts.
+      threads::parallel_for(
+          static_cast<std::ptrdiff_t>(stash.row_entries.size()),
+          [&](std::ptrdiff_t t, int) {
+            const StashEntry& e =
+                stash.row_entries[static_cast<std::size_t>(t)];
+            if (e.packed == 0) return;
+            pack_present(
+                Policy::row_payload(
+                    F_, k, panel[static_cast<std::size_t>(e.panel_idx)].snode),
+                stash.row_bits, e.bits_off, stash.storage.data() + e.offset);
+          });
+    }
     for (int i = 0; i < static_cast<int>(stash.row_entries.size()); ++i) {
       const StashEntry& e = stash.row_entries[static_cast<std::size_t>(i)];
       const PanelBlock& blk = panel[static_cast<std::size_t>(e.panel_idx)];
@@ -375,14 +406,11 @@ class PanelEngine {
       const std::size_t wire = sparse ? e.packed : dense_elems;
       if (wire == 0) continue;  // all-zero sparse entry: no data message
       const std::span<real_t> buf{stash.storage.data() + e.offset, wire};
-      if (in_pcol) {
+      if (in_pcol && !sparse) {
         const std::span<const real_t> src =
             Policy::row_payload(F_, k, blk.snode);
         SLU3D_CHECK(src.size() == dense_elems, "owner missing L block");
-        if (sparse)
-          pack_present(src, stash.row_bits, e.bits_off, buf.data());
-        else
-          std::copy(src.begin(), src.end(), buf.begin());
+        std::copy(src.begin(), src.end(), buf.begin());
       }
       if (opt_.async) {
         stash.ops.push_back({g_.row().ibcast(pyk, tag(k, Policy::kRowPanelOp),
@@ -431,14 +459,26 @@ class PanelEngine {
     for (PanelAsyncOp& op : stash->ops) {
       if (op.relay_pi < 0) {
         op.req.wait();
-        if (op.exp_role == 0)
-          expand_entry(*stash,
-                       stash->row_entries[static_cast<std::size_t>(op.exp_idx)],
-                       stash->row_bits, ns);
-        else if (op.exp_role == 1)
-          expand_entry(*stash,
-                       stash->col_entries[static_cast<std::size_t>(op.exp_idx)],
-                       stash->col_bits, ns);
+        if (op.exp_role >= 0) {
+          if constexpr (Policy::kSymmetric) {
+            // A deferred relay later in `ops` copies this row-role region
+            // the moment its turn comes, so expand immediately.
+            if (op.exp_role == 0)
+              expand_entry(
+                  *stash,
+                  stash->row_entries[static_cast<std::size_t>(op.exp_idx)],
+                  stash->row_bits, ns);
+            else
+              expand_entry(
+                  *stash,
+                  stash->col_entries[static_cast<std::size_t>(op.exp_idx)],
+                  stash->col_bits, ns);
+          } else {
+            // No relay ever reads these regions: batch the expansions and
+            // fan them out across the pool once the drain completes.
+            exp_batch_.push_back({op.exp_role, op.exp_idx});
+          }
+        }
         continue;
       }
       std::copy_n(stash->storage.data() + op.row_off, op.elems,
@@ -450,25 +490,61 @@ class PanelEngine {
                       sim::CommPlane::XY);
     }
     stash->ops.clear();
+    if constexpr (!Policy::kSymmetric) {
+      if (!exp_batch_.empty()) {
+        // Receiver-side packed->dense expansions touch disjoint dense
+        // storage regions — safe to run across the pool.
+        threads::parallel_for(
+            static_cast<std::ptrdiff_t>(exp_batch_.size()),
+            [&](std::ptrdiff_t t, int) {
+              const auto [role, idx] = exp_batch_[static_cast<std::size_t>(t)];
+              if (role == 0)
+                expand_entry(*stash,
+                             stash->row_entries[static_cast<std::size_t>(idx)],
+                             stash->row_bits, ns);
+              else
+                expand_entry(*stash,
+                             stash->col_entries[static_cast<std::size_t>(idx)],
+                             stash->col_bits, ns);
+            });
+        exp_batch_.clear();
+      }
+    }
 
-    dense::KernelScratch& ws = dense::KernelScratch::per_rank();
+    // Build the Schur pair list and charge the modelled flops serially on
+    // this (rank) thread, in the historical nested order — the logical
+    // clocks and RankStats are thread-count independent by construction
+    // (no communication happens between the charges, so their order within
+    // the phase does not move any timestamp). Workers then execute the
+    // GEMM + scatter of each pair: distinct pairs scatter into distinct
+    // owned (bi, bj) target blocks, so the partitions are disjoint and no
+    // factor datum needs an atomic.
+    schur_pairs_.clear();
     for (const StashEntry& le : stash->row_entries) {
       const PanelBlock& bi = panel[static_cast<std::size_t>(le.panel_idx)];
-      const index_t mi = le.m;
-      const real_t* ldata = stash->storage.data() + le.offset;
       for (const StashEntry& ue : stash->col_entries) {
         const PanelBlock& bj = panel[static_cast<std::size_t>(ue.panel_idx)];
         if constexpr (Policy::kSymmetric) {
           if (bj.snode > bi.snode) break;  // lower triangle only
         }
         if (!Policy::wants_target(F_, bi.snode, bj.snode)) continue;
-        const index_t mj = ue.m;
-        const real_t* cdata = stash->storage.data() + ue.offset;
-        auto scratch = ws.stage_zero(static_cast<std::size_t>(mi) *
-                                     static_cast<std::size_t>(mj));
-        Policy::schur_pair(*this, bi, mi, ldata, bj, mj, cdata, ns, scratch);
+        g_.grid().add_compute(dense::gemm_flops(le.m, ue.m, ns),
+                              sim::ComputeKind::SchurUpdate);
+        schur_pairs_.push_back({&le, &ue});
       }
     }
+    threads::parallel_for(
+        static_cast<std::ptrdiff_t>(schur_pairs_.size()),
+        [&](std::ptrdiff_t t, int) {
+          const auto [le, ue] = schur_pairs_[static_cast<std::size_t>(t)];
+          const PanelBlock& bi = panel[static_cast<std::size_t>(le->panel_idx)];
+          const PanelBlock& bj = panel[static_cast<std::size_t>(ue->panel_idx)];
+          auto scratch = dense::KernelScratch::per_rank().stage_zero(
+              static_cast<std::size_t>(le->m) * static_cast<std::size_t>(ue->m));
+          Policy::schur_pair(*this, bi, le->m,
+                             stash->storage.data() + le->offset, bj, ue->m,
+                             stash->storage.data() + ue->offset, ns, scratch);
+        });
     dense::KernelScratch::per_rank().recycle(std::move(stash->storage));
     stash->storage = std::vector<real_t>{};
     stash->row_entries.clear();
@@ -478,6 +554,13 @@ class PanelEngine {
     stash->k = -1;
   }
 
+  /// One Schur block pair of the current supernode, flattened for the
+  /// pool: row-role (L) entry x column-role entry.
+  struct SchurPair {
+    const StashEntry* le;
+    const StashEntry* ue;
+  };
+
   Factors& F_;
   sim::ProcessGrid2D& g_;
   const BlockStructure& bs_;
@@ -485,6 +568,8 @@ class PanelEngine {
   std::vector<PanelStash> stash_;  ///< slot pool, <= lookahead+1 live slots
   std::vector<real_t> diag_buf_;   ///< reusable diagonal broadcast buffer
   std::vector<real_t> frame_buf_;  ///< reusable presence-frame wire buffer
+  std::vector<SchurPair> schur_pairs_;        ///< reusable pair work list
+  std::vector<std::pair<int, int>> exp_batch_;  ///< deferred (role, idx) expansions
 };
 
 }  // namespace slu3d::pipeline

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "support/check.hpp"
+#include "threads/thread_pool.hpp"
 
 namespace slu3d::sim {
 
@@ -278,6 +279,17 @@ offset_t payload_bytes(std::size_t n_reals) {
   return static_cast<offset_t>(n_reals * sizeof(real_t));
 }
 
+/// The funneled threading contract (DESIGN.md, "Funneled threading model"):
+/// compute-pool workers execute pure closures over disjoint data and must
+/// never reach the simulated MPI runtime — clocks, counters, and message
+/// queues belong to the owning rank thread. Every charged entry point
+/// checks; a violation is a programming error in a parallelized hot path.
+void assert_funneled() {
+  SLU3D_CHECK(!threads::ThreadPool::in_worker(),
+              "simmpi called from a compute-pool worker: communication and "
+              "clock charging are funneled through the rank thread");
+}
+
 }  // namespace
 
 // ---- Request -------------------------------------------------------------
@@ -291,15 +303,18 @@ Request::~Request() = default;
 bool Request::done() const { return st_ == nullptr || st_->completed; }
 
 bool Request::test() {
+  assert_funneled();
   if (!st_) return true;
   return st_->try_complete(/*block=*/false);
 }
 
 void Request::wait() {
+  assert_funneled();
   if (st_) st_->try_complete(/*block=*/true);
 }
 
 std::vector<real_t> Request::take() {
+  assert_funneled();
   SLU3D_CHECK(st_ != nullptr, "take: empty request");
   SLU3D_CHECK(st_->kind == detail::RequestState::Kind::Recv,
               "take: not a receive request");
@@ -332,6 +347,7 @@ void Comm::advance_clock_to(double t) {
 }
 
 void Comm::add_compute(offset_t flops, ComputeKind kind) {
+  assert_funneled();
   const double dt = ctx_->model.compute_time(flops);
   auto& st = stats();
   ctx_->record(world_rank(), {TraceEvent::Kind::Compute, st.clock,
@@ -342,6 +358,7 @@ void Comm::add_compute(offset_t flops, ComputeKind kind) {
 }
 
 void Comm::add_seconds(double seconds, ComputeKind kind) {
+  assert_funneled();
   auto& st = stats();
   st.clock += seconds;
   st.compute_seconds[static_cast<std::size_t>(kind)] += seconds;
@@ -413,6 +430,7 @@ std::vector<real_t> recv_charged(detail::Context* ctx, std::uint64_t comm_id,
 
 void Comm::send(int dst, int tag, std::span<const real_t> payload,
                 CommPlane plane) {
+  assert_funneled();
   SLU3D_CHECK(dst >= 0 && dst < size(), "send: bad destination rank");
   send_charged(ctx_, comm_id_, world_rank(),
                members_[static_cast<std::size_t>(dst)],
@@ -420,6 +438,7 @@ void Comm::send(int dst, int tag, std::span<const real_t> payload,
 }
 
 std::vector<real_t> Comm::recv(int src, int tag, CommPlane plane) {
+  assert_funneled();
   SLU3D_CHECK(src >= 0 && src < size(), "recv: bad source rank");
   return recv_charged(ctx_, comm_id_, world_rank(),
                       members_[static_cast<std::size_t>(src)],
@@ -428,6 +447,7 @@ std::vector<real_t> Comm::recv(int src, int tag, CommPlane plane) {
 
 Request Comm::isend(int dst, int tag, std::span<const real_t> payload,
                     CommPlane plane) {
+  assert_funneled();
   SLU3D_CHECK(dst >= 0 && dst < size(), "isend: bad destination rank");
   const int ft = detail::full_tag(Op::P2P, tag);
   const int me = world_rank();
@@ -460,6 +480,7 @@ Request Comm::isend(int dst, int tag, std::span<const real_t> payload,
 }
 
 Request Comm::irecv(int src, int tag, CommPlane plane) {
+  assert_funneled();
   SLU3D_CHECK(src >= 0 && src < size(), "irecv: bad source rank");
   const int me = world_rank();
   auto state = std::make_unique<detail::RequestState>();
@@ -499,6 +520,7 @@ std::vector<real_t> coll_recv(Comm& c, detail::Context* ctx,
 }  // namespace
 
 void Comm::bcast(int root, int tag, std::span<real_t> buf, CommPlane plane) {
+  assert_funneled();
   const int p = size();
   SLU3D_CHECK(root >= 0 && root < p, "bcast: bad root");
   if (p == 1) return;
@@ -529,6 +551,7 @@ void Comm::bcast(int root, int tag, std::span<real_t> buf, CommPlane plane) {
 }
 
 Request Comm::ibcast(int root, int tag, std::span<real_t> buf, CommPlane plane) {
+  assert_funneled();
   const int p = size();
   SLU3D_CHECK(root >= 0 && root < p, "ibcast: bad root");
   const int me = world_rank();
@@ -578,6 +601,7 @@ enum class RedOp { Sum, Max };
 }
 
 void Comm::reduce_sum(int root, int tag, std::span<real_t> buf, CommPlane plane) {
+  assert_funneled();
   const int p = size();
   SLU3D_CHECK(root >= 0 && root < p, "reduce: bad root");
   if (p == 1) return;
@@ -604,11 +628,13 @@ void Comm::reduce_sum(int root, int tag, std::span<real_t> buf, CommPlane plane)
 }
 
 void Comm::allreduce_sum(int tag, std::span<real_t> buf, CommPlane plane) {
+  assert_funneled();
   reduce_sum(0, tag, buf, plane);
   bcast(0, tag, buf, plane);
 }
 
 double Comm::allreduce_max(int tag, double value, CommPlane plane) {
+  assert_funneled();
   // Max-reduce expressed over the sum machinery would be wrong; do a small
   // gather-to-0 + bcast instead (collectives here are O(P) messages at
   // rank 0, fine for a scalar used only in tests/reports).
@@ -628,6 +654,7 @@ double Comm::allreduce_max(int tag, double value, CommPlane plane) {
 
 std::vector<real_t> Comm::allgatherv(int tag, std::span<const real_t> mine,
                                      CommPlane plane) {
+  assert_funneled();
   const int p = size();
   if (p == 1) return std::vector<real_t>(mine.begin(), mine.end());
   // Gather sizes and payloads onto rank 0, then broadcast the result.
@@ -655,6 +682,7 @@ std::vector<real_t> Comm::allgatherv(int tag, std::span<const real_t> mine,
 }
 
 void Comm::barrier(int tag, CommPlane plane) {
+  assert_funneled();
   std::vector<real_t> empty;
   reduce_sum(0, tag, empty, plane);
   bcast(0, tag, empty, plane);

@@ -1,0 +1,259 @@
+#include "threads/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace slu3d::threads {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+thread_local int t_exec_slot = 0;
+thread_local ThreadPool* t_worker_pool = nullptr;
+thread_local ThreadPool* t_current_pool = nullptr;
+
+int env_int(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return 0;
+  const long v = std::strtol(s, nullptr, 10);
+  if (v < 1) return 0;
+  return static_cast<int>(std::min<long>(v, kMaxThreads));
+}
+
+}  // namespace
+
+int resolve_threads(int configured) {
+  SLU3D_CHECK(configured >= 0,
+              "threads: configured count must be >= 0 (0 = SLU3D_THREADS env "
+              "override, defaulting to 1)");
+  SLU3D_CHECK(configured <= kMaxThreads,
+              "threads: configured count exceeds kMaxThreads");
+  if (configured > 0) return configured;
+  static const int from_env = env_int("SLU3D_THREADS");
+  return from_env > 0 ? from_env : 1;
+}
+
+// ---- WorkerBudget -------------------------------------------------------
+
+WorkerBudget::WorkerBudget() {
+  int v = env_int("SLU3D_THREAD_BUDGET");
+  if (v <= 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    v = hc > 1 ? static_cast<int>(hc) - 1 : 0;
+    // Floor: a threads=4 pool (3 workers) must stay exercisable even on
+    // 1-2 core hosts (CI runners, containers) — the mild oversubscription
+    // costs wall-clock only, never correctness.
+    v = std::max(v, 3);
+  }
+  total_ = avail_ = v;
+}
+
+WorkerBudget& WorkerBudget::instance() {
+  static WorkerBudget budget;
+  return budget;
+}
+
+int WorkerBudget::acquire(int want) {
+  SLU3D_CHECK(want >= 0, "threads: negative worker request");
+  std::lock_guard<std::mutex> lk(mu_);
+  const int granted = std::min(want, avail_);
+  avail_ -= granted;
+  return granted;
+}
+
+void WorkerBudget::release(int granted) {
+  if (granted <= 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  avail_ += granted;
+  SLU3D_CHECK(avail_ <= total_, "threads: worker budget over-released");
+}
+
+int WorkerBudget::available() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return avail_;
+}
+
+// ---- ThreadPool ---------------------------------------------------------
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+int ThreadPool::exec_slot() { return t_exec_slot; }
+ThreadPool* ThreadPool::worker_pool() { return t_worker_pool; }
+
+ThreadPool::ThreadPool(int threads) : requested_(threads) {
+  SLU3D_CHECK(threads >= 1 && threads <= kMaxThreads,
+              "threads: pool size must be in [1, kMaxThreads]");
+  SLU3D_CHECK(!in_worker(), "threads: a pool worker must not create a pool");
+  granted_ = threads > 1 ? WorkerBudget::instance().acquire(threads - 1) : 0;
+  ends_.assign(static_cast<std::size_t>(granted_) + 1, 0);
+  cursors_ = std::make_unique<std::atomic<std::ptrdiff_t>[]>(
+      static_cast<std::size_t>(granted_) + 1);
+  workers_.reserve(static_cast<std::size_t>(granted_));
+  try {
+    for (int s = 1; s <= granted_; ++s)
+      workers_.emplace_back([this, s] { worker_loop(s); });
+  } catch (...) {
+    // Partial spawn: tear down what exists and hand the grant back.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    WorkerBudget::instance().release(granted_);
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  WorkerBudget::instance().release(granted_);
+}
+
+void ThreadPool::run_region(std::ptrdiff_t n, RegionFn fn, void* ctx,
+                            bool steal) {
+  SLU3D_CHECK(!in_worker(),
+              "threads: pool workers must not re-enter the pool (use the free "
+              "threads::parallel_for, which runs inline on workers)");
+  SLU3D_CHECK(!busy_.load(std::memory_order_relaxed),
+              "threads: run_region re-entered from a slot-0 task body while a "
+              "region is in flight (use the free threads::parallel_for, which "
+              "runs inline when the pool is busy)");
+  if (n <= 0) return;
+  if (!active() || n == 1) {
+    for (std::ptrdiff_t i = 0; i < n; ++i) fn(ctx, i, 0);
+    return;
+  }
+  busy_.store(true, std::memory_order_relaxed);
+  const int nslots = slots();
+  region_fn_ = fn;
+  region_ctx_ = ctx;
+  region_steal_ = steal;
+  // Balanced contiguous partition of [0, n) across participants.
+  const std::ptrdiff_t base = n / nslots;
+  const std::ptrdiff_t rem = n % nslots;
+  std::ptrdiff_t begin = 0;
+  for (int p = 0; p < nslots; ++p) {
+    const std::ptrdiff_t len = base + (p < rem ? 1 : 0);
+    cursors_[static_cast<std::size_t>(p)].store(begin, std::memory_order_relaxed);
+    ends_[static_cast<std::size_t>(p)] = begin + len;
+    begin += len;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++epoch_;
+    pending_ = workers();
+  }
+  cv_work_.notify_all();
+  work(0);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return pending_ == 0; });
+  }
+  busy_.store(false, std::memory_order_relaxed);
+  region_fn_ = nullptr;
+  region_ctx_ = nullptr;
+  if (eptr_) {
+    std::exception_ptr e;
+    std::swap(e, eptr_);
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::work(int slot) {
+  const int nslots = slots();
+  try {
+    // Drain the own range first (owner-first keeps stealing rare when the
+    // partition is balanced), then steal single iterations from the victim
+    // with the most work left. fetch_add may overshoot a range's end by up
+    // to one per contender; the `< end` check discards overshoot and the
+    // remaining-work scan sees it as empty, so the loops terminate.
+    const std::ptrdiff_t own_end = ends_[static_cast<std::size_t>(slot)];
+    std::ptrdiff_t i;
+    while ((i = cursors_[static_cast<std::size_t>(slot)].fetch_add(
+              1, std::memory_order_relaxed)) <
+           own_end)
+      region_fn_(region_ctx_, i, slot);
+    if (region_steal_) {
+      for (;;) {
+        int victim = -1;
+        std::ptrdiff_t most = 0;
+        for (int q = 0; q < nslots; ++q) {
+          if (q == slot) continue;
+          const std::ptrdiff_t rem =
+              ends_[static_cast<std::size_t>(q)] -
+              cursors_[static_cast<std::size_t>(q)].load(std::memory_order_relaxed);
+          if (rem > most) {
+            most = rem;
+            victim = q;
+          }
+        }
+        if (victim < 0) break;
+        const std::ptrdiff_t j =
+            cursors_[static_cast<std::size_t>(victim)].fetch_add(
+                1, std::memory_order_relaxed);
+        if (j < ends_[static_cast<std::size_t>(victim)]) {
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          region_fn_(region_ctx_, j, slot);
+        }
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    if (!eptr_) eptr_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(int slot) {
+  t_in_worker = true;
+  t_exec_slot = slot;
+  t_worker_pool = this;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    work(slot);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+// ---- ambient pool -------------------------------------------------------
+
+ThreadPool* current_pool() { return t_current_pool; }
+
+PoolScope::PoolScope(ThreadPool* pool) : prev_(t_current_pool) {
+  t_current_pool = pool;
+}
+
+PoolScope::~PoolScope() { t_current_pool = prev_; }
+
+// ---- Barrier ------------------------------------------------------------
+
+Barrier::Barrier(int n) : n_(n) {
+  SLU3D_CHECK(n >= 1, "threads: barrier needs at least one participant");
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t gen = gen_;
+  if (++waiting_ == n_) {
+    waiting_ = 0;
+    ++gen_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lk, [&] { return gen_ != gen; });
+}
+
+}  // namespace slu3d::threads

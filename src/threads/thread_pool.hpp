@@ -1,0 +1,262 @@
+// Intra-rank work-stealing thread pool (see DESIGN.md, "Funneled
+// threading model"). The simulated MPI runtime runs each rank as one
+// std::thread; this pool adds T-1 compute workers underneath a rank so the
+// dense substrate and the Schur scatter use the host cores the simulation
+// leaves idle. The contract is strictly funneled, MPI_THREAD_FUNNELED
+// style: workers execute pure compute closures over disjoint data
+// partitions and never touch simmpi (enforced by SLU3D_CHECKs in
+// runtime.cpp) — all communication and all logical-clock charging stay on
+// the rank thread. Because every parallel_for partition is disjoint and
+// every reduction folds in fixed slot order, factor bits and RankStats
+// counters are bitwise identical for any worker count, including zero.
+//
+// A process-wide WorkerBudget arbitrates workers across resident ranks:
+// each pool asks for threads-1 workers and is granted whatever is left, so
+// P simulated ranks x T-thread pools cannot oversubscribe the host. A pool
+// granted fewer (or zero) workers only loses wall-clock overlap, never
+// determinism.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace slu3d::threads {
+
+/// Hard cap on the per-pool participant count (caller + workers). Far above
+/// any sane configuration; guards against a byte count or tag being passed
+/// as a thread count.
+inline constexpr int kMaxThreads = 1024;
+
+/// Resolves a configured thread count to the effective participant count:
+/// an explicit positive value wins, otherwise the SLU3D_THREADS environment
+/// variable, otherwise 1 (single-threaded, the historical behavior). The
+/// env lookup is cached — the variable is read once per process.
+int resolve_threads(int configured);
+
+/// Process-wide budget of compute workers shared by every pool (= every
+/// resident rank). Default total: hardware_concurrency - 1 (the rank
+/// threads themselves already occupy cores), floored at 3 so a threads=4
+/// pool stays fully exercisable on small hosts; override with
+/// SLU3D_THREAD_BUDGET. acquire() grants what is available, first come
+/// first served — late pools degrade toward serial, never block.
+class WorkerBudget {
+ public:
+  static WorkerBudget& instance();
+
+  /// Grants min(want, available) workers and returns the granted count.
+  int acquire(int want);
+  /// Returns `granted` workers to the budget.
+  void release(int granted);
+
+  int total() const { return total_; }
+  int available() const;
+
+ private:
+  WorkerBudget();
+  mutable std::mutex mu_;
+  int total_ = 0;
+  int avail_ = 0;
+};
+
+/// Work-stealing fork-join pool. Construction requests `threads - 1`
+/// workers from the WorkerBudget (the caller thread is participant 0);
+/// parallel_for splits [0, n) into one contiguous range per participant,
+/// each drained through a per-range atomic cursor, and finished
+/// participants steal single iterations from the victim with the most work
+/// left. Stolen iterations run identically wherever they land — the
+/// partition, not the executor, carries the semantics.
+class ThreadPool {
+ public:
+  /// `threads` >= 1 is the desired participant count (caller included).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Granted workers (may be less than requested when the budget ran dry).
+  int workers() const { return static_cast<int>(workers_.size()); }
+  /// Execution slots: workers() + 1 (slot 0 is the calling rank thread).
+  int slots() const { return workers() + 1; }
+  /// The participant count construction asked for (before budgeting).
+  int requested() const { return requested_; }
+  bool active() const { return !workers_.empty(); }
+  /// True while a region is in flight. Slot-0 task bodies see their own
+  /// pool as busy; the free threads::parallel_for (and the dense GEMM's
+  /// parallel gate) check this and degrade to inline execution, so nested
+  /// compute composes instead of corrupting the live region.
+  bool busy() const { return busy_.load(std::memory_order_relaxed); }
+
+  /// Iterations executed by a non-owning participant, cumulative. Test and
+  /// diagnostics hook; irrelevant to results by design.
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// Side-channel integer accumulator for worker-side bookkeeping (the
+  /// dense flop audit): workers cannot touch the rank's thread-local
+  /// counters, so they add here and the owner folds the sum back in.
+  /// Integer addition commutes, so the fold is deterministic.
+  void accumulate(offset_t v) { accum_.fetch_add(v, std::memory_order_relaxed); }
+  offset_t accumulated() const { return accum_.load(std::memory_order_relaxed); }
+  offset_t take_accumulated() { return accum_.exchange(0, std::memory_order_relaxed); }
+
+  /// Runs fn(i, slot) for every i in [0, n), work-stealing across all
+  /// participants; returns when every iteration has finished. The caller
+  /// participates as slot 0. Must not be called from a worker, nor from
+  /// inside one of this pool's own task bodies (both cases use the free
+  /// threads::parallel_for, which degrades to inline execution). The first
+  /// exception thrown by any iteration is rethrown here after the region
+  /// completes.
+  template <class Fn>
+  void parallel_for(std::ptrdiff_t n, Fn&& fn) {
+    run_region(n, &trampoline<std::remove_reference_t<Fn>>, std::addressof(fn),
+               /*steal=*/true);
+  }
+
+  /// Runs fn(slot) exactly once on every participant *thread* — slot 0 on
+  /// the caller, slot s on worker s, no stealing — so per-thread state
+  /// (thread_local arenas) can be initialized on the thread that owns it.
+  template <class Fn>
+  void for_each_slot(Fn&& fn) {
+    auto body = [&fn]([[maybe_unused]] std::ptrdiff_t i, int slot) {
+      SLU3D_ASSERT(static_cast<int>(i) == slot);
+      fn(slot);
+    };
+    run_region(slots(), &trampoline<decltype(body)>, std::addressof(body),
+               /*steal=*/false);
+  }
+
+  /// True on a pool worker thread (any pool).
+  static bool in_worker();
+  /// This thread's participant slot: 0 on any non-worker thread.
+  static int exec_slot();
+  /// The pool owning the current worker thread, nullptr elsewhere.
+  static ThreadPool* worker_pool();
+
+ private:
+  using RegionFn = void (*)(void*, std::ptrdiff_t, int);
+
+  template <class Fn>
+  static void trampoline(void* ctx, std::ptrdiff_t i, int slot) {
+    (*static_cast<Fn*>(ctx))(i, slot);
+  }
+
+  void run_region(std::ptrdiff_t n, RegionFn fn, void* ctx, bool steal);
+  void work(int slot);
+  void worker_loop(int slot);
+
+  int requested_ = 1;
+  int granted_ = 0;
+  std::vector<std::thread> workers_;
+
+  // Region state: written by the owner before the epoch bump, read by
+  // workers after it (the mutex hand-off orders both directions).
+  RegionFn region_fn_ = nullptr;
+  void* region_ctx_ = nullptr;
+  bool region_steal_ = true;
+  std::vector<std::ptrdiff_t> ends_;
+  std::unique_ptr<std::atomic<std::ptrdiff_t>[]> cursors_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_, cv_done_;
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+
+  std::mutex err_mu_;
+  std::exception_ptr eptr_;
+
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<offset_t> accum_{0};
+  std::atomic<bool> busy_{false};
+};
+
+/// The ambient pool of the current thread (installed by PoolScope), or
+/// nullptr. Compute hot paths consult this instead of threading a pool
+/// through every call signature.
+ThreadPool* current_pool();
+
+/// RAII: installs `pool` as the current thread's ambient pool for the
+/// scope's lifetime (restoring the previous one — scopes nest).
+class PoolScope {
+ public:
+  explicit PoolScope(ThreadPool* pool);
+  ~PoolScope();
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+/// Ambient-pool parallel loop: runs fn(i, slot) over [0, n). Uses the
+/// current thread's pool when one is installed, active, and idle;
+/// otherwise — no pool, an empty pool, a nested call from inside a worker,
+/// or a slot-0 task body whose pool is mid-region — it runs inline on the
+/// calling thread under its own slot. The inline fallback is what lets
+/// kernels compose: any participant executing a Schur pair can call the
+/// same GEMM that fans out at the top level, and it simply runs serial.
+template <class Fn>
+void parallel_for(std::ptrdiff_t n, Fn&& fn) {
+  if (!ThreadPool::in_worker()) {
+    if (ThreadPool* pool = current_pool();
+        pool != nullptr && pool->active() && !pool->busy()) {
+      pool->parallel_for(n, std::forward<Fn>(fn));
+      return;
+    }
+  }
+  const int slot = ThreadPool::exec_slot();
+  for (std::ptrdiff_t i = 0; i < n; ++i) fn(i, slot);
+}
+
+/// Cyclic mutex/cv barrier for `n` participants (getml-idiom primitive;
+/// used by tests and lockstep phases, not the hot path).
+class Barrier {
+ public:
+  explicit Barrier(int n);
+  void arrive_and_wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int n_;
+  int waiting_ = 0;
+  std::uint64_t gen_ = 0;
+};
+
+/// Per-slot partial reduction with a deterministic fold: each participant
+/// accumulates into its own slot (no sharing, no atomics) and reduce()
+/// folds the partials in ascending slot order — so floating-point results
+/// do not depend on execution interleaving, only on the partition.
+template <class T>
+class Reducer {
+ public:
+  Reducer(int slots, T identity)
+      : identity_(identity), parts_(static_cast<std::size_t>(slots), identity) {}
+
+  T& at(int slot) { return parts_[static_cast<std::size_t>(slot)]; }
+
+  template <class Op>
+  T reduce(Op&& op) const {
+    T acc = identity_;
+    for (const T& p : parts_) acc = op(acc, p);
+    return acc;
+  }
+
+  void reset() { parts_.assign(parts_.size(), identity_); }
+
+ private:
+  T identity_;
+  std::vector<T> parts_;
+};
+
+}  // namespace slu3d::threads

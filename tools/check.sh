@@ -3,7 +3,14 @@
 # ASan/UBSan (SLU3D_SANITIZE=ON) and ThreadSanitizer (SLU3D_TSAN=ON). The
 # simulated MPI ranks are real threads, so the TSAN run is what certifies
 # the non-blocking communication layer (shared mailbox queues, per-rank
-# network clocks) free of data races.
+# network clocks) free of data races — and, with SLU3D_THREADS forcing a
+# compute pool under every rank, the intra-rank work-stealing paths too.
+#
+# ctest runs with --stop-on-failure, so the sweep fails fast on the first
+# failing test of the first failing configuration instead of burning the
+# remaining (sanitizer-slowed) legs. Before testing, the presence of the
+# load-bearing suites (comm-equivalence, thread pool) is asserted so a
+# registration regression cannot silently pass an empty sweep.
 #
 #   tools/check.sh          # all three configurations
 #   tools/check.sh plain    # just the plain build
@@ -14,6 +21,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# Suites that certify the funneled-threading and schedule-equivalence
+# contracts; every configuration must actually contain them.
+REQUIRED_SUITES=(CommEquivalence ThreadPool Funneled Determinism)
+
+require_suites() {
+  local dir="$1" list
+  list="$(ctest --test-dir "$dir" -N)"
+  for suite in "${REQUIRED_SUITES[@]}"; do
+    if ! grep -q "$suite" <<<"$list"; then
+      echo "error: required test suite '$suite' not registered in $dir" >&2
+      exit 1
+    fi
+  done
+}
+
 run_config() {
   local name="$1" dir="$2"
   shift 2
@@ -21,8 +43,10 @@ run_config() {
   cmake -B "$dir" -S . "$@" >/dev/null
   echo "==== [$name] build ===="
   cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] required suites ===="
+  require_suites "$dir"
   echo "==== [$name] ctest ===="
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure --stop-on-failure -j "$JOBS"
 }
 
 want() { [[ "$1" == all || "$1" == "$2" ]]; }
@@ -37,7 +61,10 @@ if want "$sel" asan; then
 fi
 if want "$sel" tsan; then
   # TSAN slows the rank threads ~10x; benches and examples add nothing.
-  TSAN_OPTIONS="halt_on_error=1" \
+  # SLU3D_THREADS=4 puts a work-stealing pool under every rank so the
+  # fork-join handoffs, the steal path, and the funneled guards are all
+  # exercised under the race detector (results are bitwise unchanged).
+  TSAN_OPTIONS="halt_on_error=1" SLU3D_THREADS="${SLU3D_THREADS:-4}" \
     run_config tsan build-tsan -DSLU3D_TSAN=ON -DSLU3D_BUILD_BENCH=OFF \
     -DSLU3D_BUILD_EXAMPLES=OFF
 fi
