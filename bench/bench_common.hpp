@@ -10,6 +10,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
@@ -70,6 +71,55 @@ inline int bench_threads(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
   }
   return threads;
+}
+
+/// Wire-format selection shared by the bench drivers: `--panel-packing` and
+/// `--zred-packing`, each accepting dense | sparse | targeted (both the
+/// separate-argument and `=value` spellings). Drivers pass their own
+/// defaults, so e.g. fig9 keeps measuring sparse savings when no flag is
+/// given while a one-flag rerun measures the targeted one-sided wire.
+struct PackingFlags {
+  pipeline::PanelPacking panel = pipeline::PanelPacking::Dense;
+  pipeline::ZRedPacking zred = pipeline::ZRedPacking::Dense;
+};
+
+inline PackingFlags parse_packing_flags(
+    int argc, char** argv,
+    pipeline::PanelPacking def_panel = pipeline::PanelPacking::Dense,
+    pipeline::ZRedPacking def_zred = pipeline::ZRedPacking::Dense) {
+  PackingFlags f{def_panel, def_zred};
+  auto parse = [](const char* v, const char* flag) -> int {
+    if (std::strcmp(v, "dense") == 0) return 0;
+    if (std::strcmp(v, "sparse") == 0) return 1;
+    if (std::strcmp(v, "targeted") == 0) return 2;
+    std::fprintf(stderr, "%s: expected dense|sparse|targeted, got '%s'\n",
+                 flag, v);
+    std::exit(2);
+  };
+  auto set_panel = [&](const char* v) {
+    const int k = parse(v, "--panel-packing");
+    f.panel = k == 0   ? pipeline::PanelPacking::Dense
+              : k == 1 ? pipeline::PanelPacking::Sparse
+                       : pipeline::PanelPacking::Targeted;
+  };
+  auto set_zred = [&](const char* v) {
+    const int k = parse(v, "--zred-packing");
+    f.zred = k == 0   ? pipeline::ZRedPacking::Dense
+             : k == 1 ? pipeline::ZRedPacking::Sparse
+                      : pipeline::ZRedPacking::Targeted;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--panel-packing=", 16) == 0)
+      set_panel(a + 16);
+    else if (std::strcmp(a, "--panel-packing") == 0 && i + 1 < argc)
+      set_panel(argv[++i]);
+    else if (std::strncmp(a, "--zred-packing=", 15) == 0)
+      set_zred(a + 15);
+    else if (std::strcmp(a, "--zred-packing") == 0 && i + 1 < argc)
+      set_zred(argv[++i]);
+  }
+  return f;
 }
 
 /// Default Edison-like machine model shared by all benches.

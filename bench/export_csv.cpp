@@ -31,7 +31,9 @@ void export_fig9_fig10_fig11(const std::string& dir, int threads) {
   f9 << "matrix,class,P,Pz,Px,Py,time_s,t_scu_s,t_comm_s,wall_s,threads\n";
   std::ofstream f10(dir + "/fig10_comm_volume.csv");
   f10 << "matrix,class,P,Pz,w_fact_bytes,w_red_bytes,panel_saved_bytes,"
-         "panel_dense_bytes,panel_saved_msgs\n";
+         "panel_dense_bytes,panel_saved_msgs,targeted_saved_bytes,"
+         "targeted_dense_bytes,targeted_saved_msgs,targeted_zred_saved_bytes"
+         "\n";
   std::ofstream f11(dir + "/fig11_memory.csv");
   f11 << "matrix,class,P,Pz,mem_total_bytes,mem_max_bytes\n";
 
@@ -49,19 +51,27 @@ void export_fig9_fig10_fig11(const std::string& dir, int threads) {
                                           pipeline::ZRedPacking::Dense,
                                           pipeline::PanelPacking::Dense,
                                           threads);
-        // Sparse-panel re-run for the Psaved columns (factors bitwise
-        // unchanged; only the XY wire format differs).
+        // Sparse-panel re-run for the Psaved columns and a targeted re-run
+        // (one-sided footprint puts + Z scatter-accumulate) for the Tsaved
+        // columns — factors bitwise unchanged; only the wire formats differ.
         const auto pp = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
                                            PartitionStrategy::Greedy,
                                            pipeline::ZRedPacking::Dense,
                                            pipeline::PanelPacking::Sparse,
+                                           threads);
+        const auto tg = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
+                                           PartitionStrategy::Greedy,
+                                           pipeline::ZRedPacking::Targeted,
+                                           pipeline::PanelPacking::Targeted,
                                            threads);
         f9 << t.name << ',' << cls << ',' << P << ',' << Pz << ',' << Px
            << ',' << Py << ',' << m.time << ',' << m.t_scu << ',' << m.t_comm
            << ',' << m.wall_s << ',' << m.threads << '\n';
         f10 << t.name << ',' << cls << ',' << P << ',' << Pz << ','
             << m.w_fact << ',' << m.w_red << ',' << pp.panel_saved << ','
-            << pp.panel_dense << ',' << pp.panel_saved_msgs << '\n';
+            << pp.panel_dense << ',' << pp.panel_saved_msgs << ','
+            << tg.panel_saved << ',' << tg.panel_dense << ','
+            << tg.panel_saved_msgs << ',' << tg.zred_saved << '\n';
         f11 << t.name << ',' << cls << ',' << P << ',' << Pz << ','
             << m.mem_total << ',' << m.mem_max << '\n';
       }

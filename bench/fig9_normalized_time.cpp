@@ -11,6 +11,11 @@
 int main(int argc, char** argv) {
   using namespace slu3d;
   const int threads = bench::bench_threads(argc, argv);
+  // --panel-packing / --zred-packing select the wire format of the savings
+  // re-run (default: the sparse presence-bitmap broadcasts).
+  const auto pk = bench::parse_packing_flags(argc, argv,
+                                             pipeline::PanelPacking::Sparse,
+                                             pipeline::ZRedPacking::Dense);
   const auto suite = paper_test_suite(bench::bench_scale());
   const std::vector<int> machine_sizes{16, 64, 128};
   const std::vector<int> pz_values{1, 2, 4, 8, 16};
@@ -30,9 +35,10 @@ int main(int argc, char** argv) {
                                              pipeline::PanelPacking::Dense,
                                              threads);
     const double baseline = base_run.time;
-    // The Psaved column re-runs each point with PanelPacking::Sparse and
-    // reports the fraction of XY panel-broadcast payload the presence
-    // bitmaps eliminate (factors are bitwise unchanged).
+    // The Psaved column re-runs each point with the selected panel packing
+    // (sparse presence bitmaps by default, targeted one-sided puts with
+    // --panel-packing=targeted) and reports the fraction of XY
+    // panel-broadcast payload it eliminates (factors bitwise unchanged).
     TextTable table({"P", "Pz", "PXY", "T/T2d", "T_scu/T2d", "T_comm/T2d",
                      "speedup", "Psaved(%)", "wall_s", "thr"});
     for (int P : machine_sizes) {
@@ -46,9 +52,7 @@ int main(int argc, char** argv) {
                                           threads);
         const auto pp = bench::run_dist_lu(bs, Ap, Px, Py, Pz, 8,
                                            PartitionStrategy::Greedy,
-                                           pipeline::ZRedPacking::Dense,
-                                           pipeline::PanelPacking::Sparse,
-                                           threads);
+                                           pk.zred, pk.panel, threads);
         const double psaved =
             pp.panel_dense > 0
                 ? 100.0 * static_cast<double>(pp.panel_saved) /

@@ -43,8 +43,12 @@ double percentile(std::vector<double> v, double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int scale = bench::bench_scale();
+  // --panel-packing / --zred-packing select the wire formats the resident
+  // service factors with (default dense; the numbers are bitwise identical
+  // either way, only the simulated communication volume moves).
+  const auto pk = bench::parse_packing_flags(argc, argv);
   const index_t g = scale == 0 ? 10 : scale == 1 ? 16 : 24;
   const int rounds = scale == 0 ? 3 : 4;
 
@@ -61,6 +65,8 @@ int main() {
   opt.Py = 2;
   opt.Pz = 2;
   opt.refinement_steps = 1;
+  opt.lu3d.lu2d.packing = pk.panel;
+  opt.lu3d.packing = pk.zred;
   SolverService svc(opt);
 
   std::vector<double> factor_lat, solve_lat;

@@ -159,6 +159,13 @@ struct CholPanelPolicy {
   /// all-zero row entries (which send no data message at all) have their
   /// region zero-filled by the presence-frame exchange. That is also why
   /// the symmetric variant never prunes stash entries.
+  ///
+  /// PanelPacking::Targeted changes nothing here either, for the same
+  /// reason: only the row role goes one-sided, and the engine's footprint
+  /// predicate counts every relay duty (bi % Py == peer) into the relay's
+  /// row-role footprint, so each relay copy below still reads a dense
+  /// region — parsed inline in blocking mode, or at the drain by the
+  /// window-delivery op that precedes every deferred relay in `ops`.
   template <class Engine>
   static void post_col_entries(Engine& e, pipeline::PanelStash& stash, int k,
                                index_t ns) {

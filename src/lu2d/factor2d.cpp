@@ -138,6 +138,9 @@ struct LuPanelPolicy {
   /// role: one presence frame down the column first (tag op kColFrameOp),
   /// then per-entry packed broadcasts; all-zero entries are pruned, which
   /// also removes their Schur pairs (their contribution is zero anyway).
+  /// Under PanelPacking::Targeted the role instead delegates to the
+  /// engine's one-sided footprint puts (no frame, no pruning — the pair
+  /// set and factors stay bitwise identical to Dense).
   template <class Engine>
   static void post_col_entries(Engine& e, pipeline::PanelStash& stash, int k,
                                index_t ns) {
@@ -153,6 +156,13 @@ struct LuPanelPolicy {
       SLU3D_CHECK(ob != nullptr, "owner missing U block");
       return ob->data;
     };
+    if (e.targeted_packing()) {
+      // One-sided mode: the column role mirrors the engine's row role —
+      // the diagonal owner's process row holds every U payload, so it is
+      // the single put origin down each process column.
+      e.targeted_role(stash, /*role=*/1, k, ns, panel, u_payload);
+      return;
+    }
     if (sparse)
       e.exchange_presence_frame(g.col(), pxk, e.tag(k, pipeline::kColFrameOp),
                                 stash, stash.col_entries, stash.col_bits,

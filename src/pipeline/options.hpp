@@ -27,6 +27,21 @@ enum class PanelPacking {
   /// (see comm_stats.hpp). The Cholesky transposed (column) role stays
   /// dense — its presence bits live on ranks outside the broadcast column.
   Sparse,
+  /// One-sided delivery over simmpi RMA windows: the data root computes
+  /// each receiver's block footprint from the symbolic structure (which
+  /// entries that receiver's Schur pairs actually read) and issues one
+  /// footprint-sized put per receiver — bitmap words + present scalars of
+  /// exactly the needed entries, nothing else. Receivers whose footprint
+  /// is empty get no data message at all (both sides agree symbolically,
+  /// so no handshake is needed). Strictly less volume than Sparse: the
+  /// collective broadcast is replaced by per-destination payloads, and a
+  /// receiver no longer pays for entries it never reads. Factors stay
+  /// bitwise identical (the footprint covers every pair-referenced entry,
+  /// so charged flops and FP order match Dense); savings land in the same
+  /// RankStats::panel_* counters with an exact accounting identity:
+  /// dense_equivalent - received == saved. The Cholesky transposed
+  /// (column) role stays a dense relay, as under Sparse.
+  Targeted,
 };
 
 /// Upper bound on the lookahead window. The stash slot pool holds
@@ -76,6 +91,15 @@ enum class ZRedPacking {
   /// contribute nothing — but the reduction volume W_red shrinks. Savings
   /// are reported in RankStats::zred_* (see comm_stats.hpp).
   Sparse,
+  /// One-sided delivery: ancestor contributions are scatter_accumulate'd
+  /// into an RMA window over the owner's receive staging instead of being
+  /// exchanged pairwise — a scalar-granularity presence bitmap plus the
+  /// nonzero scalars travel, so raggedness *inside* locally-touched blocks
+  /// is elided too (Sparse only skips whole all-zero blocks). Numerically
+  /// identical: the owner adds the staged dense stream in the same order
+  /// as Dense. Savings land in the same RankStats::zred_* counters and
+  /// reconcile byte-exactly: received + zred_saved == dense received.
+  Targeted,
 };
 
 /// Knobs of the 3D driver: the per-level z-axis ancestor reduction.
@@ -105,7 +129,8 @@ inline void validate_panel_options(const PanelOptions& opt) {
               "(kMaxPanelLookahead)");
   SLU3D_CHECK(opt.tag_base >= 0, "pipeline: tag_base must be non-negative");
   SLU3D_CHECK(opt.packing == PanelPacking::Dense ||
-                  opt.packing == PanelPacking::Sparse,
+                  opt.packing == PanelPacking::Sparse ||
+                  opt.packing == PanelPacking::Targeted,
               "pipeline: unknown PanelPacking value");
   SLU3D_CHECK(opt.threads >= 0,
               "pipeline: threads must be >= 0 (0 = SLU3D_THREADS env or 1)");
@@ -116,7 +141,8 @@ inline void validate_zred_options(const ZRedOptions& opt) {
   SLU3D_CHECK(opt.chunk_snodes > 0,
               "pipeline: reduction chunk size (chunk_snodes) must be positive");
   SLU3D_CHECK(opt.packing == ZRedPacking::Dense ||
-                  opt.packing == ZRedPacking::Sparse,
+                  opt.packing == ZRedPacking::Sparse ||
+                  opt.packing == ZRedPacking::Targeted,
               "pipeline: unknown ZRedPacking value");
 }
 

@@ -44,6 +44,19 @@
 // packed prefix never overruns its dense positions): on the root right
 // after the post (ibcast snapshots the payload at post time), on receivers
 // right after the drain wait (after the request's subtree forwarding).
+//
+// PanelPacking::Targeted (opt-in) replaces each role's broadcasts with
+// one-sided RMA delivery (see DESIGN.md "Targeted one-sided delivery"):
+// the data root computes every peer's block *footprint* — the entries that
+// peer's Schur pairs (or, symmetric variant, relay duties) actually read —
+// from the replicated symbolic structure and issues ONE footprint-sized
+// put per peer into the role's window (per-entry bitmap words + present
+// scalars, concatenated). Peers with an empty footprint get no message at
+// all; both sides evaluate the same symbolic predicate, so no handshake or
+// presence frame travels. Entries are never pruned, so the Schur pair set,
+// charged flops, and FP order are identical to Dense — factors stay
+// bitwise identical — while the wire volume is strictly below Sparse
+// (footprint subset of all entries, and no broadcast frame).
 #pragma once
 
 #include <algorithm>
@@ -69,18 +82,29 @@ namespace slu3d::pipeline {
 inline constexpr int kRowFrameOp = 4;  ///< row-role frame, along the row comm
 inline constexpr int kColFrameOp = 5;  ///< col-role frame, along the col comm
 
+/// Window tags of the targeted-mode RMA windows (one per role per engine
+/// run, created collectively at run() entry). These live in the runtime's
+/// separate RMA tag namespace, so they cannot collide with the per-snode
+/// broadcast tags; the offsets merely keep the two roles' windows apart.
+inline constexpr int kRowWinTag = 6;  ///< row-role window, over the row comm
+inline constexpr int kColWinTag = 7;  ///< col-role window, over the col comm
+
 /// One broadcast panel block staged for the Schur phase: `m*ns` (row role)
 /// or `ns*m` (column role) values at `offset` in the stash's flat storage.
 /// Under PanelPacking::Sparse the entry also carries its presence-bitmap
 /// location (`bits_off`, in 64-bit words into the role's bits vector) and
 /// the number of present scalars actually on the wire (`packed`); the
 /// storage region is still the dense `offset`/`m` layout after expansion.
+/// Under PanelPacking::Targeted, `in_footprint` marks the entries this
+/// rank actually reads (always all of them on the role's root): the put
+/// wire carries exactly the marked entries, in entry order.
 struct StashEntry {
   int panel_idx;
   std::size_t offset;
   index_t m;
   std::size_t bits_off = 0;
   std::size_t packed = 0;
+  bool in_footprint = false;
 };
 
 /// One posted non-blocking operation, drained in post order at the Schur
@@ -92,13 +116,16 @@ struct StashEntry {
 /// forwarding waits also run at their drains). `exp_role >= 0` marks a
 /// sparse-mode receiver request whose entry (`row_entries[exp_idx]` for
 /// role 0, `col_entries[exp_idx]` for role 1) must be expanded from packed
-/// to dense right after the wait.
+/// to dense right after the wait. A valid `delivery` marks a targeted-mode
+/// window delivery instead: the drain waits it and parses the landed
+/// footprint put of the role in `exp_role` (all marked entries at once).
 struct PanelAsyncOp {
   sim::Request req;
   int relay_pi = -1;
   std::size_t row_off = 0, col_off = 0, elems = 0;
   int exp_role = -1;
   int exp_idx = -1;
+  sim::WindowDelivery delivery;
 };
 
 /// Broadcast panels of one in-flight supernode, stashed until its Schur
@@ -138,6 +165,10 @@ class PanelEngine {
 
   /// Factorizes the supernodes in `snodes` (ascending elimination order).
   void run(std::span<const int> snodes) {
+    // Targeted mode opens its per-run RMA windows first — a collective
+    // over the row (and, asymmetric variant, column) communicators, so it
+    // must happen on every grid rank before any supernode traffic.
+    if (targeted_packing()) create_targeted_windows(snodes);
     // Position of each supernode in the list and the latest position of
     // any updater, for the lookahead schedule. All ranks compute the same
     // schedule from the (replicated) symbolic structure.
@@ -172,6 +203,9 @@ class PanelEngine {
   const PanelOptions& options() const { return opt_; }
   int tag(int k, int op) const { return opt_.tag_base + 8 * k + op; }
   bool sparse_packing() const { return opt_.packing == PanelPacking::Sparse; }
+  bool targeted_packing() const {
+    return opt_.packing == PanelPacking::Targeted;
+  }
 
   /// 64-bit words needed for a scalar presence bitmap over `elems` values.
   static constexpr std::size_t bitmap_words(std::size_t elems) {
@@ -290,7 +324,267 @@ class PanelEngine {
       buf[d] = ((bits[e.bits_off + d / 64] >> (d % 64)) & 1) ? buf[--p] : 0.0;
   }
 
+  /// True if the row-role entry for block row `bi_snode` is read by the
+  /// row-comm peer at rank `peer_py`: either one of that peer's Schur
+  /// pairs references it (the peer's column-role entries are the panel
+  /// blocks on its process column), or — symmetric variant — the peer is
+  /// the entry's transposed-role relay. Purely symbolic (panel structure
+  /// plus the grid-replicated wants_snode mask), so the data root and the
+  /// peer evaluate it identically without any handshake.
+  bool row_entry_needed(std::span<const PanelBlock> panel, int bi_snode,
+                        int peer_py) const {
+    if constexpr (Policy::kSymmetric) {
+      if (bi_snode % g_.Py() == peer_py) return true;  // transposed relay
+    }
+    for (const PanelBlock& bj : panel) {
+      if constexpr (Policy::kSymmetric) {
+        if (bj.snode > bi_snode) break;  // ascending panel; lower triangle
+      }
+      if (bj.n_rows() == 0 || bj.snode % g_.Py() != peer_py) continue;
+      if (Policy::wants_target(F_, bi_snode, bj.snode)) return true;
+    }
+    return false;
+  }
+
+  /// Column-role analogue (asymmetric variant only): true if the entry for
+  /// block column `bj_snode` is read by a Schur pair of the col-comm peer
+  /// at rank `peer_px` (whose row-role entries are the panel blocks on its
+  /// process row).
+  bool col_entry_needed(std::span<const PanelBlock> panel, int bj_snode,
+                        int peer_px) const {
+    for (const PanelBlock& bi : panel) {
+      if (bi.n_rows() == 0 || bi.snode % g_.Px() != peer_px) continue;
+      if (Policy::wants_target(F_, bi.snode, bj_snode)) return true;
+    }
+    return false;
+  }
+
+  bool entry_needed(std::span<const PanelBlock> panel, int snode, int role,
+                    int peer) const {
+    return role == 0 ? row_entry_needed(panel, snode, peer)
+                     : col_entry_needed(panel, snode, peer);
+  }
+
+  /// Targeted-mode replacement for one role's broadcasts. The data root
+  /// fills its dense stash storage locally, builds one bitmap + packed
+  /// cache over all entries, and issues one put per peer whose footprint
+  /// is non-empty — the concatenation, in entry order, of [bitmap words |
+  /// present scalars] for exactly the entries that peer reads. Peers
+  /// register the put with Window::expect (the window's per-origin
+  /// non-overtaking keeps slot contents intact until the matching wait)
+  /// and parse it into dense storage at the wait: inline here when
+  /// blocking, at the Schur drain when async. Savings are booked on the
+  /// root against the dense-equivalent volume; because put headers are
+  /// uncharged and no frame travels, the accounting identity
+  ///   dense_equivalent - wire == saved
+  /// holds byte-exactly (and message-exactly) per role per supernode.
+  template <class PayloadFn>
+  void targeted_role(PanelStash& stash, int role, int k, index_t ns,
+                     std::span<const PanelBlock> panel, PayloadFn&& payload) {
+    std::vector<StashEntry>& entries =
+        role == 0 ? stash.row_entries : stash.col_entries;
+    if (entries.empty()) return;  // comm-uniform: entries depend on px/py only
+    sim::Comm& comm = role == 0 ? g_.row() : g_.col();
+    sim::Window& win = role == 0 ? row_win_ : col_win_;
+    const int root = role == 0 ? k % g_.Py() : k % g_.Px();
+    const std::size_t stride = role == 0 ? row_stride_ : col_stride_;
+    const std::size_t slot = static_cast<std::size_t>(
+        snode_pos_[static_cast<std::size_t>(k)] % n_slots_);
+    if (comm.rank() != root) {
+      bool any = false;
+      for (StashEntry& e : entries) {
+        const int s = panel[static_cast<std::size_t>(e.panel_idx)].snode;
+        e.in_footprint = entry_needed(panel, s, role, comm.rank());
+        any = any || e.in_footprint;
+      }
+      if (!any) return;  // empty footprint: the root sends nothing either
+      sim::WindowDelivery d = win.expect(root);
+      if (opt_.async) {
+        PanelAsyncOp op;
+        op.exp_role = role;
+        op.delivery = d;
+        stash.ops.push_back(std::move(op));
+      } else {
+        d.wait();
+        parse_targeted(stash, role, ns);
+      }
+      return;
+    }
+    // Root: dense local fill + per-entry bitmap/packed cache. Entries
+    // write disjoint storage/bitmap/cache regions, so both passes fan out
+    // across the pool.
+    std::size_t total_words = 0, dense_scalars = 0;
+    for (StashEntry& e : entries) {
+      const auto elems =
+          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+      e.in_footprint = true;  // the root reads everything locally
+      e.bits_off = total_words;
+      total_words += bitmap_words(elems);
+      dense_scalars += elems;
+    }
+    bits_scratch_.assign(total_words, 0);
+    threads::parallel_for(
+        static_cast<std::ptrdiff_t>(entries.size()), [&](std::ptrdiff_t t, int) {
+          StashEntry& e = entries[static_cast<std::size_t>(t)];
+          const auto elems =
+              static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+          const std::span<const real_t> src = payload(e);
+          SLU3D_CHECK(src.size() == elems, "panel payload size mismatch");
+          std::copy(src.begin(), src.end(), stash.storage.data() + e.offset);
+          std::size_t np = 0;
+          for (std::size_t i = 0; i < elems; ++i)
+            if (src[i] != 0.0) {
+              bits_scratch_[e.bits_off + i / 64] |= std::uint64_t{1} << (i % 64);
+              ++np;
+            }
+          e.packed = np;
+        });
+    pack_off_.resize(entries.size());
+    std::size_t total_packed = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      pack_off_[i] = total_packed;
+      total_packed += entries[i].packed;
+    }
+    packed_cache_.resize(total_packed);
+    threads::parallel_for(
+        static_cast<std::ptrdiff_t>(entries.size()), [&](std::ptrdiff_t t, int) {
+          const StashEntry& e = entries[static_cast<std::size_t>(t)];
+          const auto elems =
+              static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+          pack_present({stash.storage.data() + e.offset, elems}, bits_scratch_,
+                       e.bits_off,
+                       packed_cache_.data() + pack_off_[static_cast<std::size_t>(t)]);
+        });
+    const int p = comm.size();
+    std::size_t wired = 0;
+    offset_t n_puts = 0;
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      put_buf_.clear();
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const StashEntry& e = entries[i];
+        const int s = panel[static_cast<std::size_t>(e.panel_idx)].snode;
+        if (!entry_needed(panel, s, role, r)) continue;
+        const auto elems =
+            static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+        for (std::size_t w = 0; w < bitmap_words(elems); ++w)
+          put_buf_.push_back(std::bit_cast<real_t>(bits_scratch_[e.bits_off + w]));
+        put_buf_.insert(
+            put_buf_.end(),
+            packed_cache_.begin() + static_cast<std::ptrdiff_t>(pack_off_[i]),
+            packed_cache_.begin() +
+                static_cast<std::ptrdiff_t>(pack_off_[i] + e.packed));
+      }
+      if (put_buf_.empty()) continue;  // empty footprint: no message at all
+      win.put(r, slot * stride, put_buf_);
+      wired += put_buf_.size();
+      ++n_puts;
+    }
+    if (p > 1) {
+      sim::RankStats& st = comm.stats();
+      const auto dense_bytes = static_cast<offset_t>(
+          static_cast<std::size_t>(p - 1) * dense_scalars * sizeof(real_t));
+      st.panel_dense_bytes += dense_bytes;
+      st.panel_saved_bytes +=
+          dense_bytes - static_cast<offset_t>(wired * sizeof(real_t));
+      st.panel_saved_msgs += static_cast<offset_t>(p - 1) *
+                                 static_cast<offset_t>(entries.size()) -
+                             n_puts;
+    }
+  }
+
+  /// Parses this rank's footprint put — landed in the role window's slot
+  /// for this supernode — into the dense stash storage. Must run right
+  /// after the matching delivery's wait: the slot is rewritten once its
+  /// next tenant's put is applied (which can only happen during a later
+  /// delivery's wait, after this supernode retired).
+  void parse_targeted(PanelStash& stash, int role, index_t ns) const {
+    const std::vector<StashEntry>& entries =
+        role == 0 ? stash.row_entries : stash.col_entries;
+    const sim::Window& win = role == 0 ? row_win_ : col_win_;
+    const std::size_t stride = role == 0 ? row_stride_ : col_stride_;
+    const std::size_t slot = static_cast<std::size_t>(
+        snode_pos_[static_cast<std::size_t>(stash.k)] % n_slots_);
+    const real_t* wire = win.local().data() + slot * stride;
+    std::size_t pos = 0;
+    for (const StashEntry& e : entries) {
+      if (!e.in_footprint) continue;
+      const auto elems =
+          static_cast<std::size_t>(e.m) * static_cast<std::size_t>(ns);
+      const std::size_t words = bitmap_words(elems);
+      const real_t* wbits = wire + pos;
+      const real_t* packed = wire + pos + words;
+      real_t* dst = stash.storage.data() + e.offset;
+      std::size_t pp = 0;
+      for (std::size_t d = 0; d < elems; ++d) {
+        const auto wb = std::bit_cast<std::uint64_t>(wbits[d / 64]);
+        dst[d] = ((wb >> (d % 64)) & 1) ? packed[pp++] : 0.0;
+      }
+      pos += words + pp;
+    }
+  }
+
  private:
+  /// Collective setup of the targeted-mode RMA windows, once per run.
+  /// Each role's window is n_slots uniform slots of `stride` elements,
+  /// where the stride is the max dense-bound footprint wire size over
+  /// every (supernode, peer) of the comm — a quantity every member
+  /// computes identically from the symbolic structure, so put offsets
+  /// need no negotiation. A supernode's slot is its schedule position mod
+  /// (lookahead+1): any two live supernodes sit within lookahead+1
+  /// schedule positions of each other, so live slots never collide, and a
+  /// slot's previous tenant has always parsed its put (at its Schur
+  /// drain) before the next tenant's put can be applied.
+  void create_targeted_windows(std::span<const int> snodes) {
+    snode_pos_.assign(static_cast<std::size_t>(bs_.n_snodes()), -1);
+    for (int w = 0; w < static_cast<int>(snodes.size()); ++w)
+      snode_pos_[static_cast<std::size_t>(snodes[static_cast<std::size_t>(w)])] =
+          w;
+    n_slots_ = std::min(opt_.lookahead + 1,
+                        std::max(1, static_cast<int>(snodes.size())));
+    row_stride_ = col_stride_ = 0;
+    for (const int k : snodes) {
+      const index_t ns = bs_.snode_size(k);
+      if (ns == 0) continue;
+      const auto panel = bs_.lpanel(k);
+      for (int r = 0; r < g_.Py(); ++r) {
+        if (r == k % g_.Py()) continue;
+        std::size_t wire = 0;
+        for (const PanelBlock& blk : panel) {
+          if (blk.n_rows() == 0 || blk.snode % g_.Px() != g_.px()) continue;
+          if (!row_entry_needed(panel, blk.snode, r)) continue;
+          const auto elems = static_cast<std::size_t>(blk.n_rows()) *
+                             static_cast<std::size_t>(ns);
+          wire += bitmap_words(elems) + elems;
+        }
+        row_stride_ = std::max(row_stride_, wire);
+      }
+      if constexpr (!Policy::kSymmetric) {
+        for (int r = 0; r < g_.Px(); ++r) {
+          if (r == k % g_.Px()) continue;
+          std::size_t wire = 0;
+          for (const PanelBlock& blk : panel) {
+            if (blk.n_rows() == 0 || blk.snode % g_.Py() != g_.py()) continue;
+            if (!col_entry_needed(panel, blk.snode, r)) continue;
+            const auto elems = static_cast<std::size_t>(blk.n_rows()) *
+                               static_cast<std::size_t>(ns);
+            wire += bitmap_words(elems) + elems;
+          }
+          col_stride_ = std::max(col_stride_, wire);
+        }
+      }
+    }
+    row_win_buf_.assign(row_stride_ * static_cast<std::size_t>(n_slots_), 0.0);
+    row_win_ = g_.row().win_create(opt_.tag_base + kRowWinTag, row_win_buf_,
+                                   sim::CommPlane::XY);
+    if constexpr (!Policy::kSymmetric) {
+      col_win_buf_.assign(col_stride_ * static_cast<std::size_t>(n_slots_),
+                          0.0);
+      col_win_ = g_.col().win_create(opt_.tag_base + kColWinTag, col_win_buf_,
+                                     sim::CommPlane::XY);
+    }
+  }
+
   /// Claims a free stash slot. The pool invariant — at most lookahead+1
   /// slots live at once, and never two slots for the same supernode (the
   /// per-supernode tags would alias their broadcasts) — is what makes the
@@ -372,6 +666,18 @@ class PanelEngine {
     const int pyk = k % g_.Py();
     const bool in_pcol = g_.py() == pyk;
     const bool sparse = sparse_packing();
+    if (targeted_packing()) {
+      // One-sided mode: the whole row role is one footprint put per peer
+      // (root) or one expected delivery (receivers with a non-empty
+      // footprint). The root's storage is dense-filled inside, so the
+      // symmetric variant's relay copies see dense data as usual.
+      targeted_role(stash, /*role=*/0, k, ns, panel, [&](const StashEntry& e) {
+        return Policy::row_payload(
+            F_, k, panel[static_cast<std::size_t>(e.panel_idx)].snode);
+      });
+      Policy::post_col_entries(*this, stash, k, ns);
+      return;
+    }
     if (sparse)
       exchange_presence_frame(
           g_.row(), pyk, tag(k, kRowFrameOp), stash, stash.row_entries,
@@ -457,6 +763,17 @@ class PanelEngine {
     // completes.
     const auto panel = bs_.lpanel(k);
     for (PanelAsyncOp& op : stash->ops) {
+      if (op.delivery.valid()) {
+        // Targeted-mode footprint put: waiting applies it (and any earlier
+        // same-origin puts, each into its own slot), then the parse runs
+        // immediately — before any other delivery's wait can overwrite the
+        // slot — expanding every footprint entry of the role at once. The
+        // symmetric variant's deferred relays sit later in `ops`, so their
+        // row-role source regions are dense by the time they copy.
+        op.delivery.wait();
+        parse_targeted(*stash, op.exp_role, ns);
+        continue;
+      }
       if (op.relay_pi < 0) {
         op.req.wait();
         if (op.exp_role >= 0) {
@@ -568,6 +885,18 @@ class PanelEngine {
   std::vector<PanelStash> stash_;  ///< slot pool, <= lookahead+1 live slots
   std::vector<real_t> diag_buf_;   ///< reusable diagonal broadcast buffer
   std::vector<real_t> frame_buf_;  ///< reusable presence-frame wire buffer
+  // Targeted-mode state (unused otherwise). The window buffers must not
+  // relocate while the windows are alive, and the engine itself anchors
+  // the Window objects that pending WindowDelivery receipts point into.
+  sim::Window row_win_, col_win_;  ///< per-run RMA windows, one per role
+  std::vector<real_t> row_win_buf_, col_win_buf_;  ///< slotted landing zones
+  std::vector<int> snode_pos_;     ///< schedule position per supernode
+  std::size_t row_stride_ = 0, col_stride_ = 0;  ///< slot strides (elements)
+  int n_slots_ = 1;                ///< landing slots per window (lookahead+1)
+  std::vector<std::uint64_t> bits_scratch_;  ///< root-side bitmap build
+  std::vector<real_t> packed_cache_;  ///< root-side packed scalars, all entries
+  std::vector<std::size_t> pack_off_;  ///< per-entry offsets into packed_cache_
+  std::vector<real_t> put_buf_;    ///< per-peer put assembly buffer
   std::vector<SchurPair> schur_pairs_;        ///< reusable pair work list
   std::vector<std::pair<int, int>> exp_batch_;  ///< deferred (role, idx) expansions
 };

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <condition_variable>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <tuple>
 
 #include "support/check.hpp"
 #include "threads/thread_pool.hpp"
@@ -24,7 +26,7 @@ std::uint64_t mix64(std::uint64_t z) {
 
 // Operation kinds occupy high tag bits so a collective cannot match a
 // point-to-point message that reuses the same user tag.
-enum class Op : int { P2P = 0, Coll = 1, Setup = 2 };
+enum class Op : int { P2P = 0, Coll = 1, Setup = 2, Rma = 3 };
 constexpr int kMaxUserTag = (1 << 26) - 1;
 int full_tag(Op op, int tag) {
   SLU3D_CHECK(tag >= 0 && tag <= kMaxUserTag, "tag out of range");
@@ -46,6 +48,21 @@ struct MsgKey {
 struct Envelope {
   std::vector<real_t> payload;
   double arrival;
+};
+
+/// Cross-rank metadata of one RMA window. Created lazily (first member to
+/// arrive, under the registry mutex) and identified by a uid every member
+/// computes locally from (comm_id, tag, per-member creation count) — the
+/// counts stay in lockstep because win_create is collective, so members
+/// rendezvous on the same entry without serializing pointers. Each member
+/// writes only its own extent/snapshot slot; cross-rank reads are ordered
+/// by the uncharged creation handshake and by fence barriers.
+struct WindowShared {
+  std::uint64_t uid = 0;
+  int p = 0;
+  std::vector<std::size_t> extents;
+  std::vector<std::vector<real_t>> snapshots;  ///< what get() reads
+  std::vector<double> snap_clocks;             ///< publish time per member
 };
 
 class Context {
@@ -142,6 +159,46 @@ class Context {
     return pop_ready(mb, key, ticket);
   }
 
+  /// Fused ticket-draw + take for the next *already delivered* envelope of
+  /// `key`: succeeds only if the slot the next ticket would match holds a
+  /// landed envelope, and then consumes both. Lets a fence drain every
+  /// operation that arrived in the closing epoch without registering
+  /// receives for them up front (one-sided targets don't know the count).
+  std::optional<Envelope> try_take_next(int dst_world, const MsgKey& key) {
+    Mailbox& mb = *mailboxes[static_cast<std::size_t>(dst_world)];
+    const std::lock_guard<std::mutex> lock(mb.mu);
+    if (aborted.load(std::memory_order_relaxed))
+      throw Error("simmpi: run aborted by a failing rank");
+    const auto it = mb.queues.find(key);
+    if (it == mb.queues.end() || !it->second.ready.contains(it->second.next_ticket))
+      return std::nullopt;
+    return pop_ready(mb, key, it->second.next_ticket++);
+  }
+
+  /// Rendezvous for win_create: every member computes `uid` locally and the
+  /// first to arrive creates the shared struct.
+  std::shared_ptr<WindowShared> window_shared(std::uint64_t uid, int p) {
+    const std::lock_guard<std::mutex> lock(win_mu);
+    auto& slot = windows[uid];
+    if (!slot) {
+      slot = std::make_shared<WindowShared>();
+      slot->uid = uid;
+      slot->p = p;
+      slot->extents.resize(static_cast<std::size_t>(p), 0);
+      slot->snapshots.resize(static_cast<std::size_t>(p));
+      slot->snap_clocks.resize(static_cast<std::size_t>(p), 0.0);
+    }
+    SLU3D_CHECK(slot->p == p, "win_create: uid collision across sizes");
+    return slot;
+  }
+
+  /// Per-member window creation counter; advances in lockstep across the
+  /// members of a communicator because creation is collective.
+  std::uint64_t next_win_count(std::uint64_t comm_id, int tag, int member) {
+    const std::lock_guard<std::mutex> lock(win_mu);
+    return win_counts[{comm_id, tag, member}]++;
+  }
+
   void abort_all() {
     aborted.store(true, std::memory_order_relaxed);
     for (auto& mb : mailboxes) {
@@ -152,14 +209,18 @@ class Context {
 
  private:
   /// Removes and returns the matched envelope; the queue itself is erased
-  /// once drained AND free of outstanding tickets. Caller holds mb.mu.
+  /// once drained AND free of outstanding tickets. RMA op-streams are kept
+  /// alive even when quiescent: a Window mirrors the stream's ticket counter
+  /// in its own expect/apply cursors, so resetting the queue to zero between
+  /// epochs would desynchronise every later expect. Caller holds mb.mu.
   Envelope pop_ready(Mailbox& mb, const MsgKey& key, std::uint64_t ticket) {
     const auto it = mb.queues.find(key);
     const auto rit = it->second.ready.find(ticket);
     Envelope env = std::move(rit->second);
     it->second.ready.erase(rit);
     if (it->second.ready.empty() &&
-        it->second.next_push == it->second.next_ticket)
+        it->second.next_push == it->second.next_ticket &&
+        (key.tag >> 26) != static_cast<int>(Op::Rma))
       mb.queues.erase(it);
     return env;
   }
@@ -176,6 +237,12 @@ class Context {
   /// the injection side).
   std::vector<double> net_busy;
   std::atomic<bool> aborted{false};
+  /// RMA window registry: uid -> shared struct, plus the per-member
+  /// creation counts the uids are derived from. Entries live until the
+  /// Context does (windows are few and bounded per run).
+  std::mutex win_mu;
+  std::map<std::uint64_t, std::shared_ptr<WindowShared>> windows;
+  std::map<std::tuple<std::uint64_t, int, int>, std::uint64_t> win_counts;
 
   void record(int world_rank, TraceEvent ev) {
     if (traces.empty()) return;
@@ -745,6 +812,299 @@ Comm Comm::split(int color, int key) const {
   return Comm(ctx_, new_id, std::move(new_members), new_rank);
 }
 
+// ---- one-sided windows -----------------------------------------------------
+
+namespace {
+
+/// Wire format of a window operation: two uncharged header words, then the
+/// data. Word 0 packs the kind into the top byte and the target element
+/// offset into the low 56 bits; word 1 is the dense span length. For
+/// ScatterAcc the data is ceil(len/64) bitmap words followed by the packed
+/// nonzeros; for Put/Acc it is the len elements themselves.
+enum class RmaKind : std::uint64_t { Put = 0, Acc = 1, ScatterAcc = 2 };
+constexpr std::uint64_t kRmaOffsetMask = (std::uint64_t{1} << 56) - 1;
+
+real_t rma_header(RmaKind kind, std::size_t offset) {
+  SLU3D_CHECK(offset <= kRmaOffsetMask, "window op: offset out of range");
+  return std::bit_cast<real_t>((static_cast<std::uint64_t>(kind) << 56) |
+                               static_cast<std::uint64_t>(offset));
+}
+
+/// All operations of one window share a single matching stream per origin:
+/// uid as the communicator field, the origin as source, one reserved tag.
+int rma_op_tag() { return detail::full_tag(Op::Rma, 0); }
+
+}  // namespace
+
+Window Comm::win_create(int tag, std::span<real_t> local, CommPlane plane) {
+  assert_funneled();
+  const int p = size();
+  // Lockstep per-member creation count makes the uid computable locally and
+  // identical across members without exchanging it.
+  const std::uint64_t count = ctx_->next_win_count(comm_id_, tag, world_rank());
+  const std::uint64_t uid = detail::mix64(
+      detail::mix64(comm_id_ ^ (static_cast<std::uint64_t>(tag) << 32) ^
+                    std::uint64_t{0xA11CE5}) +
+      count * std::uint64_t{0x9e3779b97f4a7c15});
+  auto sh = ctx_->window_shared(uid, p);
+  sh->extents[static_cast<std::size_t>(rank_)] = local.size();
+  sh->snapshots[static_cast<std::size_t>(rank_)].assign(local.begin(),
+                                                        local.end());
+  sh->snap_clocks[static_cast<std::size_t>(rank_)] = clock();
+  // Uncharged handshake (like split()): gather-to-member-0 + replies. This
+  // orders every member's slot writes before every member's return, so no
+  // operation can race window creation.
+  const Wire wire{ctx_, comm_id_};
+  const int hs = detail::full_tag(Op::Rma, tag);
+  if (rank_ == 0) {
+    for (int r = 1; r < p; ++r)
+      wire.recv_free(world_rank(), members_[static_cast<std::size_t>(r)], hs);
+    for (int r = 1; r < p; ++r)
+      wire.send_free(world_rank(), members_[static_cast<std::size_t>(r)], hs,
+                     {});
+  } else if (p > 1) {
+    wire.send_free(world_rank(), members_[0], hs, {});
+    wire.recv_free(world_rank(), members_[0], hs);
+  }
+  Window w;
+  w.ctx_ = ctx_;
+  w.sh_ = std::move(sh);
+  w.members_ = members_;
+  w.rank_ = rank_;
+  w.plane_ = plane;
+  w.local_ = local;
+  w.origin_.resize(static_cast<std::size_t>(p));
+  w.comm_ = std::make_shared<Comm>(*this);
+  return w;
+}
+
+std::size_t Window::extent(int target) const {
+  SLU3D_CHECK(valid(), "extent: invalid window");
+  SLU3D_CHECK(target >= 0 && target < size(), "extent: bad target");
+  return sh_->extents[static_cast<std::size_t>(target)];
+}
+
+/// Origin-side injection, charged exactly like isend: alpha on the clock,
+/// the transfer (data bytes only — the header words ride free) serialized
+/// on this rank's wire, bytes/messages booked as sent on the plane.
+void Window::post_op(int target, std::vector<real_t> payload,
+                     offset_t data_bytes) {
+  assert_funneled();
+  SLU3D_CHECK(valid(), "window op: invalid window");
+  SLU3D_CHECK(target >= 0 && target < size(), "window op: bad target");
+  const int me = members_[static_cast<std::size_t>(rank_)];
+  const int dst = members_[static_cast<std::size_t>(target)];
+  auto& st = ctx_->stats[static_cast<std::size_t>(me)];
+  const double t0 = st.clock;
+  st.clock += ctx_->model.alpha;
+  const double arrival =
+      std::max(t0, ctx_->net_busy[static_cast<std::size_t>(me)]) +
+      ctx_->model.message_time(data_bytes);
+  ctx_->net_busy[static_cast<std::size_t>(me)] = arrival;
+  ctx_->record(me, {TraceEvent::Kind::Send, t0, st.clock, dst, data_bytes,
+                    ComputeKind::Other});
+  st.bytes_sent[static_cast<std::size_t>(plane_)] += data_bytes;
+  st.messages_sent[static_cast<std::size_t>(plane_)] += 1;
+  ctx_->deliver(dst, {sh_->uid, me, rma_op_tag()},
+                {std::move(payload), arrival});
+}
+
+void Window::put(int target, std::size_t offset, std::span<const real_t> data) {
+  SLU3D_CHECK(offset + data.size() <= extent(target), "put: out of range");
+  std::vector<real_t> payload;
+  payload.reserve(data.size() + 2);
+  payload.push_back(rma_header(RmaKind::Put, offset));
+  payload.push_back(std::bit_cast<real_t>(static_cast<std::uint64_t>(data.size())));
+  payload.insert(payload.end(), data.begin(), data.end());
+  post_op(target, std::move(payload), payload_bytes(data.size()));
+}
+
+void Window::accumulate(int target, std::size_t offset,
+                        std::span<const real_t> data) {
+  SLU3D_CHECK(offset + data.size() <= extent(target),
+              "accumulate: out of range");
+  std::vector<real_t> payload;
+  payload.reserve(data.size() + 2);
+  payload.push_back(rma_header(RmaKind::Acc, offset));
+  payload.push_back(std::bit_cast<real_t>(static_cast<std::uint64_t>(data.size())));
+  payload.insert(payload.end(), data.begin(), data.end());
+  post_op(target, std::move(payload), payload_bytes(data.size()));
+}
+
+void Window::scatter_accumulate(int target, std::size_t offset,
+                                std::size_t span_len,
+                                std::span<const std::uint64_t> bitmap,
+                                std::span<const real_t> packed) {
+  const std::size_t words = (span_len + 63) / 64;
+  SLU3D_CHECK(bitmap.size() == words, "scatter_accumulate: bitmap size");
+  SLU3D_CHECK(offset + span_len <= extent(target),
+              "scatter_accumulate: out of range");
+  std::vector<real_t> payload;
+  payload.reserve(2 + words + packed.size());
+  payload.push_back(rma_header(RmaKind::ScatterAcc, offset));
+  payload.push_back(std::bit_cast<real_t>(static_cast<std::uint64_t>(span_len)));
+  for (const std::uint64_t w : bitmap)
+    payload.push_back(std::bit_cast<real_t>(w));
+  payload.insert(payload.end(), packed.begin(), packed.end());
+  post_op(target, std::move(payload), payload_bytes(words + packed.size()));
+}
+
+WindowDelivery Window::expect(int origin) {
+  assert_funneled();
+  SLU3D_CHECK(valid(), "expect: invalid window");
+  SLU3D_CHECK(origin >= 0 && origin < size(), "expect: bad origin");
+  const detail::MsgKey key{sh_->uid,
+                           members_[static_cast<std::size_t>(origin)],
+                           rma_op_tag()};
+  const std::uint64_t ticket =
+      ctx_->acquire_ticket(members_[static_cast<std::size_t>(rank_)], key);
+  auto& os = origin_[static_cast<std::size_t>(origin)];
+  SLU3D_CHECK(ticket == os.next_expect,
+              "expect: window matching stream out of sync");
+  return WindowDelivery(this, origin, os.next_expect++);
+}
+
+/// Applies every not-yet-applied operation from `origin` up to and
+/// including `seq`, in post order — the non-overtaking guarantee: waiting
+/// a later delivery first forces the earlier ones in before it.
+void Window::apply_through(int origin, std::uint64_t seq) {
+  assert_funneled();
+  auto& os = origin_[static_cast<std::size_t>(origin)];
+  const detail::MsgKey key{sh_->uid,
+                           members_[static_cast<std::size_t>(origin)],
+                           rma_op_tag()};
+  const int me = members_[static_cast<std::size_t>(rank_)];
+  while (os.next_applied <= seq) {
+    detail::Envelope env = ctx_->take_ticket(me, key, os.next_applied);
+    apply_envelope(origin, std::move(env.payload), env.arrival);
+    ++os.next_applied;
+  }
+}
+
+/// Receiver-side completion of one landed operation: charged like an irecv
+/// wait (clock to max(local, arrival), wait credit, data bytes + one
+/// message received on the plane), then the decoded update is applied to
+/// the local window memory.
+void Window::apply_envelope(int origin, std::vector<real_t> payload,
+                            double arrival) {
+  SLU3D_CHECK(payload.size() >= 2, "window op: truncated payload");
+  const int me = members_[static_cast<std::size_t>(rank_)];
+  auto& s = ctx_->stats[static_cast<std::size_t>(me)];
+  const offset_t bytes = payload_bytes(payload.size() - 2);
+  const double t0 = s.clock;
+  s.clock = std::max(s.clock, arrival);
+  ctx_->record(me, {TraceEvent::Kind::Wait, t0, s.clock,
+                    members_[static_cast<std::size_t>(origin)], bytes,
+                    ComputeKind::Other});
+  s.wait_seconds += s.clock - t0;
+  s.bytes_received[static_cast<std::size_t>(plane_)] += bytes;
+  s.messages_received[static_cast<std::size_t>(plane_)] += 1;
+  const std::uint64_t h0 = std::bit_cast<std::uint64_t>(payload[0]);
+  const std::size_t offset = static_cast<std::size_t>(h0 & kRmaOffsetMask);
+  const std::size_t len = static_cast<std::size_t>(
+      std::bit_cast<std::uint64_t>(payload[1]));
+  SLU3D_CHECK(offset + len <= local_.size(), "window op: lands out of range");
+  const std::span<const real_t> data(payload.data() + 2, payload.size() - 2);
+  switch (static_cast<RmaKind>(h0 >> 56)) {
+    case RmaKind::Put:
+      SLU3D_CHECK(data.size() == len, "put: data size mismatch");
+      std::copy(data.begin(), data.end(), local_.begin() + static_cast<std::ptrdiff_t>(offset));
+      break;
+    case RmaKind::Acc:
+      SLU3D_CHECK(data.size() == len, "accumulate: data size mismatch");
+      for (std::size_t i = 0; i < len; ++i) local_[offset + i] += data[i];
+      break;
+    case RmaKind::ScatterAcc: {
+      const std::size_t words = (len + 63) / 64;
+      SLU3D_CHECK(data.size() >= words, "scatter_accumulate: truncated bitmap");
+      const std::span<const real_t> packed = data.subspan(words);
+      std::size_t next = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = std::bit_cast<std::uint64_t>(data[w]);
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          const std::size_t i = w * 64 + static_cast<std::size_t>(b);
+          SLU3D_CHECK(i < len, "scatter_accumulate: bit beyond span");
+          local_[offset + i] += packed[next++];
+        }
+      }
+      SLU3D_CHECK(next == packed.size(),
+                  "scatter_accumulate: popcount != packed size");
+      break;
+    }
+    default:
+      throw Error("window op: unknown kind");
+  }
+}
+
+void WindowDelivery::wait() {
+  if (!win_) return;
+  Window* w = win_;
+  win_ = nullptr;
+  w->apply_through(origin_, seq_);
+}
+
+void Window::get(int target, std::size_t offset, std::span<real_t> out) {
+  assert_funneled();
+  SLU3D_CHECK(valid(), "get: invalid window");
+  SLU3D_CHECK(target >= 0 && target < size(), "get: bad target");
+  const auto& snap = sh_->snapshots[static_cast<std::size_t>(target)];
+  SLU3D_CHECK(offset + out.size() <= snap.size(), "get: out of range");
+  const int me = members_[static_cast<std::size_t>(rank_)];
+  auto& st = ctx_->stats[static_cast<std::size_t>(me)];
+  const offset_t bytes = payload_bytes(out.size());
+  const double t0 = st.clock;
+  // The payload leaves the target at its snapshot publish time; the fetch
+  // occupies the origin for the transfer (the target's thread is not
+  // involved — that is the point of one-sided).
+  const double start =
+      std::max(st.clock, sh_->snap_clocks[static_cast<std::size_t>(target)]);
+  st.clock = start + ctx_->model.message_time(bytes);
+  ctx_->record(me, {TraceEvent::Kind::Recv, t0, st.clock,
+                    members_[static_cast<std::size_t>(target)], bytes,
+                    ComputeKind::Other});
+  st.wait_seconds += start - t0;
+  st.bytes_received[static_cast<std::size_t>(plane_)] += bytes;
+  st.messages_received[static_cast<std::size_t>(plane_)] += 1;
+  std::copy_n(snap.begin() + static_cast<std::ptrdiff_t>(offset), out.size(),
+              out.begin());
+}
+
+void Window::fence(int tag) {
+  assert_funneled();
+  SLU3D_CHECK(valid(), "fence: invalid window");
+  // Barrier 1: every operation of the closing epoch has been injected
+  // (and, the mailboxes being synchronous, delivered) before any rank
+  // starts applying — so the drain below sees exactly the epoch's ops.
+  comm_->barrier(tag, plane_);
+  const int me = members_[static_cast<std::size_t>(rank_)];
+  for (int o = 0; o < size(); ++o) {
+    auto& os = origin_[static_cast<std::size_t>(o)];
+    const detail::MsgKey key{sh_->uid, members_[static_cast<std::size_t>(o)],
+                             rma_op_tag()};
+    // Expected-but-unwaited deliveries first (they hold earlier tickets),
+    // then everything that arrived unannounced, all in post order.
+    while (os.next_applied < os.next_expect) {
+      detail::Envelope env = ctx_->take_ticket(me, key, os.next_applied);
+      apply_envelope(o, std::move(env.payload), env.arrival);
+      ++os.next_applied;
+    }
+    while (auto env = ctx_->try_take_next(me, key)) {
+      apply_envelope(o, std::move(env->payload), env->arrival);
+      ++os.next_expect;
+      ++os.next_applied;
+    }
+  }
+  sh_->snapshots[static_cast<std::size_t>(rank_)].assign(local_.begin(),
+                                                         local_.end());
+  sh_->snap_clocks[static_cast<std::size_t>(rank_)] =
+      ctx_->stats[static_cast<std::size_t>(me)].clock;
+  // Barrier 2: snapshots are published before any rank's next epoch (or
+  // get()) can read them.
+  comm_->barrier(tag, plane_);
+}
+
 double RunResult::max_clock() const {
   double best = 0;
   for (const auto& r : ranks) best = std::max(best, r.clock);
@@ -844,8 +1204,25 @@ RunResult run_ranks(int n_ranks, const MachineModel& model,
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  // Prefer the root-cause error over the collateral "aborted by a failing
+  // rank" ones the other ranks throw while unwinding.
+  std::exception_ptr first, root_cause;
+  for (auto& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    if (root_cause) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const Error& err) {
+      if (std::string_view(err.what()).find("aborted by a failing rank") ==
+          std::string_view::npos)
+        root_cause = e;
+    } catch (...) {
+      root_cause = e;
+    }
+  }
+  if (root_cause) std::rethrow_exception(root_cause);
+  if (first) std::rethrow_exception(first);
   return RunResult{std::move(ctx.stats), std::move(ctx.traces)};
 }
 

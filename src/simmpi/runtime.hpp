@@ -37,7 +37,10 @@ namespace slu3d::sim {
 namespace detail {
 class Context;          // shared mailboxes + stats, defined in runtime.cpp
 struct RequestState;    // per-operation completion state, runtime.cpp
+struct WindowShared;    // cross-rank window metadata + snapshots, runtime.cpp
 }
+
+class Window;
 
 /// Handle for an outstanding non-blocking operation. Default-constructed
 /// requests are inert (valid() == false). A pending irecv/ibcast request
@@ -137,6 +140,15 @@ class Comm {
   /// ordered by (key, old rank).
   Comm split(int color, int key) const;
 
+  /// Collective: exposes `local` as a one-sided RMA window over this
+  /// communicator (MPI_Win_create). Every member must call with the same
+  /// `tag`; `local` must outlive the Window. Repeated creations on the
+  /// same (communicator, tag) are matched by call order, so per-level
+  /// windows never alias across levels. The setup handshake itself is
+  /// uncharged (like split()); all put/get/accumulate traffic on the
+  /// window is LogGP-charged on `plane`.
+  Window win_create(int tag, std::span<real_t> local, CommPlane plane);
+
   /// Advance the logical clock by the model cost of `flops`.
   void add_compute(offset_t flops, ComputeKind kind);
   /// Advance the logical clock by raw seconds (e.g. imbalance injection).
@@ -160,6 +172,115 @@ class Comm {
   std::uint64_t comm_id_;
   std::vector<int> members_;  ///< member world ranks, in rank order
   int rank_;                  ///< my rank within this communicator
+};
+
+/// Receipt for one expected one-sided delivery (see Window::expect).
+/// Waiting applies the matched operation — and every earlier unapplied
+/// operation from the same origin first, so operations from one origin
+/// always land in post order (MPI's accumulate-ordering rule; the RMA
+/// analogue of the equal-tag ibcast non-overtaking fix). Copyable and
+/// inert when default-constructed; wait() after completion is a no-op.
+/// The Window must outlive (and not relocate under) pending deliveries.
+class WindowDelivery {
+ public:
+  WindowDelivery() = default;
+  bool valid() const { return win_ != nullptr; }
+  /// Blocks until the expected operation (and all earlier ones from the
+  /// same origin) has been applied to the local window memory, charging
+  /// the receive like an irecv wait: clock to max(local, arrival), the
+  /// data bytes (headers are free) and one message on the window's plane.
+  void wait();
+
+ private:
+  friend class Window;
+  WindowDelivery(Window* win, int origin, std::uint64_t seq)
+      : win_(win), origin_(origin), seq_(seq) {}
+  Window* win_ = nullptr;
+  int origin_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+/// A one-sided RMA window over a communicator (created collectively by
+/// Comm::win_create). Origin-side operations — put/accumulate/
+/// scatter_accumulate — are charged exactly like isend: alpha on the
+/// origin's clock, the transfer serialized on the origin's wire, and the
+/// data bytes booked as sent on the window's plane. The receiver side
+/// offers two completion models:
+///  - targeted: the receiver calls expect(origin) once per operation it
+///    knows (symbolically) is coming, and wait()s the returned delivery
+///    at the point the data is needed — the pipeline engines' model;
+///  - epoch: fence(tag) closes an access epoch collectively, applying
+///    every operation landed so far and refreshing the snapshot that
+///    get() reads — the classic MPI_Win_fence model.
+/// get(target,...) reads from the target's last fenced snapshot without
+/// involving the target's thread, charged like a blocking receive whose
+/// payload leaves the target at its snapshot clock. Move-only.
+class Window {
+ public:
+  Window() = default;
+  Window(Window&&) noexcept = default;
+  Window& operator=(Window&&) noexcept = default;
+
+  bool valid() const { return sh_ != nullptr; }
+  /// Number of ranks in the window's communicator.
+  int size() const { return static_cast<int>(members_.size()); }
+  /// My rank within the window's communicator.
+  int rank() const { return rank_; }
+  /// The local memory exposed by this rank.
+  std::span<real_t> local() const { return local_; }
+  /// The exposed extent of `target`'s window memory.
+  std::size_t extent(int target) const;
+
+  /// Copies `data` into target's window at element `offset`.
+  void put(int target, std::size_t offset, std::span<const real_t> data);
+  /// Adds `data` element-wise into target's window at `offset`.
+  void accumulate(int target, std::size_t offset, std::span<const real_t> data);
+  /// Sparse accumulate: adds `packed` (the nonzeros of a dense span of
+  /// `span_len` elements, selected by `bitmap`, one bit per element,
+  /// LSB-first within each word) into target's window at `offset`. Only
+  /// the bitmap words + packed scalars travel; popcount(bitmap) must
+  /// equal packed.size().
+  void scatter_accumulate(int target, std::size_t offset, std::size_t span_len,
+                          std::span<const std::uint64_t> bitmap,
+                          std::span<const real_t> packed);
+
+  /// Registers the next incoming operation from `origin` (in that
+  /// origin's post order) and returns its delivery receipt. The matching
+  /// is reserved at call time, exactly like an irecv posting.
+  WindowDelivery expect(int origin);
+
+  /// Reads target's snapshot (as of its last fence / creation) into
+  /// `out`, starting at element `offset`.
+  void get(int target, std::size_t offset, std::span<real_t> out);
+
+  /// Collective epoch close: applies every operation that reached this
+  /// rank (expected or not), publishes the local memory as the snapshot
+  /// get() serves, and synchronizes the communicator. Deterministic:
+  /// the surrounding barriers mean exactly the operations of the closing
+  /// epoch are applied, in origin-rank then post order.
+  void fence(int tag);
+
+ private:
+  friend class Comm;
+  friend class WindowDelivery;
+  struct OriginSeq {
+    std::uint64_t next_expect = 0;   ///< ops registered via expect()
+    std::uint64_t next_applied = 0;  ///< ops applied to local memory
+  };
+
+  void post_op(int target, std::vector<real_t> payload, offset_t data_bytes);
+  void apply_through(int origin, std::uint64_t seq);
+  void apply_envelope(int origin, std::vector<real_t> payload, double arrival);
+
+  detail::Context* ctx_ = nullptr;
+  std::shared_ptr<detail::WindowShared> sh_;
+  std::vector<int> members_;  ///< member world ranks, in rank order
+  int rank_ = 0;              ///< my rank within the window's communicator
+  CommPlane plane_ = CommPlane::XY;
+  std::span<real_t> local_;
+  std::vector<OriginSeq> origin_;
+  /// The creating communicator, kept for the fence barriers.
+  std::shared_ptr<Comm> comm_;
 };
 
 struct RunResult {

@@ -97,6 +97,18 @@ constexpr Knobs kSweep[] = {
      pipeline::ZRedPacking::Sparse, 2},
     {"async_allsparse_chunk3_la8", 8, true, pipeline::PanelPacking::Sparse,
      pipeline::ZRedPacking::Sparse, 3},
+    {"async_targetedpanel_la8", 8, true, pipeline::PanelPacking::Targeted,
+     pipeline::ZRedPacking::Dense, 1},
+    {"async_targetedpanel_la0", 0, true, pipeline::PanelPacking::Targeted,
+     pipeline::ZRedPacking::Dense, 1},
+    {"blocking_targetedpanel_la8", 8, false, pipeline::PanelPacking::Targeted,
+     pipeline::ZRedPacking::Dense, 1},
+    {"async_targetedzred_chunk2_la8", 8, true, pipeline::PanelPacking::Dense,
+     pipeline::ZRedPacking::Targeted, 2},
+    {"blocking_targetedzred_la8", 8, false, pipeline::PanelPacking::Dense,
+     pipeline::ZRedPacking::Targeted, 1},
+    {"async_alltargeted_chunk3_la8", 8, true, pipeline::PanelPacking::Targeted,
+     pipeline::ZRedPacking::Targeted, 3},
 };
 
 Lu3dOptions lu_options(const Knobs& k) {
@@ -260,6 +272,20 @@ void check_against_baseline(const Knobs& k, int Pz, const RunResult& base,
     EXPECT_EQ(v.total_panel_dense_bytes(), 0);
     EXPECT_EQ(v.total_panel_saved_bytes(), 0);
     EXPECT_EQ(v.total_panel_saved_msgs(), 0);
+  } else if (k.panel == pipeline::PanelPacking::Targeted) {
+    // One-sided footprint puts: headers are uncharged and no presence
+    // frame travels, so the saved counters reconcile the targeted wire to
+    // the dense equivalent exactly — to the byte AND to the message — on
+    // the XY plane (diag broadcasts and the Cholesky dense relay role are
+    // identical on both sides of the identity and cancel).
+    EXPECT_LT(vt.bytes[0], bt.bytes[0]);
+    EXPECT_GT(v.total_panel_dense_bytes(), 0);
+    EXPECT_GT(v.total_panel_saved_bytes(), 0);
+    EXPECT_LT(v.total_panel_saved_bytes(), v.total_panel_dense_bytes());
+    EXPECT_EQ(vt.bytes[0] + v.total_panel_saved_bytes(), bt.bytes[0])
+        << "XY volume not reconciled by panel_saved";
+    EXPECT_EQ(vt.msgs[0] + v.total_panel_saved_msgs(), bt.msgs[0])
+        << "XY messages not reconciled by panel_saved_msgs";
   } else {
     // Ragged ancestor panels are 10-25% zero scalars on the fig9 problems,
     // well above the 1/64 bitmap-frame overhead: strict XY win.
@@ -419,6 +445,116 @@ TEST(CommEquivalence, Fig10ClassPanelSavingsAtLeast15Percent) {
       static_cast<double>(saved) / static_cast<double>(dense_eq);
   EXPECT_GE(ratio, 0.15) << "panel payload saving " << ratio * 100 << "%";
   EXPECT_LT(plane_totals(rs.res).bytes[0], plane_totals(rd.res).bytes[0]);
+}
+
+// ---------------------------------------------------------------------------
+// The fig10 bar for the one-sided delivery: on the same K2D5pt-class
+// problem, targeted footprint puts must save strictly more panel bytes than
+// the sparse-packed broadcasts — the broadcast tree pays every edge with
+// the full packed panel plus a presence frame, while a put carries only
+// what its one receiver reads and skips empty receivers entirely. The same
+// ordering must hold for the Z plane (scatter-accumulate vs framed chunks).
+// ---------------------------------------------------------------------------
+
+TEST(CommEquivalence, Fig10ClassTargetedBeatsSparseSavings) {
+  const GridGeometry g{64, 64, 1};
+  const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
+  const SeparatorTree tree = geometric_nd(g, {.leaf_size = 32});
+  const Problem p{BlockStructure(A, tree), A.permuted_symmetric(tree.perm())};
+
+  Knobs sparse = kBaseline;
+  sparse.name = "allsparse";
+  sparse.async = true;
+  sparse.panel = pipeline::PanelPacking::Sparse;
+  sparse.zred = pipeline::ZRedPacking::Sparse;
+  Knobs targeted = sparse;
+  targeted.name = "alltargeted";
+  targeted.panel = pipeline::PanelPacking::Targeted;
+  targeted.zred = pipeline::ZRedPacking::Targeted;
+
+  const LuRun rs = run_lu(p, 2, 2, 4, sparse);
+  const LuRun rt = run_lu(p, 2, 2, 4, targeted);
+  expect_factors_equal(rs.F, rt.F);
+
+  // Identical dense-equivalent baseline, strictly more of it eliminated.
+  EXPECT_EQ(rt.res.total_panel_dense_bytes(), rs.res.total_panel_dense_bytes());
+  EXPECT_GT(rt.res.total_panel_saved_bytes(), rs.res.total_panel_saved_bytes());
+  EXPECT_GT(rt.res.total_zred_bytes_saved(), rs.res.total_zred_bytes_saved());
+  EXPECT_LT(plane_totals(rt.res).bytes[0], plane_totals(rs.res).bytes[0]);
+  EXPECT_LT(plane_totals(rt.res).bytes[1], plane_totals(rs.res).bytes[1]);
+}
+
+// ---------------------------------------------------------------------------
+// All-empty-footprint receivers: a problem built so no non-root rank ever
+// reads any panel entry. Leaf supernode 0 couples only to the root
+// separator (block 2, whose Schur targets all live on supernode 0's own
+// process row), and leaf supernode 1 is an isolated island with an empty
+// panel. Under Targeted the data root therefore posts *zero* puts — the
+// entire dense-equivalent panel payload is saved, byte for byte and
+// message for message — while the factors still match the dense run.
+// ---------------------------------------------------------------------------
+
+Problem empty_footprint_problem() {
+  // Vertices {0,1} = leaf snode 0, {2,3} = island leaf snode 1,
+  // {4,5} = root separator snode 2. Couplings: 0-4, 1-5, 2-3 only.
+  const index_t n = 6;
+  CooMatrix coo(n, n);
+  auto pair = [&](index_t u, index_t v) {
+    coo.add(u, v, -1.0);
+    coo.add(v, u, -1.0);
+  };
+  pair(0, 4);
+  pair(1, 5);
+  pair(2, 3);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 4.0);
+  const CsrMatrix A = CsrMatrix::from_coo(coo);
+
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::vector<SepTreeNode> nodes(3);
+  nodes[0] = {.subtree_first = 0, .sep_first = 0, .sep_last = 2, .parent = 2};
+  nodes[1] = {.subtree_first = 2, .sep_first = 2, .sep_last = 4, .parent = 2};
+  nodes[2] = {.subtree_first = 0,
+              .sep_first = 4,
+              .sep_last = 6,
+              .left = 0,
+              .right = 1,
+              .parent = -1};
+  const SeparatorTree tree(std::move(perm), std::move(nodes), /*root=*/2);
+  return {BlockStructure(A, tree), A.permuted_symmetric(tree.perm())};
+}
+
+TEST(CommEquivalence, TargetedAllEmptyFootprintsSendNoPanelData) {
+  const Problem p = empty_footprint_problem();
+  Knobs dense = kBaseline;
+  dense.name = "dense";
+  Knobs targeted = dense;
+  targeted.name = "targeted";
+  targeted.panel = pipeline::PanelPacking::Targeted;
+
+  // Px = 1, Py = 2: the lone non-root row peer never owns a Schur target
+  // fed by any panel entry, so every footprint is empty.
+  const LuRun rd = run_lu(p, 1, 2, 1, dense);
+  const LuRun rt = run_lu(p, 1, 2, 1, targeted);
+  expect_factors_equal(rd.F, rt.F);
+
+  // Every dense-equivalent panel byte and message vanished from the wire.
+  EXPECT_GT(rt.res.total_panel_dense_bytes(), 0);
+  EXPECT_EQ(rt.res.total_panel_saved_bytes(),
+            rt.res.total_panel_dense_bytes());
+  EXPECT_GT(rt.res.total_panel_saved_msgs(), 0);
+  EXPECT_EQ(plane_totals(rt.res).bytes[0] + rt.res.total_panel_saved_bytes(),
+            plane_totals(rd.res).bytes[0]);
+  EXPECT_EQ(plane_totals(rt.res).msgs[0] + rt.res.total_panel_saved_msgs(),
+            plane_totals(rd.res).msgs[0]);
+
+  const CholRun cd = run_chol(p, 1, 2, 1, dense);
+  const CholRun ct = run_chol(p, 1, 2, 1, targeted);
+  expect_factors_equal(cd.F, ct.F);
+  EXPECT_EQ(ct.res.total_panel_saved_bytes(),
+            ct.res.total_panel_dense_bytes());
+  EXPECT_EQ(plane_totals(ct.res).msgs[0] + ct.res.total_panel_saved_msgs(),
+            plane_totals(cd.res).msgs[0]);
 }
 
 // ---------------------------------------------------------------------------

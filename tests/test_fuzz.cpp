@@ -157,6 +157,58 @@ TEST_P(RandomPackingFuzz, SparsePanelPackingSolvesBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPackingFuzz, ::testing::Range(0, 12));
 
+// ---------------------------------------------------------------------------
+// Targeted one-sided delivery under the same randomized-density regime:
+// whatever footprint the symbolic structure implies for each receiver, the
+// put-based wire must solve bit-identically to the dense broadcasts, and
+// the XY factor volume may only shrink (puts carry no frames at all, so
+// unlike Sparse there is no bitmap overhead allowance to grant).
+// ---------------------------------------------------------------------------
+
+class RandomTargetedDeliveryFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTargetedDeliveryFuzz, TargetedDeliverySolvesBitIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 9173 + 47);
+  const index_t n = 40 + rng.next_index(80);
+  const index_t extra = n / 2 + rng.next_index(3 * n);
+  const CsrMatrix A = random_matrix(n, extra, seed + 900, (seed % 3) == 0);
+
+  Solver3dOptions opt;
+  const int shapes[][3] = {{2, 2, 1}, {2, 1, 2}, {1, 2, 4}, {2, 2, 2},
+                           {1, 3, 2}, {2, 3, 1}};
+  const auto& s = shapes[seed % 6];
+  opt.Px = s[0];
+  opt.Py = s[1];
+  opt.Pz = s[2];
+  opt.nd.leaf_size = 4 + rng.next_index(10);
+  opt.lu3d.lu2d.lookahead = static_cast<int>(rng.next_index(12));
+  opt.lu3d.lu2d.async = (seed % 2) == 0;
+  opt.lu3d.async = (seed % 2) == 0;
+  opt.lu3d.chunk_snodes = 1 + static_cast<int>(rng.next_index(3));
+
+  const auto nu = static_cast<std::size_t>(n);
+  std::vector<real_t> xref(nu), b(nu), xd(nu), xt(nu);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  A.spmv(xref, b);
+
+  opt.lu3d.lu2d.packing = pipeline::PanelPacking::Dense;
+  opt.lu3d.packing = pipeline::ZRedPacking::Dense;
+  const auto repd = solve_distributed_3d(A, b, xd, opt);
+  opt.lu3d.lu2d.packing = pipeline::PanelPacking::Targeted;
+  opt.lu3d.packing = pipeline::ZRedPacking::Targeted;
+  const auto rept = solve_distributed_3d(A, b, xt, opt);
+
+  EXPECT_LT(repd.residual, 1e-11) << "seed " << seed;
+  EXPECT_LT(rept.residual, 1e-11) << "seed " << seed;
+  for (std::size_t i = 0; i < nu; ++i)
+    ASSERT_EQ(xd[i], xt[i]) << "seed " << seed << " i=" << i;
+  EXPECT_LE(rept.w_fact, repd.w_fact) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTargetedDeliveryFuzz,
+                         ::testing::Range(0, 12));
+
 TEST(Fuzz, FullyDensePanelsSurviveSparsePacking) {
   // Near-dense matrix: presence bitmaps are (almost) all ones, the degenerate
   // end of the packing format. Must stay bit-identical to the dense wire.

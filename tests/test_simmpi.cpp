@@ -414,6 +414,178 @@ TEST(NonBlocking, TestPollsWithoutBlocking) {
   });
 }
 
+// ---- one-sided windows ----------------------------------------------------
+
+TEST(Rma, PutDeliversIntoTargetMemoryAndCharges) {
+  const auto result = run_ranks(2, kModel, [](Comm& world) {
+    std::vector<real_t> mem(8, 0.0);
+    Window win = world.win_create(3, mem, CommPlane::XY);
+    if (world.rank() == 0) {
+      win.put(1, 2, std::vector<real_t>{1, 2, 3, 4});
+    } else {
+      win.expect(0).wait();
+      EXPECT_DOUBLE_EQ(mem[1], 0);
+      EXPECT_DOUBLE_EQ(mem[2], 1);
+      EXPECT_DOUBLE_EQ(mem[5], 4);
+      EXPECT_DOUBLE_EQ(mem[6], 0);
+    }
+  });
+  // Only the four data words are charged — the offset/length header rides
+  // free, exactly as presence frames and payload sizes do elsewhere.
+  EXPECT_EQ(result.ranks[0].bytes_sent[0], 32);
+  EXPECT_EQ(result.ranks[0].messages_sent[0], 1);
+  EXPECT_EQ(result.ranks[1].bytes_received[0], 32);
+  EXPECT_EQ(result.ranks[1].messages_received[0], 1);
+  EXPECT_GT(result.ranks[1].clock, 0.0);
+}
+
+TEST(Rma, OverlappingPutsApplyInPostOrderUnderReversedWaits) {
+  // The RMA analogue of NonBlocking.EqualTagIbcastsInFlightNeverAlias: two
+  // puts from one origin to the same region, waited in reverse, must land
+  // in post order — waiting the later delivery forces the earlier one in
+  // ahead of it, so the final contents are always the second put's.
+  run_ranks(2, kModel, [](Comm& world) {
+    std::vector<real_t> mem(4, -1.0);
+    Window win = world.win_create(3, mem, CommPlane::XY);
+    if (world.rank() == 0) {
+      win.put(1, 0, std::vector<real_t>{10, 11, 12, 13});
+      win.put(1, 0, std::vector<real_t>{20, 21, 22, 23});
+    } else {
+      WindowDelivery first = win.expect(0);
+      WindowDelivery second = win.expect(0);
+      world.add_compute(1000, ComputeKind::Other);
+      second.wait();
+      EXPECT_DOUBLE_EQ(mem[0], 20) << "puts overtook each other";
+      first.wait();  // already applied: must not reapply
+      EXPECT_DOUBLE_EQ(mem[0], 20);
+      EXPECT_DOUBLE_EQ(mem[3], 23);
+    }
+  });
+}
+
+TEST(Rma, AccumulateAddsElementwise) {
+  const auto result = run_ranks(3, kModel, [](Comm& world) {
+    std::vector<real_t> mem(4, 1.0);
+    Window win = world.win_create(5, mem, CommPlane::Z);
+    if (world.rank() != 0) {
+      win.accumulate(0, 1, std::vector<real_t>{static_cast<real_t>(world.rank()), 2.0});
+    } else {
+      win.expect(1).wait();
+      win.expect(2).wait();
+      EXPECT_DOUBLE_EQ(mem[0], 1.0);
+      EXPECT_DOUBLE_EQ(mem[1], 1.0 + 1.0 + 2.0);
+      EXPECT_DOUBLE_EQ(mem[2], 1.0 + 2.0 + 2.0);
+      EXPECT_DOUBLE_EQ(mem[3], 1.0);
+    }
+  });
+  EXPECT_EQ(result.ranks[0].bytes_received[1], 2 * 16);
+  EXPECT_EQ(result.ranks[0].messages_received[1], 2);
+}
+
+TEST(Rma, ScatterAccumulateAddsOnlySetBits) {
+  const auto result = run_ranks(2, kModel, [](Comm& world) {
+    std::vector<real_t> mem(70, 0.5);
+    Window win = world.win_create(1, mem, CommPlane::XY);
+    if (world.rank() == 0) {
+      // A 70-element span with bits 0, 3, 64, 69 set.
+      std::vector<std::uint64_t> bits(2, 0);
+      bits[0] = (std::uint64_t{1} << 0) | (std::uint64_t{1} << 3);
+      bits[1] = (std::uint64_t{1} << 0) | (std::uint64_t{1} << 5);
+      win.scatter_accumulate(1, 0, 70, bits, std::vector<real_t>{1, 2, 3, 4});
+    } else {
+      win.expect(0).wait();
+      EXPECT_DOUBLE_EQ(mem[0], 1.5);
+      EXPECT_DOUBLE_EQ(mem[3], 2.5);
+      EXPECT_DOUBLE_EQ(mem[64], 3.5);
+      EXPECT_DOUBLE_EQ(mem[69], 4.5);
+      EXPECT_DOUBLE_EQ(mem[1], 0.5);
+      EXPECT_DOUBLE_EQ(mem[68], 0.5);
+    }
+  });
+  // Two bitmap words + four packed scalars travel (and are charged).
+  EXPECT_EQ(result.ranks[1].bytes_received[0], (2 + 4) * 8);
+  EXPECT_EQ(result.ranks[1].messages_received[0], 1);
+}
+
+TEST(Rma, FencePublishesSnapshotsForGet) {
+  run_ranks(2, kModel, [](Comm& world) {
+    std::vector<real_t> mem(3, 0.0);
+    if (world.rank() == 0) mem = {7, 8, 9};
+    Window win = world.win_create(2, mem, CommPlane::XY);
+    // Creation publishes the initial contents.
+    std::vector<real_t> got(2);
+    win.get(0, 1, got);
+    EXPECT_DOUBLE_EQ(got[0], 8);
+    EXPECT_DOUBLE_EQ(got[1], 9);
+    // A local write is invisible to get() until a fence republishes...
+    if (world.rank() == 0) mem[1] = 80;
+    win.get(0, 1, got);
+    EXPECT_DOUBLE_EQ(got[0], 8);
+    win.fence(4);
+    win.get(0, 1, got);
+    EXPECT_DOUBLE_EQ(got[0], 80);
+  });
+}
+
+TEST(Rma, FenceAppliesUnannouncedOpsExactlyOnce) {
+  run_ranks(4, kModel, [](Comm& world) {
+    std::vector<real_t> mem(4, 0.0);
+    Window win = world.win_create(9, mem, CommPlane::XY);
+    // No expect() calls at all: the epoch close must find and apply every
+    // landed operation, in origin-rank then post order.
+    if (world.rank() != 0)
+      win.accumulate(0, 0, std::vector<real_t>{1, 1, 1, 1});
+    win.fence(1);
+    if (world.rank() == 0) {
+      for (const real_t v : mem) {
+        EXPECT_DOUBLE_EQ(v, 3.0);
+      }
+    }
+    // Second epoch on the same window: nothing may double-apply.
+    if (world.rank() == 1) win.put(0, 2, std::vector<real_t>{5});
+    win.fence(1);
+    if (world.rank() == 0) {
+      EXPECT_DOUBLE_EQ(mem[2], 5.0);
+      EXPECT_DOUBLE_EQ(mem[1], 3.0);
+    }
+  });
+}
+
+TEST(Rma, FenceCompletesExpectedButUnwaitedDeliveries) {
+  run_ranks(2, kModel, [](Comm& world) {
+    std::vector<real_t> mem(2, 0.0);
+    Window win = world.win_create(6, mem, CommPlane::XY);
+    WindowDelivery d;
+    if (world.rank() == 1) d = win.expect(0);
+    if (world.rank() == 0) win.put(1, 0, std::vector<real_t>{4, 2});
+    win.fence(2);
+    if (world.rank() == 1) {
+      EXPECT_DOUBLE_EQ(mem[0], 4);
+      d.wait();  // the fence already applied it: a no-op, not a hang
+      EXPECT_DOUBLE_EQ(mem[1], 2);
+    }
+  });
+}
+
+TEST(Rma, PerLevelWindowsOnSameTagNeverAlias) {
+  // Re-creating a window on the same (communicator, tag) — as the z
+  // reduction does per level — must yield a distinct matching stream.
+  run_ranks(2, kModel, [](Comm& world) {
+    std::vector<real_t> a(2, 0.0), b(2, 0.0);
+    Window wa = world.win_create(7, a, CommPlane::Z);
+    Window wb = world.win_create(7, b, CommPlane::Z);
+    if (world.rank() == 0) {
+      wb.put(1, 0, std::vector<real_t>{2, 2});
+      wa.put(1, 0, std::vector<real_t>{1, 1});
+    } else {
+      wa.expect(0).wait();
+      wb.expect(0).wait();
+      EXPECT_DOUBLE_EQ(a[0], 1);
+      EXPECT_DOUBLE_EQ(b[0], 2);
+    }
+  });
+}
+
 TEST(Runtime, ManyRanksStress) {
   // 64 rank-threads exchanging in a ring; exercises the mailbox machinery.
   const int p = 64;

@@ -278,6 +278,46 @@ TEST(Funneled, WorkerCallingSimmpiThrows) {
   EXPECT_TRUE(threw.load());
 }
 
+// The one-sided entry points are charged exactly like isend/irecv and are
+// covered by the same funneled contract: a pool worker reaching
+// put/get/accumulate/fence (or the expect/wait completion side) throws.
+TEST(Funneled, WorkerCallingRmaWindowThrows) {
+  std::atomic<bool> had_workers{false};
+  std::atomic<int> rma_throws{0};
+  run_ranks(1, kModel, [&](sim::Comm& world) {
+    std::vector<real_t> mem(4, 0.0);
+    sim::Window win = world.win_create(1, mem, sim::CommPlane::XY);
+    dense::ParallelKernels pk(4);
+    if (pk.pool().workers() == 0) return;
+    had_workers.store(true);
+    // Every charged window entry point on the rank thread is fine...
+    win.put(0, 0, std::vector<real_t>{1, 2});
+    win.expect(0).wait();
+    win.get(0, 0, mem);
+    win.fence(2);
+    // ...and throws from a worker.
+    pk.pool().for_each_slot([&](int slot) {
+      if (slot == 0) return;
+      auto expect_throw = [&](auto&& call) {
+        try {
+          call();
+        } catch (const Error&) {
+          rma_throws.fetch_add(1);
+        }
+      };
+      expect_throw([&] { win.put(0, 0, std::vector<real_t>{1}); });
+      expect_throw([&] { win.accumulate(0, 0, std::vector<real_t>{1}); });
+      expect_throw([&] { win.get(0, 0, mem); });
+      expect_throw([&] { (void)win.expect(0); });
+      expect_throw([&] { win.fence(3); });
+    });
+  });
+  if (!had_workers.load()) GTEST_SKIP() << "worker budget exhausted";
+  // Every guarded call threw on every worker (5 entry points each).
+  EXPECT_GT(rma_throws.load(), 0);
+  EXPECT_EQ(rma_throws.load() % 5, 0);
+}
+
 // ParallelKernels presizes every worker's thread-local pack arena at
 // construction; a worker asking for more afterwards is a kernel escaping
 // its documented bounds and must fail loudly, not reallocate mid-region.

@@ -21,9 +21,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-# Suites that certify the funneled-threading and schedule-equivalence
-# contracts; every configuration must actually contain them.
-REQUIRED_SUITES=(CommEquivalence ThreadPool Funneled Determinism)
+# Suites that certify the funneled-threading, schedule-equivalence, and
+# one-sided (RMA window / targeted delivery) contracts; every
+# configuration must actually contain them. The tsan leg thereby drives
+# the targeted put/scatter-accumulate paths — mailbox op streams, window
+# epochs, per-level staging — under the race detector with a compute
+# pool beneath every rank.
+REQUIRED_SUITES=(CommEquivalence ThreadPool Funneled Determinism Rma
+                 RandomTargetedDeliveryFuzz)
 
 require_suites() {
   local dir="$1" list
