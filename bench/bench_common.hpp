@@ -122,6 +122,54 @@ inline PackingFlags parse_packing_flags(
   return f;
 }
 
+/// Parses `--seed N` / `--seed=N` from argv. One seed drives the whole
+/// traffic trace of the fleet bench: arrivals, pattern mix, values-version
+/// bumps, panel widths, and right-hand sides all derive from it, so a
+/// `--shards` sweep replays the identical workload per configuration. The
+/// documented default is 2026.
+inline std::uint64_t bench_seed(int argc, char** argv,
+                                std::uint64_t def = 2026) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--seed=", 7) == 0)
+      def = std::strtoull(a + 7, nullptr, 10);
+    else if (std::strcmp(a, "--seed") == 0 && i + 1 < argc)
+      def = std::strtoull(argv[++i], nullptr, 10);
+  }
+  return def;
+}
+
+/// Fleet load-generator knobs: `--shards N` pins one shard count (0 keeps
+/// the default {1, 2, 4, 8} sweep), `--coalesce-window W` sets the batch
+/// window in units of the probe request service time (simulated seconds
+/// vary with the machine model, service times don't lie about ratios), and
+/// `--queue-depth N` bounds each shard's admission queue.
+struct FleetFlags {
+  int shards = 0;
+  double window_mult = 1.0;
+  std::size_t queue_depth = 16;
+};
+
+inline FleetFlags parse_fleet_flags(int argc, char** argv) {
+  FleetFlags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--shards=", 9) == 0)
+      f.shards = std::atoi(a + 9);
+    else if (std::strcmp(a, "--shards") == 0 && i + 1 < argc)
+      f.shards = std::atoi(argv[++i]);
+    else if (std::strncmp(a, "--coalesce-window=", 18) == 0)
+      f.window_mult = std::atof(a + 18);
+    else if (std::strcmp(a, "--coalesce-window") == 0 && i + 1 < argc)
+      f.window_mult = std::atof(argv[++i]);
+    else if (std::strncmp(a, "--queue-depth=", 14) == 0)
+      f.queue_depth = static_cast<std::size_t>(std::atoi(a + 14));
+    else if (std::strcmp(a, "--queue-depth") == 0 && i + 1 < argc)
+      f.queue_depth = static_cast<std::size_t>(std::atoi(argv[++i]));
+  }
+  return f;
+}
+
 /// Default Edison-like machine model shared by all benches.
 inline sim::MachineModel machine_model() { return sim::MachineModel{}; }
 

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "fleet_common.hpp"
 #include "numeric/dense_kernels.hpp"
 #include "numeric/kernel_scratch.hpp"
 #include "support/rng.hpp"
@@ -100,6 +101,38 @@ void export_fig12(const std::string& dir) {
     }
     std::cout << "exported heatmap " << t.name << "\n";
   }
+}
+
+/// Sharded-fleet throughput sweep: the seeded open-loop trace from
+/// bench/fleet_common.hpp replayed at shard counts {1, 2, 4, 8}. The CSV
+/// is the tracked acceptance artifact for the fleet subsystem — latency
+/// percentiles, wall throughput, hit/coalesce/shed rates per shard count.
+void export_fleet_throughput(const std::string& dir, std::uint64_t seed) {
+  service::ServiceOptions so;
+  so.Px = 2;
+  so.Py = 2;
+  so.Pz = 2;
+  so.refinement_steps = 1;
+  const bench::FleetTrace trace =
+      bench::make_fleet_trace(so, bench::bench_scale(), seed);
+  const bench::FleetFlags flags;  // bench defaults: window x1, depth 16
+
+  std::ofstream f(dir + "/fleet_throughput.csv");
+  f << "shards,seed,requests,completed,shed,coalesced,batches,migrations,"
+       "p50_s,p90_s,p99_s,wall_s,req_per_s,hit_rate,coalesce_rate,shed_rate"
+       "\n";
+  for (const int shards : {1, 2, 4, 8}) {
+    const bench::FleetRunResult r = bench::run_fleet_trace(
+        trace, bench::fleet_bench_options(so, trace, flags, shards));
+    f << r.shards << ',' << seed << ',' << r.submitted << ',' << r.completed
+      << ',' << r.shed << ',' << r.coalesced << ',' << r.batches << ','
+      << r.migrations << ',' << r.p50 << ',' << r.p90 << ',' << r.p99 << ','
+      << r.wall_s << ',' << r.wall_rps << ',' << r.hit_rate << ','
+      << r.coalesce_rate << ',' << r.shed_rate << '\n';
+    std::cout << "fleet shards=" << r.shards << ": " << r.completed
+              << " done, " << r.shed << " shed, p99 " << r.p99 << " sim s\n";
+  }
+  std::cout << "wrote " << dir << "/fleet_throughput.csv\n";
 }
 
 // ---- dense kernel GFLOP/s export ----------------------------------------
@@ -237,22 +270,33 @@ void export_kernel_benchmarks(const std::string& dir, int threads) {
 
 int main(int argc, char** argv) {
   bool kernels_only = false;
+  bool fleet_only = false;
   std::string dir = "results";
   const int threads = slu3d::bench::bench_threads(argc, argv);
+  const std::uint64_t seed = slu3d::bench::bench_seed(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--kernels-only") == 0) {
       kernels_only = true;
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      // parsed by bench_threads
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
+    } else if (std::strcmp(argv[i], "--fleet-only") == 0) {
+      fleet_only = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0 ||
+               std::strncmp(argv[i], "--seed=", 7) == 0) {
+      // parsed by bench_threads / bench_seed
+    } else if (std::strcmp(argv[i], "--threads") == 0 ||
+               std::strcmp(argv[i], "--seed") == 0) {
       ++i;  // skip the value
     } else {
       dir = argv[i];
     }
   }
   std::filesystem::create_directories(dir);
+  if (fleet_only) {
+    export_fleet_throughput(dir, seed);
+    return 0;
+  }
   export_kernel_benchmarks(dir, threads);
   if (!kernels_only) {
+    export_fleet_throughput(dir, seed);
     export_fig9_fig10_fig11(dir, threads);
     export_fig12(dir);
     std::cout << "CSV files written to " << dir

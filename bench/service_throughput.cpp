@@ -1,175 +1,78 @@
-// Request-stream driver for the resident SolverService: mixed traffic of
-// new patterns (full analysis), repeated patterns with new values (numeric
-// refactorization on the cached structure), and solve-only requests with
-// 1..64 right-hand sides. Reports wall-clock throughput, per-request
-// *simulated* latency percentiles, the pattern-cache hit rate, and the
-// solve-phase messages-per-RHS advantage of batched panels over sequential
-// single-RHS solves.
-#include <algorithm>
-#include <chrono>
+// Open-loop load generator for the sharded SolverFleet: one seeded trace
+// of Poisson-scheduled mixed traffic (six patterns with a skewed
+// popularity mix, values-version bumps, panel widths 1/4/16, eight
+// tenants) replayed bit-identically against shard counts {1, 2, 4, 8}.
+// The arrival rate is calibrated to 3x one shard's hot-request capacity,
+// so the single-shard run saturates its admission queue and sheds while
+// the wider fleets absorb the same trace.
+//
+//   --shards N            pin one shard count (default: sweep 1, 2, 4, 8)
+//   --coalesce-window W   batch window, in probe service times (default 1)
+//   --queue-depth N       per-shard admission bound (default 16)
+//   --seed N              traffic trace seed (default 2026)
+//   --panel-packing / --zred-packing   wire formats the shards factor with
+//
+// Reports per shard count: simulated latency p50/p90/p99 of completed
+// requests, wall-clock throughput, fleet cache hit rate, coalesce rate,
+// shed rate, and cache-warm migrations.
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "service/solver_service.hpp"
-#include "support/rng.hpp"
-
-namespace {
-
-using namespace slu3d;
-using service::ServiceOptions;
-using service::SolveRequest;
-using service::SolverService;
-
-/// Same sparsity pattern, values scaled by `f` (the service must treat
-/// this as a pure refactorization).
-CsrMatrix rescaled(const CsrMatrix& A, real_t f) {
-  std::vector<real_t> vals(A.values().begin(), A.values().end());
-  for (auto& v : vals) v *= f;
-  return CsrMatrix::from_raw(
-      A.n_rows(), A.n_cols(),
-      std::vector<offset_t>(A.row_ptr().begin(), A.row_ptr().end()),
-      std::vector<index_t>(A.col_idx().begin(), A.col_idx().end()),
-      std::move(vals));
-}
-
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(v.size() - 1) + 0.5);
-  return v[idx];
-}
-
-}  // namespace
+#include "fleet_common.hpp"
 
 int main(int argc, char** argv) {
+  using namespace slu3d;
+
   const int scale = bench::bench_scale();
-  // --panel-packing / --zred-packing select the wire formats the resident
-  // service factors with (default dense; the numbers are bitwise identical
-  // either way, only the simulated communication volume moves).
   const auto pk = bench::parse_packing_flags(argc, argv);
-  const index_t g = scale == 0 ? 10 : scale == 1 ? 16 : 24;
-  const int rounds = scale == 0 ? 3 : 4;
+  const std::uint64_t seed = bench::bench_seed(argc, argv);
+  const bench::FleetFlags flags = bench::parse_fleet_flags(argc, argv);
 
-  // Four distinct sparsity patterns (stencil x geometry).
-  const std::vector<CsrMatrix> patterns = {
-      grid2d_laplacian(GridGeometry{g, g, 1}, Stencil2D::FivePoint),
-      grid2d_laplacian(GridGeometry{g, g, 1}, Stencil2D::NinePoint),
-      grid2d_laplacian(GridGeometry{g + 1, g, 1}, Stencil2D::FivePoint),
-      grid2d_laplacian(GridGeometry{g, g + 1, 1}, Stencil2D::NinePoint),
-  };
+  service::ServiceOptions so;
+  so.Px = 2;
+  so.Py = 2;
+  so.Pz = 2;
+  so.refinement_steps = 1;
+  so.lu3d.lu2d.packing = pk.panel;
+  so.lu3d.packing = pk.zred;
 
-  ServiceOptions opt;
-  opt.Px = 2;
-  opt.Py = 2;
-  opt.Pz = 2;
-  opt.refinement_steps = 1;
-  opt.lu3d.lu2d.packing = pk.panel;
-  opt.lu3d.packing = pk.zred;
-  SolverService svc(opt);
+  const bench::FleetTrace trace = bench::make_fleet_trace(so, scale, seed);
 
-  std::vector<double> factor_lat, solve_lat;
-  long total_requests = 0, total_rhs = 0;
-  Rng rng(2026);
-  const auto t0 = std::chrono::steady_clock::now();
+  std::cout << "=== SolverFleet open-loop traffic (seed " << seed << ", "
+            << trace.items.size() << " requests, " << trace.patterns
+            << " patterns, 8 tenants) ===\n";
+  TextTable setup({"metric", "value"});
+  setup.add_row({"probe service time (sim s)",
+                 TextTable::num(trace.probe_seconds, 6)});
+  setup.add_row({"arrival rate (req/sim s)", TextTable::num(trace.rate, 1)});
+  setup.add_row({"coalesce window (sim s)",
+                 TextTable::num(flags.window_mult * trace.probe_seconds, 6)});
+  setup.add_row({"queue depth / shard", std::to_string(flags.queue_depth)});
+  setup.print(std::cout);
 
-  // Mixed traffic: every round revisits each pattern with new values
-  // (round 0 is all cold analyses, later rounds are all cache hits), then
-  // fires a queue of solve-only requests with mixed panel widths.
-  for (int round = 0; round < rounds; ++round) {
-    for (const CsrMatrix& base : patterns) {
-      const CsrMatrix A = rescaled(base, 1.0 + 0.05 * round);
-      const auto fr = svc.factor(A);
-      factor_lat.push_back(fr.factor_time);
-      ++total_requests;
+  std::vector<int> sweep;
+  if (flags.shards > 0)
+    sweep.push_back(flags.shards);
+  else
+    sweep = {1, 2, 4, 8};
 
-      const auto n = static_cast<std::size_t>(A.n_rows());
-      const index_t widths[] = {1, 4, static_cast<index_t>(round % 2 ? 64 : 16)};
-      std::vector<std::vector<real_t>> bs, xs;
-      std::vector<SolveRequest> queue;
-      for (index_t w : widths) {
-        bs.emplace_back(n * static_cast<std::size_t>(w));
-        for (auto& v : bs.back()) v = rng.uniform(-1, 1);
-        xs.emplace_back(bs.back().size());
-        queue.push_back({bs.back(), xs.back(), w});
-        total_rhs += w;
-      }
-      for (const service::SolveReport& sr : svc.solve_stream(queue)) {
-        solve_lat.push_back(sr.solve_time);
-        ++total_requests;
-      }
-    }
+  TextTable out({"shards", "done", "shed", "p50(sim s)", "p90(sim s)",
+                 "p99(sim s)", "req/s(wall)", "hit", "coalesce", "shed rate",
+                 "migr"});
+  for (const int shards : sweep) {
+    const bench::FleetRunResult r = bench::run_fleet_trace(
+        trace, bench::fleet_bench_options(so, trace, flags, shards));
+    out.add_row({std::to_string(r.shards), std::to_string(r.completed),
+                 std::to_string(r.shed), TextTable::num(r.p50, 6),
+                 TextTable::num(r.p90, 6), TextTable::num(r.p99, 6),
+                 TextTable::num(r.wall_rps, 1), TextTable::num(r.hit_rate, 3),
+                 TextTable::num(r.coalesce_rate, 3),
+                 TextTable::num(r.shed_rate, 3),
+                 std::to_string(r.migrations)});
   }
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-
-  const auto& st = svc.stats();
-  const double hit_rate =
-      static_cast<double>(st.cache_hits) /
-      static_cast<double>(st.cache_hits + st.analyses);
-
-  std::cout << "=== SolverService request stream (grid " << g << "x" << g
-            << ", " << rounds << " rounds, 4 patterns) ===\n";
-  TextTable summary({"metric", "value"});
-  summary.add_row({"requests", std::to_string(total_requests)});
-  summary.add_row({"rhs columns", std::to_string(total_rhs)});
-  summary.add_row({"wall seconds", TextTable::num(wall, 2)});
-  summary.add_row({"requests/sec (wall)",
-                   TextTable::num(static_cast<double>(total_requests) / wall, 1)});
-  summary.add_row({"analyses", std::to_string(st.analyses)});
-  summary.add_row({"refactorizations", std::to_string(st.refactorizations)});
-  summary.add_row({"cache hit rate", TextTable::num(hit_rate, 3)});
-  summary.print(std::cout);
-
-  TextTable lat({"phase", "p50(sim s)", "p90(sim s)", "p99(sim s)"});
-  lat.add_row({"factor", TextTable::num(percentile(factor_lat, 0.50), 6),
-               TextTable::num(percentile(factor_lat, 0.90), 6),
-               TextTable::num(percentile(factor_lat, 0.99), 6)});
-  lat.add_row({"solve", TextTable::num(percentile(solve_lat, 0.50), 6),
-               TextTable::num(percentile(solve_lat, 0.90), 6),
-               TextTable::num(percentile(solve_lat, 0.99), 6)});
-  lat.print(std::cout);
-
-  // Batched-panel payoff: solve-phase messages per RHS for 16 sequential
-  // single-RHS requests vs one nrhs = 16 panel on the resident operator.
-  {
-    const auto n = static_cast<std::size_t>(patterns.back().n_rows());
-    svc.factor(patterns.back());
-    std::vector<real_t> B(n * 16), X(n * 16);
-    for (auto& v : B) v = rng.uniform(-1, 1);
-
-    std::vector<SolveRequest> singles;
-    for (int j = 0; j < 16; ++j)
-      singles.push_back({std::span<const real_t>(B).subspan(
-                             static_cast<std::size_t>(j) * n, n),
-                         std::span<real_t>(X).subspan(
-                             static_cast<std::size_t>(j) * n, n),
-                         1});
-    offset_t msg_seq = 0;
-    double lat_seq = 0;
-    for (const service::SolveReport& r : svc.solve_stream(singles)) {
-      msg_seq += r.msg_solve_xy + r.msg_solve_z;
-      lat_seq += r.solve_time;
-    }
-    const service::SolveReport batch = svc.solve({B, X, 16});
-    const offset_t msg_batch = batch.msg_solve_xy + batch.msg_solve_z;
-
-    TextTable cmp({"schedule", "msgs", "msgs/RHS", "sim latency (s)"});
-    cmp.add_row({"16 x nrhs=1", std::to_string(msg_seq),
-                 TextTable::num(static_cast<double>(msg_seq) / 16.0, 1),
-                 TextTable::num(lat_seq, 6)});
-    cmp.add_row({"1 x nrhs=16", std::to_string(msg_batch),
-                 TextTable::num(static_cast<double>(msg_batch) / 16.0, 1),
-                 TextTable::num(batch.solve_time, 6)});
-    cmp.print(std::cout);
-    std::cout << "batched panel sends "
-              << TextTable::num(
-                     static_cast<double>(msg_seq) /
-                         static_cast<double>(std::max<offset_t>(msg_batch, 1)),
-                     1)
-              << "x fewer solve-phase messages per RHS\n";
-  }
+  out.print(std::cout);
+  std::cout << "same seed => same trace: rerun with --shards/--queue-depth/"
+               "--coalesce-window to move only the fleet, never the load\n";
   return 0;
 }

@@ -189,18 +189,19 @@ struct CholPanelPolicy {
       } else if (!relay) {
         stash.ops.push_back(
             {g.col().ibcast(arow, e.tag(k, kColPanelOp), buf, CommPlane::XY),
-             -1, 0, 0, 0});
+             -1, 0, 0, 0, -1, -1, {}});
       } else if (in_pcol) {
         // The relay is the row-role root itself: payload already local.
         std::copy_n(stash.storage.data() + re->offset, elems, buf.begin());
         stash.ops.push_back(
             {g.col().ibcast(arow, e.tag(k, kColPanelOp), buf, CommPlane::XY),
-             -1, 0, 0, 0});
+             -1, 0, 0, 0, -1, -1, {}});
       } else {
         // Deferred: re-broadcast once the row-role request (earlier in
         // `ops`) has been drained.
         stash.ops.push_back(
-            {sim::Request{}, en.panel_idx, re->offset, en.offset, elems});
+            {sim::Request{}, en.panel_idx, re->offset, en.offset, elems, -1,
+             -1, {}});
       }
     }
   }

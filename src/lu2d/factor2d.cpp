@@ -194,7 +194,7 @@ struct LuPanelPolicy {
       if (e.options().async) {
         stash.ops.push_back(
             {g.col().ibcast(pxk, e.tag(k, kColPanelOp), buf, CommPlane::XY),
-             -1, 0, 0, 0});
+             -1, 0, 0, 0, -1, -1, {}});
         if (sparse) {
           if (in_prow) {
             // The root's payload is snapshotted at post; restore dense now.

@@ -61,6 +61,16 @@ std::uint64_t pattern_fingerprint(const CsrMatrix& A) {
   return m.h;
 }
 
+std::uint64_t pattern_fingerprint(const CsrMatrix& A, std::uint64_t salt) {
+  FingerprintMixer m;
+  m.mix(salt);
+  m.mix(static_cast<std::uint64_t>(A.n_rows()));
+  m.mix(static_cast<std::uint64_t>(A.n_cols()));
+  for (const offset_t p : A.row_ptr()) m.mix(static_cast<std::uint64_t>(p));
+  for (const index_t c : A.col_idx()) m.mix(static_cast<std::uint64_t>(c));
+  return m.h;
+}
+
 std::uint64_t structure_fingerprint(const BlockStructure& bs) {
   FingerprintMixer m;
   m.mix(static_cast<std::uint64_t>(bs.n()));

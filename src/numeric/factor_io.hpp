@@ -24,6 +24,13 @@ namespace slu3d {
 /// factor layouts) across repeated solves.
 std::uint64_t pattern_fingerprint(const CsrMatrix& A);
 
+/// Salted variant of pattern_fingerprint: the same mix over the same
+/// pattern data, but seeded with `salt` so the stream is statistically
+/// independent of the unsalted hash. Caches that must survive a primary
+/// fingerprint collision (distinct patterns, equal hash) keep a salted
+/// secondary per entry and require both to match.
+std::uint64_t pattern_fingerprint(const CsrMatrix& A, std::uint64_t salt);
+
 /// Cheap structural fingerprint of a BlockStructure (supernode sizes and
 /// panel row counts); ties a factor file or resident layout to the
 /// structure it was built from.

@@ -721,7 +721,7 @@ class PanelEngine {
       if (opt_.async) {
         stash.ops.push_back({g_.row().ibcast(pyk, tag(k, Policy::kRowPanelOp),
                                              buf, sim::CommPlane::XY),
-                             -1, 0, 0, 0});
+                             -1, 0, 0, 0, -1, -1, {}});
         if (sparse) {
           if (in_pcol) {
             // ibcast snapshots the root's payload at post time, so the

@@ -32,26 +32,46 @@ void pick_dims(const ServiceOptions& o, index_t n, int& Px, int& Py, int& Pz) {
   Py = pxy / px;
 }
 
-/// First tag of the solve range; the factorization uses tags far below
-/// this (see Lu2dOptions::tag_base defaults), so solve and factor ranges
-/// never meet.
-constexpr int kSolveTagBase = 1 << 24;
+/// Salt of the secondary (collision-guard) fingerprint kept per entry.
+constexpr std::uint64_t kCheckSalt = 0xc011150ull * 0x9e3779b97f4a7c15ull;
 
 }  // namespace
 
-/// One resident pattern: all analysis artifacts plus the per-rank numeric
-/// allocations. Every rank's Dist2dFactors points at the entry's own
-/// BlockStructure, so the entry must outlive any simulated run using it.
+offset_t SymbolicState::payload_bytes() const {
+  auto b = static_cast<offset_t>(2 * sizeof(std::uint64_t) + 3 * sizeof(int) +
+                                 sizeof(offset_t));
+  b += static_cast<offset_t>(pinv.size() * sizeof(index_t));
+  if (tree)
+    b += static_cast<offset_t>(tree->perm().size() * sizeof(index_t) +
+                               tree->nodes().size() * sizeof(SepTreeNode));
+  if (bs) {
+    const int ns = bs->n_snodes();
+    b += static_cast<offset_t>(bs->n()) * static_cast<offset_t>(sizeof(int));
+    b += static_cast<offset_t>(ns + 1) * static_cast<offset_t>(sizeof(index_t));
+    // Per supernode: parent id, flop/nnz stats, and the L-panel block row
+    // lists (the fill structure — the bulk of the payload).
+    b += static_cast<offset_t>(ns) *
+         static_cast<offset_t>(sizeof(int) + 2 * sizeof(offset_t));
+    for (int s = 0; s < ns; ++s)
+      for (const PanelBlock& blk : bs->lpanel(s))
+        b += static_cast<offset_t>(sizeof(int) +
+                                   blk.rows.size() * sizeof(index_t));
+  }
+  if (part && bs)
+    b += static_cast<offset_t>(bs->n_snodes()) *
+         static_cast<offset_t>(2 * sizeof(int));
+  return b;
+}
+
+/// One resident pattern: the migratable symbolic state plus the per-rank
+/// numeric allocations and the permuted matrix with current values. Every
+/// rank's Dist2dFactors points at the entry's own BlockStructure, so the
+/// entry must outlive any simulated run using it.
 struct SolverService::Resident {
-  std::uint64_t key = 0;
-  int Px = 0, Py = 0, Pz = 0;
-  std::unique_ptr<SeparatorTree> tree;
-  std::unique_ptr<BlockStructure> bs;
-  std::unique_ptr<ForestPartition> part;
+  SymbolicState sym;
   std::unique_ptr<CsrMatrix> Ap;  ///< permuted matrix, current values
-  std::vector<index_t> pinv;
   std::vector<std::unique_ptr<Dist2dFactors>> per_rank;
-  offset_t flops = 0;
+  bool factored = false;  ///< per_rank holds valid factors of Ap's values
   std::uint64_t last_used = 0;
 };
 
@@ -61,9 +81,61 @@ SolverService::SolverService(const ServiceOptions& options) : opt_(options) {
 
 SolverService::~SolverService() = default;
 
-SolverService::Resident* SolverService::find(std::uint64_t key) {
+std::uint64_t SolverService::fingerprint(const CsrMatrix& A) const {
+  return opt_.fingerprint_fn ? opt_.fingerprint_fn(A) : pattern_fingerprint(A);
+}
+
+bool SolverService::has_pattern(std::uint64_t fingerprint) const {
+  for (const auto& e : cache_)
+    if (e->sym.key == fingerprint) return true;
+  return false;
+}
+
+bool SolverService::activate(std::uint64_t fingerprint) {
+  for (auto& e : cache_) {
+    if (e->sym.key == fingerprint && e->factored) {
+      e->last_used = ++use_clock_;
+      current_ = e.get();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<SymbolicState> SolverService::extract_pattern(
+    std::uint64_t fingerprint) {
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if ((*it)->sym.key == fingerprint) {
+      if (it->get() == current_) current_ = nullptr;
+      SymbolicState out = std::move((*it)->sym);
+      cache_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+void SolverService::insert_pattern(SymbolicState&& state) {
+  SLU3D_CHECK(state.tree && state.bs && state.part,
+              "incomplete symbolic state");
+  SLU3D_CHECK(state.Px >= 1 && state.Py >= 1 && state.Pz >= 1,
+              "symbolic state carries no grid shape");
+  auto op = std::make_unique<Resident>();
+  op->sym = std::move(state);
+  op->per_rank.resize(
+      static_cast<std::size_t>(op->sym.Px * op->sym.Py * op->sym.Pz));
+  op->last_used = ++use_clock_;
+  cache_.push_back(std::move(op));
+  evict_to_capacity();
+}
+
+SolverService::Resident* SolverService::find(std::uint64_t key,
+                                             std::uint64_t check) {
+  // Both fingerprints must match: a primary collision between distinct
+  // patterns (find by key, mismatched salted check) is a miss, and the
+  // colliding patterns coexist in the cache as separate entries.
   for (auto& e : cache_)
-    if (e->key == key) return e.get();
+    if (e->sym.key == key && e->sym.check == check) return e.get();
   return nullptr;
 }
 
@@ -79,23 +151,25 @@ void SolverService::evict_to_capacity() {
 }
 
 FactorReport SolverService::run_numeric_factorization(Resident& op) {
-  const int P = op.Px * op.Py * op.Pz;
+  const int P = op.sym.Px * op.sym.Py * op.sym.Pz;
+  op.factored = false;  // invalid from here until the run completes
   std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
   const sim::RunResult res =
       sim::run_ranks(P, opt_.machine, [&](sim::Comm& world) {
         auto grid =
-            sim::ProcessGrid3D::create(world, op.Px, op.Py, op.Pz);
+            sim::ProcessGrid3D::create(world, op.sym.Px, op.sym.Py, op.sym.Pz);
         auto& slot = op.per_rank[static_cast<std::size_t>(world.rank())];
         if (!slot) {
           slot = std::make_unique<Dist2dFactors>(
-              make_3d_factors(*op.bs, grid, *op.part, *op.Ap));
+              make_3d_factors(*op.sym.bs, grid, *op.sym.part, *op.Ap));
         } else {
-          refill_3d_factors(*slot, grid, *op.part, *op.Ap);
+          refill_3d_factors(*slot, grid, *op.sym.part, *op.Ap);
         }
         mem[static_cast<std::size_t>(world.rank())] = slot->allocated_bytes();
-        factorize_3d(*slot, grid, *op.part, opt_.lu3d);
+        factorize_3d(*slot, grid, *op.sym.part, opt_.lu3d);
       });
   ++stats_.refactorizations;
+  op.factored = true;
 
   FactorReport rep;
   const sim::RankStats* crit = &res.ranks.front();
@@ -116,20 +190,21 @@ FactorReport SolverService::run_numeric_factorization(Resident& op) {
     rep.mem_total += m;
     rep.mem_max = std::max(rep.mem_max, m);
   }
-  rep.flops = op.flops;
+  rep.flops = op.sym.flops;
   return rep;
 }
 
 FactorReport SolverService::factor(const CsrMatrix& A) {
   SLU3D_CHECK(A.n_rows() == A.n_cols(), "needs a square matrix");
-  const std::uint64_t key = pattern_fingerprint(A);
+  const std::uint64_t key = fingerprint(A);
+  const std::uint64_t check = pattern_fingerprint(A, kCheckSalt);
 
-  if (Resident* hit = find(key)) {
+  if (Resident* hit = find(key, check)) {
     // Resident pattern: no ordering, no symbolic analysis, no allocation —
     // re-scatter the new values and refactorize numerically in place.
     ++stats_.cache_hits;
-    hit->Ap =
-        std::make_unique<CsrMatrix>(A.permuted_symmetric(hit->tree->perm()));
+    hit->Ap = std::make_unique<CsrMatrix>(
+        A.permuted_symmetric(hit->sym.tree->perm()));
     hit->last_used = ++use_clock_;
     current_ = hit;
     FactorReport rep;
@@ -138,6 +213,7 @@ FactorReport SolverService::factor(const CsrMatrix& A) {
     } catch (...) {
       // The resident numerics are now garbage; drop the entry so a retry
       // re-analyzes from scratch instead of solving on a broken factor.
+      ++stats_.refactor_failures;
       cache_.erase(std::find_if(cache_.begin(), cache_.end(),
                                 [&](const auto& e) { return e.get() == hit; }));
       current_ = nullptr;
@@ -150,15 +226,16 @@ FactorReport SolverService::factor(const CsrMatrix& A) {
   // Cache miss: full analysis (the expensive, pattern-only pipeline).
   ++stats_.analyses;
   auto op = std::make_unique<Resident>();
-  op->key = key;
-  pick_dims(opt_, A.n_rows(), op->Px, op->Py, op->Pz);
-  const int P = op->Px * op->Py * op->Pz;
+  op->sym.key = key;
+  op->sym.check = check;
+  pick_dims(opt_, A.n_rows(), op->sym.Px, op->sym.Py, op->sym.Pz);
+  const int P = op->sym.Px * op->sym.Py * op->sym.Pz;
 
   double ordering_time = 0;
   std::vector<sim::RankStats> ordering_stats;
   if (opt_.geometry.has_value()) {
     SLU3D_CHECK(opt_.geometry->n() == A.n_rows(), "geometry mismatch");
-    op->tree =
+    op->sym.tree =
         std::make_unique<SeparatorTree>(geometric_nd(*opt_.geometry, opt_.nd));
   } else if (opt_.parallel_ordering) {
     // The ordering itself runs inside the simulated machine (ParMETIS
@@ -169,23 +246,32 @@ FactorReport SolverService::factor(const CsrMatrix& A) {
           SeparatorTree t = parallel_nested_dissection(A, world, opt_.nd);
           if (world.rank() == 0) {
             const std::lock_guard<std::mutex> lock(mu);
-            op->tree = std::make_unique<SeparatorTree>(std::move(t));
+            op->sym.tree = std::make_unique<SeparatorTree>(std::move(t));
           }
         });
     ordering_time = ores.max_clock();
     ordering_stats = ores.ranks;
   } else {
-    op->tree = std::make_unique<SeparatorTree>(nested_dissection(A, opt_.nd));
+    op->sym.tree =
+        std::make_unique<SeparatorTree>(nested_dissection(A, opt_.nd));
   }
-  op->bs = std::make_unique<BlockStructure>(A, *op->tree);
-  op->Ap = std::make_unique<CsrMatrix>(A.permuted_symmetric(op->tree->perm()));
-  op->part =
-      std::make_unique<ForestPartition>(*op->bs, op->Pz, opt_.partition);
-  op->flops = op->bs->total_flops();
-  op->pinv = invert_permutation(op->tree->perm());
+  op->sym.bs = std::make_unique<BlockStructure>(A, *op->sym.tree);
+  op->Ap =
+      std::make_unique<CsrMatrix>(A.permuted_symmetric(op->sym.tree->perm()));
+  op->sym.part =
+      std::make_unique<ForestPartition>(*op->sym.bs, op->sym.Pz,
+                                        opt_.partition);
+  op->sym.flops = op->sym.bs->total_flops();
+  op->sym.pinv = invert_permutation(op->sym.tree->perm());
   op->per_rank.resize(static_cast<std::size_t>(P));
 
-  FactorReport rep = run_numeric_factorization(*op);  // throws -> op dropped
+  FactorReport rep;
+  try {
+    rep = run_numeric_factorization(*op);  // throws -> op dropped
+  } catch (...) {
+    ++stats_.refactor_failures;
+    throw;
+  }
   rep.factor_time += ordering_time;
   for (const auto& r : ordering_stats) {
     rep.w_fact = std::max(
@@ -218,15 +304,15 @@ std::vector<SolveReport> SolverService::run_solves(
     Resident& op, std::span<const SolveRequest> requests) {
   const auto k = requests.size();
   if (k == 0) return {};
-  const auto n = static_cast<std::size_t>(op.bs->n());
-  const int P = op.Px * op.Py * op.Pz;
+  const auto n = static_cast<std::size_t>(op.sym.bs->n());
+  const int P = op.sym.Px * op.sym.Py * op.sym.Pz;
   op.last_used = ++use_clock_;
 
   // Host-audited tag allocation: each request owns a contiguous tag range
   // of one solve plus its refinement re-solves; ranges are disjoint by
   // construction, so queued solves on the resident grid cannot collide.
   const int span_per_request =
-      solve3d_tag_span(*op.bs) * (1 + opt_.refinement_steps);
+      solve3d_tag_span(*op.sym.bs) * (1 + opt_.refinement_steps);
 
   // Permute each request's rhs panel once on the host (replicated input).
   std::vector<std::vector<real_t>> pb(k);
@@ -239,7 +325,7 @@ std::vector<SolveReport> SolverService::run_solves(
     pb[i].resize(len);
     for (index_t j = 0; j < rq.nrhs; ++j)
       for (std::size_t r = 0; r < n; ++r)
-        pb[i][static_cast<std::size_t>(op.pinv[r]) +
+        pb[i][static_cast<std::size_t>(op.sym.pinv[r]) +
               static_cast<std::size_t>(j) * n] =
             rq.b[r + static_cast<std::size_t>(j) * n];
   }
@@ -252,7 +338,7 @@ std::vector<SolveReport> SolverService::run_solves(
   std::vector<std::vector<real_t>> xperm(k);  // solved panels, permuted space
 
   sim::run_ranks(P, opt_.machine, [&](sim::Comm& world) {
-    auto grid = sim::ProcessGrid3D::create(world, op.Px, op.Py, op.Pz);
+    auto grid = sim::ProcessGrid3D::create(world, op.sym.Px, op.sym.Py, op.sym.Pz);
     Dist2dFactors& F = *op.per_rank[static_cast<std::size_t>(world.rank())];
     for (std::size_t i = 0; i < k; ++i) {
       const index_t nrhs = requests[i].nrhs;
@@ -260,8 +346,8 @@ std::vector<SolveReport> SolverService::run_solves(
       std::vector<real_t> xr(pb[i]);
       Solve3dOptions sopt;
       sopt.nrhs = nrhs;
-      sopt.tag_base = kSolveTagBase + static_cast<int>(i) * span_per_request;
-      solve_3d(F, world, grid, *op.part, xr, sopt);
+      sopt.tag_base = opt_.solve_tag_base + static_cast<int>(i) * span_per_request;
+      solve_3d(F, world, grid, *op.sym.part, xr, sopt);
       for (int it = 0; it < opt_.refinement_steps; ++it) {
         // Residual of the permuted system, column by column; the
         // correction panel re-solves in one batched sweep.
@@ -272,8 +358,8 @@ std::vector<SolveReport> SolverService::run_solves(
                       std::span<real_t>(dx).subspan(off, n));
         }
         for (std::size_t q = 0; q < dx.size(); ++q) dx[q] = pb[i][q] - dx[q];
-        sopt.tag_base += solve3d_tag_span(*op.bs);
-        solve_3d(F, world, grid, *op.part, dx, sopt);
+        sopt.tag_base += solve3d_tag_span(*op.sym.bs);
+        solve_3d(F, world, grid, *op.sym.part, dx, sopt);
         for (std::size_t q = 0; q < xr.size(); ++q) xr[q] += dx[q];
       }
       after[i][static_cast<std::size_t>(world.rank())] = world.stats();
@@ -304,7 +390,7 @@ std::vector<SolveReport> SolverService::run_solves(
     for (index_t j = 0; j < rq.nrhs; ++j) {
       const auto off = static_cast<std::size_t>(j) * n;
       for (std::size_t r = 0; r < n; ++r)
-        rq.x[r + off] = xperm[i][static_cast<std::size_t>(op.pinv[r]) + off];
+        rq.x[r + off] = xperm[i][static_cast<std::size_t>(op.sym.pinv[r]) + off];
       rep.residual = std::max(
           rep.residual,
           relative_residual(

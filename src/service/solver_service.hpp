@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -55,6 +56,15 @@ struct ServiceOptions {
   bool parallel_ordering = false;
   /// Resident-pattern capacity; least-recently-used entries are evicted.
   std::size_t max_patterns = 8;
+  /// First tag of the per-request solve ranges. A fleet gives each shard a
+  /// disjoint base so no two shards' simulated runs can ever share a tag,
+  /// even if a future runtime multiplexes them onto one wire.
+  int solve_tag_base = 1 << 24;
+  /// Primary cache-key function; null means pattern_fingerprint. Entries
+  /// additionally keep an independent salted fingerprint, so even a
+  /// colliding primary (distinct patterns, equal key — what this hook
+  /// injects in tests) never produces a false cache hit.
+  std::function<std::uint64_t(const CsrMatrix&)> fingerprint_fn;
 };
 
 /// Construction-count instrumentation across the service lifetime.
@@ -62,9 +72,34 @@ struct ServiceStats {
   long analyses = 0;          ///< ordering + symbolic constructions (cache misses)
   long refactorizations = 0;  ///< numeric factorization runs (hits and misses)
   long cache_hits = 0;
-  long evictions = 0;
+  long evictions = 0;          ///< LRU capacity evictions (not failure drops)
+  long refactor_failures = 0;  ///< numeric factorizations that threw; the
+                               ///< entry is dropped, so hits + analyses -
+                               ///< failures audits the resident set exactly
   long solve_requests = 0;
   long rhs_columns = 0;  ///< total right-hand-side columns solved
+};
+
+/// Structure-keyed symbolic state of one resident pattern — everything a
+/// fleet's cache-warm migration ships between shards. Deliberately carries
+/// no values: no permuted matrix, no per-rank numeric blocks. The target
+/// shard reconstructs those on its next factor() of the pattern (a cache
+/// hit: zero analysis work), which is the SpComm3D lesson applied to
+/// migration — move only the bytes the receiver is actually missing.
+struct SymbolicState {
+  std::uint64_t key = 0;    ///< primary pattern fingerprint
+  std::uint64_t check = 0;  ///< salted secondary fingerprint (collision guard)
+  int Px = 0, Py = 0, Pz = 0;
+  std::unique_ptr<SeparatorTree> tree;
+  std::unique_ptr<BlockStructure> bs;
+  std::unique_ptr<ForestPartition> part;  ///< points into *bs (moved together)
+  std::vector<index_t> pinv;
+  offset_t flops = 0;
+
+  /// Approximate wire size of this state (tree + block structure + forest
+  /// partition + inverse permutation): the bytes a migration actually
+  /// moves, as opposed to re-shipping the matrix and numeric factors.
+  offset_t payload_bytes() const;
 };
 
 /// Per-factorization-request report (one simulated factorization run).
@@ -125,13 +160,40 @@ class SolverService {
   std::vector<SolveReport> solve_stream(std::span<const SolveRequest> requests);
 
   const ServiceStats& stats() const { return stats_; }
+  const ServiceOptions& options() const { return opt_; }
   std::size_t resident_patterns() const { return cache_.size(); }
   bool has_current() const { return current_ != nullptr; }
+
+  /// Primary cache key of `A` under this service's configuration.
+  std::uint64_t fingerprint(const CsrMatrix& A) const;
+
+  /// True if a pattern with this primary fingerprint is resident.
+  bool has_pattern(std::uint64_t fingerprint) const;
+
+  /// Makes the resident, already numerically factored pattern the current
+  /// solve target without any simulated work (its factors are still valid:
+  /// solves never modify them). Returns false — and leaves the current
+  /// operator unchanged — if the pattern is not resident or holds no valid
+  /// numeric factors (e.g. it arrived via insert_pattern and was never
+  /// factored here). The caller owns values-versioning: activate only when
+  /// the resident values are the ones the request wants.
+  bool activate(std::uint64_t fingerprint);
+
+  /// Removes the pattern from the cache and returns its symbolic state
+  /// (the migration payload). Numeric allocations and the permuted matrix
+  /// are discarded — they are value-laden and never shipped. Returns
+  /// nullopt if the pattern is not resident. Not counted as an eviction.
+  std::optional<SymbolicState> extract_pattern(std::uint64_t fingerprint);
+
+  /// Adopts a migrated symbolic state as a resident (but not yet
+  /// factored) pattern: the next factor() of the pattern is a cache hit
+  /// that runs numeric refactorization only. May LRU-evict to capacity.
+  void insert_pattern(SymbolicState&& state);
 
  private:
   struct Resident;
 
-  Resident* find(std::uint64_t key);
+  Resident* find(std::uint64_t key, std::uint64_t check);
   void evict_to_capacity();
   FactorReport run_numeric_factorization(Resident& op);
   std::vector<SolveReport> run_solves(Resident& op,

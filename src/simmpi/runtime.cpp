@@ -24,13 +24,16 @@ std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-// Operation kinds occupy high tag bits so a collective cannot match a
-// point-to-point message that reuses the same user tag.
+// Operation kinds occupy bits above the 32-bit user-tag space so a
+// collective cannot match a point-to-point message that reuses the same
+// user tag. User tags span the full non-negative int range: a sharded
+// fleet hands each service a disjoint 2^24-wide base, so the matching key
+// is 64-bit internally.
 enum class Op : int { P2P = 0, Coll = 1, Setup = 2, Rma = 3 };
-constexpr int kMaxUserTag = (1 << 26) - 1;
-int full_tag(Op op, int tag) {
-  SLU3D_CHECK(tag >= 0 && tag <= kMaxUserTag, "tag out of range");
-  return (static_cast<int>(op) << 26) | tag;
+std::int64_t full_tag(Op op, int tag) {
+  SLU3D_CHECK(tag >= 0, "tag out of range");
+  return (static_cast<std::int64_t>(op) << 32) |
+         static_cast<std::int64_t>(tag);
 }
 
 offset_t payload_bytes(std::size_t n_reals) {
@@ -41,7 +44,7 @@ offset_t payload_bytes(std::size_t n_reals) {
 struct MsgKey {
   std::uint64_t comm_id;
   int src_world;
-  int tag;
+  std::int64_t tag;  ///< full (op-qualified) tag
   auto operator<=>(const MsgKey&) const = default;
 };
 
@@ -220,7 +223,7 @@ class Context {
     it->second.ready.erase(rit);
     if (it->second.ready.empty() &&
         it->second.next_push == it->second.next_ticket &&
-        (key.tag >> 26) != static_cast<int>(Op::Rma))
+        (key.tag >> 32) != static_cast<std::int64_t>(Op::Rma))
       mb.queues.erase(it);
     return env;
   }
@@ -261,7 +264,7 @@ struct RequestState {
   int me_world = 0;
   int peer_world = -1;  ///< source (Recv/Bcast) or destination (Send)
   std::uint64_t comm_id = 0;
-  int ftag = 0;  ///< full (op-qualified) tag, for ibcast forwarding
+  std::int64_t ftag = 0;  ///< full (op-qualified) tag, for ibcast forwarding
   MsgKey key{};
   std::uint64_t ticket = 0;
   CommPlane plane = CommPlane::XY;
@@ -440,12 +443,13 @@ struct Wire {
   detail::Context* ctx;
   std::uint64_t comm_id;
 
-  void send_free(int src_world, int dst_world, int tag,
+  void send_free(int src_world, int dst_world, std::int64_t tag,
                  std::vector<real_t> payload) const {
     ctx->deliver(dst_world, {comm_id, src_world, tag},
                  {std::move(payload), /*arrival=*/0.0});
   }
-  std::vector<real_t> recv_free(int dst_world, int src_world, int tag) const {
+  std::vector<real_t> recv_free(int dst_world, int src_world,
+                                std::int64_t tag) const {
     const detail::MsgKey key{comm_id, src_world, tag};
     const std::uint64_t ticket = ctx->acquire_ticket(dst_world, key);
     return ctx->take_ticket(dst_world, key, ticket).payload;
@@ -456,7 +460,8 @@ struct Wire {
 /// the full message time, starting when its wire is free, and the payload
 /// reaches the receiver at that same instant.
 void send_charged(detail::Context* ctx, std::uint64_t comm_id, int me_world,
-                  int dst_world, int ft, std::span<const real_t> payload,
+                  int dst_world, std::int64_t ft,
+                  std::span<const real_t> payload,
                   CommPlane plane) {
   auto& st = ctx->stats[static_cast<std::size_t>(me_world)];
   const offset_t bytes = payload_bytes(payload.size());
@@ -476,7 +481,7 @@ void send_charged(detail::Context* ctx, std::uint64_t comm_id, int me_world,
 
 /// Blocking, charged receive through the shared ticket queue.
 std::vector<real_t> recv_charged(detail::Context* ctx, std::uint64_t comm_id,
-                                 int me_world, int src_world, int ft,
+                                 int me_world, int src_world, std::int64_t ft,
                                  CommPlane plane) {
   const detail::MsgKey key{comm_id, src_world, ft};
   const std::uint64_t ticket = ctx->acquire_ticket(me_world, key);
@@ -516,7 +521,7 @@ Request Comm::isend(int dst, int tag, std::span<const real_t> payload,
                     CommPlane plane) {
   assert_funneled();
   SLU3D_CHECK(dst >= 0 && dst < size(), "isend: bad destination rank");
-  const int ft = detail::full_tag(Op::P2P, tag);
+  const std::int64_t ft = detail::full_tag(Op::P2P, tag);
   const int me = world_rank();
   const int dst_world = members_[static_cast<std::size_t>(dst)];
   auto& st = stats();
@@ -759,7 +764,7 @@ Comm Comm::split(int color, int key) const {
   // Exchange (color, key) via zero-cost setup messages: gather to member 0,
   // broadcast the full table, then each rank filters its own group.
   const Wire wire{ctx_, comm_id_};
-  const int setup_tag = detail::full_tag(Op::Setup, 0);
+  const std::int64_t setup_tag = detail::full_tag(Op::Setup, 0);
   const int p = size();
   std::vector<real_t> table;  // triples (old_rank, color, key)
   if (rank_ == 0) {
@@ -832,7 +837,7 @@ real_t rma_header(RmaKind kind, std::size_t offset) {
 
 /// All operations of one window share a single matching stream per origin:
 /// uid as the communicator field, the origin as source, one reserved tag.
-int rma_op_tag() { return detail::full_tag(Op::Rma, 0); }
+std::int64_t rma_op_tag() { return detail::full_tag(Op::Rma, 0); }
 
 }  // namespace
 
@@ -855,7 +860,7 @@ Window Comm::win_create(int tag, std::span<real_t> local, CommPlane plane) {
   // orders every member's slot writes before every member's return, so no
   // operation can race window creation.
   const Wire wire{ctx_, comm_id_};
-  const int hs = detail::full_tag(Op::Rma, tag);
+  const std::int64_t hs = detail::full_tag(Op::Rma, tag);
   if (rank_ == 0) {
     for (int r = 1; r < p; ++r)
       wire.recv_free(world_rank(), members_[static_cast<std::size_t>(r)], hs);

@@ -26,7 +26,8 @@ CsrMatrix perturbed_values(const CsrMatrix& A, real_t diag_factor) {
   std::vector<real_t> vals(A.values().begin(), A.values().end());
   for (index_t r = 0; r < A.n_rows(); ++r) {
     const auto cols = A.row_cols(r);
-    const auto base = static_cast<std::size_t>(A.row_ptr()[r]);
+    const auto base =
+        static_cast<std::size_t>(A.row_ptr()[static_cast<std::size_t>(r)]);
     for (std::size_t k = 0; k < cols.size(); ++k)
       if (cols[k] == r) vals[base + k] *= diag_factor;
   }
@@ -259,6 +260,8 @@ TEST(SolverService, FailedRefactorizationDropsResidentEntry) {
   EXPECT_THROW(svc.factor(path_plus_block(4.0)), Error);
   EXPECT_FALSE(svc.has_current());
   EXPECT_EQ(svc.resident_patterns(), 0u);
+  EXPECT_EQ(svc.stats().refactor_failures, 1);
+  EXPECT_EQ(svc.stats().evictions, 0);  // a failure drop is not an eviction
 
   const auto n = static_cast<std::size_t>(34);
   std::vector<real_t> b(n, 1.0), x(n);
@@ -266,8 +269,131 @@ TEST(SolverService, FailedRefactorizationDropsResidentEntry) {
 
   svc.factor(path_plus_block(5.0));  // recovers with a fresh analysis
   EXPECT_EQ(svc.stats().analyses, 2);
+  EXPECT_EQ(svc.stats().refactor_failures, 1);  // recovery didn't re-count
   const SolveReport s = svc.solve({b, x, 1});
   EXPECT_LT(s.residual, 1e-12);
+}
+
+TEST(SolverService, CapacityOneCacheThrashesAndReinsertMatchesCold) {
+  // LRU edge case: a capacity-1 cache degenerates to "most recent pattern
+  // only". Every pattern switch evicts, every re-insert re-analyzes, and a
+  // re-inserted pattern solves bitwise identically to a never-evicted one.
+  const CsrMatrix A =
+      grid2d_laplacian(GridGeometry{10, 10, 1}, Stencil2D::FivePoint);
+  const CsrMatrix B =
+      grid2d_laplacian(GridGeometry{9, 10, 1}, Stencil2D::FivePoint);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  const std::vector<real_t> b = random_panel(n, 1, 51);
+
+  ServiceOptions o = small_grid_options();
+  o.max_patterns = 1;
+  SolverService svc(o);
+
+  svc.factor(A);
+  EXPECT_EQ(svc.resident_patterns(), 1u);
+  svc.factor(B);  // evicts A immediately
+  EXPECT_EQ(svc.resident_patterns(), 1u);
+  EXPECT_EQ(svc.stats().evictions, 1);
+  EXPECT_EQ(svc.stats().analyses, 2);
+
+  svc.factor(A);  // re-insert after eviction: a fresh analysis, B falls out
+  EXPECT_EQ(svc.resident_patterns(), 1u);
+  EXPECT_EQ(svc.stats().evictions, 2);
+  EXPECT_EQ(svc.stats().analyses, 3);
+  EXPECT_EQ(svc.stats().cache_hits, 0);
+
+  std::vector<real_t> x_thrash(n);
+  svc.solve({b, x_thrash, 1});
+
+  SolverService fresh(small_grid_options());
+  fresh.factor(A);
+  std::vector<real_t> x_fresh(n);
+  fresh.solve({b, x_fresh, 1});
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(x_thrash[i], x_fresh[i]) << "component " << i;
+}
+
+TEST(SolverService, FingerprintCollisionOnDistinctPatternsIsDisambiguated) {
+  // Force a primary-fingerprint collision between two genuinely different
+  // patterns via the test hook. The salted secondary fingerprint must keep
+  // them apart: no false cache hit, both entries resident side by side.
+  const CsrMatrix A =
+      grid2d_laplacian(GridGeometry{10, 10, 1}, Stencil2D::FivePoint);
+  const CsrMatrix B =
+      grid2d_laplacian(GridGeometry{9, 9, 1}, Stencil2D::NinePoint);
+
+  ServiceOptions o = small_grid_options();
+  o.fingerprint_fn = [](const CsrMatrix&) { return 0xc0111deull; };
+  SolverService svc(o);
+
+  svc.factor(A);
+  EXPECT_EQ(svc.stats().analyses, 1);
+  EXPECT_TRUE(svc.has_pattern(0xc0111deull));
+
+  svc.factor(B);  // same primary key, different structure: NOT a hit
+  EXPECT_EQ(svc.stats().analyses, 2);
+  EXPECT_EQ(svc.stats().cache_hits, 0);
+  EXPECT_EQ(svc.resident_patterns(), 2u);  // colliding entries coexist
+
+  // Each entry still refactorizes and solves as itself.
+  const auto nb = static_cast<std::size_t>(B.n_rows());
+  const std::vector<real_t> bb = random_panel(nb, 1, 53);
+  std::vector<real_t> xb(nb);
+  const SolveReport sb = svc.solve({bb, xb, 1});
+  EXPECT_LT(sb.residual, 1e-12);
+
+  svc.factor(perturbed_values(A, 1.25));  // genuine hit for A's entry
+  EXPECT_EQ(svc.stats().analyses, 2);
+  EXPECT_EQ(svc.stats().cache_hits, 1);
+  const auto na = static_cast<std::size_t>(A.n_rows());
+  const std::vector<real_t> ba = random_panel(na, 1, 57);
+  std::vector<real_t> xa(na);
+  const SolveReport sa = svc.solve({ba, xa, 1});
+  EXPECT_LT(sa.residual, 1e-12);
+}
+
+TEST(SolverService, ExtractInsertMovesSymbolicStateBetweenServices) {
+  // The fleet's migration primitive: extract_pattern removes the symbolic
+  // entry from the source, insert_pattern makes it a first-class resident
+  // on the target — whose next factor() is a cache hit (no analysis) and
+  // solves bitwise identically to a cold service.
+  const CsrMatrix A =
+      grid2d_laplacian(GridGeometry{10, 9, 1}, Stencil2D::FivePoint);
+  const auto n = static_cast<std::size_t>(A.n_rows());
+  const std::vector<real_t> b = random_panel(n, 1, 61);
+
+  SolverService src(small_grid_options());
+  src.factor(A);
+  const std::uint64_t fp = src.fingerprint(A);
+  EXPECT_TRUE(src.has_pattern(fp));
+  EXPECT_FALSE(src.has_pattern(fp + 1));
+  EXPECT_FALSE(src.extract_pattern(fp + 1).has_value());
+
+  auto sym = src.extract_pattern(fp);
+  ASSERT_TRUE(sym.has_value());
+  EXPECT_GT(sym->payload_bytes(), 0);
+  EXPECT_EQ(src.resident_patterns(), 0u);
+  EXPECT_FALSE(src.has_current());
+  EXPECT_EQ(src.stats().evictions, 0);  // migration out is not an eviction
+
+  SolverService dst(small_grid_options());
+  dst.insert_pattern(std::move(*sym));
+  EXPECT_TRUE(dst.has_pattern(fp));
+  EXPECT_FALSE(dst.activate(fp));  // symbolic only: no numeric factors yet
+
+  const FactorReport fr = dst.factor(A);
+  EXPECT_TRUE(fr.cache_hit);
+  EXPECT_EQ(dst.stats().analyses, 0);  // the whole point of the migration
+  EXPECT_TRUE(dst.activate(fp));       // factored now: warm re-activation
+
+  std::vector<real_t> x_dst(n);
+  dst.solve({b, x_dst, 1});
+  SolverService cold(small_grid_options());
+  cold.factor(A);
+  std::vector<real_t> x_cold(n);
+  cold.solve({b, x_cold, 1});
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(x_dst[i], x_cold[i]) << "component " << i;
 }
 
 }  // namespace

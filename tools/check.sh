@@ -26,9 +26,11 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # configuration must actually contain them. The tsan leg thereby drives
 # the targeted put/scatter-accumulate paths — mailbox op streams, window
 # epochs, per-level staging — under the race detector with a compute
-# pool beneath every rank.
+# pool beneath every rank. The Fleet suite rides along so the sharded
+# front end (coalesced batch dispatch, cache-warm migration) also runs
+# every sanitizer leg with SLU3D_THREADS=4 pools under the shards.
 REQUIRED_SUITES=(CommEquivalence ThreadPool Funneled Determinism Rma
-                 RandomTargetedDeliveryFuzz)
+                 RandomTargetedDeliveryFuzz Fleet)
 
 require_suites() {
   local dir="$1" list
