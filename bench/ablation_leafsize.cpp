@@ -6,8 +6,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slu3d;
+  bench::bench_platform(argc, argv);
   const int scale = bench::bench_scale();
   const index_t side = scale == 0 ? 24 : (scale == 1 ? 64 : 128);
   const GridGeometry g{side, side, 1};

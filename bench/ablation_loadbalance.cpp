@@ -80,7 +80,8 @@ CsrMatrix lshaped2d(index_t nx, index_t ny) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  slu3d::bench::bench_platform(argc, argv);
   const int s = bench::bench_scale();
   const index_t base = s == 0 ? 16 : (s == 1 ? 48 : 96);
 

@@ -5,8 +5,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slu3d;
+  bench::bench_platform(argc, argv);
   const auto suite = paper_test_suite(bench::bench_scale());
 
   TextTable table({"matrix", "window=0", "w=2", "w=8", "w=16", "best gain"});

@@ -50,6 +50,10 @@ struct DistMetrics {
   offset_t panel_dense = 0;
   offset_t panel_saved_msgs = 0;
   offset_t xy_bytes_sent = 0;
+  /// Total seconds transfers spent queued behind busy platform links
+  /// (zero means the run never contended for a wire; grows with shared
+  /// uplinks on hierarchical platforms).
+  double link_queue_s = 0;
   /// Host wall-clock seconds of the whole run_ranks call and the per-rank
   /// compute-thread count it ran with. Unlike every simulated counter
   /// above (bitwise independent of threading), wall_s measures the real
@@ -170,24 +174,55 @@ inline FleetFlags parse_fleet_flags(int argc, char** argv) {
   return f;
 }
 
-/// Default Edison-like machine model shared by all benches.
-inline sim::MachineModel machine_model() { return sim::MachineModel{}; }
+/// The ambient platform every bench charges against. Defaults to the
+/// Edison-like flat preset (the historical hardcoded machine model);
+/// `bench_platform(argc, argv)` swaps it for whatever `--platform` names.
+/// Mutable process-global on purpose: the bench mains are single-threaded
+/// at flag-parse time, and threading a platform through every helper
+/// signature would churn all drivers for no isolation benefit.
+inline sim::Platform& platform_storage() {
+  static sim::Platform p = sim::Platform::preset("edison");
+  return p;
+}
+
+inline const sim::Platform& platform() { return platform_storage(); }
+
+/// Parses `--platform SPEC` / `--platform=SPEC` (a preset name — edison |
+/// flat | fattree-2to1 | torus — or a path to a platform file), installs
+/// it as the ambient bench platform, and returns it. Every driver calls
+/// this from main(), so one flag spelling works across the whole bench/
+/// directory; no flag keeps the Edison-like default.
+inline const sim::Platform& bench_platform(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* spec = nullptr;
+    if (std::strncmp(a, "--platform=", 11) == 0)
+      spec = a + 11;
+    else if (std::strcmp(a, "--platform") == 0 && i + 1 < argc)
+      spec = argv[++i];
+    if (spec) platform_storage() = sim::Platform::load(spec);
+  }
+  return platform();
+}
 
 /// Runs the 3D algorithm (Pz == 1 gives exactly the 2D baseline schedule)
-/// on a Px x Py x Pz grid and collects the metrics above.
+/// on a Px x Py x Pz grid and collects the metrics above. Charges against
+/// `platform` when given, else the ambient bench platform.
 inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
                                int Px, int Py, int Pz, int lookahead = 8,
                                PartitionStrategy strategy = PartitionStrategy::Greedy,
                                pipeline::ZRedPacking packing = pipeline::ZRedPacking::Dense,
                                pipeline::PanelPacking panel_packing =
                                    pipeline::PanelPacking::Dense,
-                               int threads = 0) {
+                               int threads = 0,
+                               const sim::Platform* platform = nullptr) {
   const ForestPartition part(bs, Pz, strategy);
   const int P = Px * Py * Pz;
   std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
   const auto wall0 = std::chrono::steady_clock::now();
-  const sim::RunResult res =
-      sim::run_ranks(P, machine_model(), [&](sim::Comm& world) {
+  const sim::RunResult res = sim::run_ranks(
+      P, platform != nullptr ? *platform : bench::platform(),
+      [&](sim::Comm& world) {
         auto grid = sim::ProcessGrid3D::create(world, Px, Py, Pz);
         Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
         mem[static_cast<std::size_t>(world.rank())] = F.allocated_bytes();
@@ -220,6 +255,7 @@ inline DistMetrics run_dist_lu(const BlockStructure& bs, const CsrMatrix& Ap,
   m.panel_dense = res.total_panel_dense_bytes();
   m.panel_saved_msgs = res.total_panel_saved_msgs();
   m.xy_bytes_sent = res.total_bytes_sent(sim::CommPlane::XY);
+  m.link_queue_s = res.total_link_queue_seconds();
   for (offset_t b : mem) {
     m.mem_total += b;
     m.mem_max = std::max(m.mem_max, b);

@@ -7,6 +7,11 @@
 //
 //   $ ./export_csv [output_dir]                (default: ./results)
 //   $ ./export_csv --kernels-only [output_dir] (skip the slow figure CSVs)
+//   $ ./export_csv --fleet-only [output_dir]   (fleet throughput sweep only)
+//   $ ./export_csv --fig12-only [output_dir]   (fig12 platform sweep only:
+//                                               fig12_heatmap.csv plus one
+//                                               fig12_<platform>.csv per
+//                                               preset — the CI artifacts)
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -81,10 +86,26 @@ void export_fig9_fig10_fig11(const std::string& dir, int threads) {
   }
 }
 
+/// One fig12 heatmap CSV per platform preset. `results/fig12_heatmap.csv`
+/// stays the flat Edison-like heatmap (the historical artifact); the
+/// platform sweep additionally writes `results/fig12_<platform>.csv` for
+/// each preset, with the per-run link-queueing total alongside GFLOP/s so
+/// the Pz-dependent divergence under contention is visible in one file.
 void export_fig12(const std::string& dir) {
   const auto suite = paper_test_suite(bench::bench_scale());
-  std::ofstream f(dir + "/fig12_heatmap.csv");
-  f << "matrix,class,Pxy,Pz,gflops\n";
+  struct Sheet {
+    sim::Platform platform;
+    std::ofstream file;
+  };
+  std::vector<Sheet> sheets;
+  for (const char* name : {"edison", "fattree-2to1", "torus"}) {
+    sheets.push_back({sim::Platform::preset(name),
+                      std::ofstream(dir + "/fig12_" + name + ".csv")});
+    sheets.back().file
+        << "matrix,class,Pxy,Pz,platform,gflops,time_s,link_queue_s\n";
+  }
+  std::ofstream flat(dir + "/fig12_heatmap.csv");
+  flat << "matrix,class,Pxy,Pz,gflops\n";
   for (const auto& t : suite) {
     if (t.name != "K2D5pt" && t.name != "nlpkkt3d") continue;
     const SeparatorTree tree = bench::order_matrix(t);
@@ -94,12 +115,25 @@ void export_fig12(const std::string& dir) {
     for (int pz : {1, 2, 4, 8}) {
       for (int pxy : {4, 8, 16, 32}) {
         const auto [Px, Py] = bench::square_ish(pxy);
-        const auto m = bench::run_dist_lu(bs, Ap, Px, Py, pz);
-        f << t.name << ',' << (t.planar ? "planar" : "nonplanar") << ','
-          << pxy << ',' << pz << ',' << flops / m.time / 1e9 << '\n';
+        for (auto& sheet : sheets) {
+          const auto m = bench::run_dist_lu(
+              bs, Ap, Px, Py, pz, /*lookahead=*/8, PartitionStrategy::Greedy,
+              pipeline::ZRedPacking::Dense, pipeline::PanelPacking::Dense,
+              /*threads=*/0, &sheet.platform);
+          const double gflops = flops / m.time / 1e9;
+          sheet.file << t.name << ','
+                     << (t.planar ? "planar" : "nonplanar") << ',' << pxy
+                     << ',' << pz << ',' << sheet.platform.name << ','
+                     << gflops << ',' << m.time << ',' << m.link_queue_s
+                     << '\n';
+          if (sheet.platform.flat_wire())
+            flat << t.name << ',' << (t.planar ? "planar" : "nonplanar")
+                 << ',' << pxy << ',' << pz << ',' << gflops << '\n';
+        }
       }
     }
-    std::cout << "exported heatmap " << t.name << "\n";
+    std::cout << "exported heatmap " << t.name << " (platforms: edison, "
+                 "fattree-2to1, torus)\n";
   }
 }
 
@@ -109,6 +143,7 @@ void export_fig12(const std::string& dir) {
 /// percentiles, wall throughput, hit/coalesce/shed rates per shard count.
 void export_fleet_throughput(const std::string& dir, std::uint64_t seed) {
   service::ServiceOptions so;
+  so.platform = bench::platform();
   so.Px = 2;
   so.Py = 2;
   so.Pz = 2;
@@ -271,19 +306,25 @@ void export_kernel_benchmarks(const std::string& dir, int threads) {
 int main(int argc, char** argv) {
   bool kernels_only = false;
   bool fleet_only = false;
+  bool fig12_only = false;
   std::string dir = "results";
   const int threads = slu3d::bench::bench_threads(argc, argv);
   const std::uint64_t seed = slu3d::bench::bench_seed(argc, argv);
+  slu3d::bench::bench_platform(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--kernels-only") == 0) {
       kernels_only = true;
     } else if (std::strcmp(argv[i], "--fleet-only") == 0) {
       fleet_only = true;
+    } else if (std::strcmp(argv[i], "--fig12-only") == 0) {
+      fig12_only = true;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0 ||
-               std::strncmp(argv[i], "--seed=", 7) == 0) {
-      // parsed by bench_threads / bench_seed
+               std::strncmp(argv[i], "--seed=", 7) == 0 ||
+               std::strncmp(argv[i], "--platform=", 11) == 0) {
+      // parsed by bench_threads / bench_seed / bench_platform
     } else if (std::strcmp(argv[i], "--threads") == 0 ||
-               std::strcmp(argv[i], "--seed") == 0) {
+               std::strcmp(argv[i], "--seed") == 0 ||
+               std::strcmp(argv[i], "--platform") == 0) {
       ++i;  // skip the value
     } else {
       dir = argv[i];
@@ -292,6 +333,10 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(dir);
   if (fleet_only) {
     export_fleet_throughput(dir, seed);
+    return 0;
+  }
+  if (fig12_only) {
+    export_fig12(dir);
     return 0;
   }
   export_kernel_benchmarks(dir, threads);

@@ -8,6 +8,7 @@
 
 int main(int argc, char** argv) {
   using namespace slu3d;
+  bench::bench_platform(argc, argv);
   // --panel-packing / --zred-packing swap the wire formats of the Zsaved /
   // Psaved columns (default: sparse presence-bitmap packing on both); the
   // Tsaved columns always measure the targeted one-sided wire.

@@ -7,8 +7,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slu3d;
+  bench::bench_platform(argc, argv);
   const auto suite = paper_test_suite(bench::bench_scale());
   const int P = 64;
 

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace slu3d;
   const int threads = bench::bench_threads(argc, argv);
+  bench::bench_platform(argc, argv);
   // --panel-packing / --zred-packing select the wire format of the savings
   // re-run (default: the sparse presence-bitmap broadcasts).
   const auto pk = bench::parse_packing_flags(argc, argv,

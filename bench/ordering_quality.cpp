@@ -7,8 +7,9 @@
 #include "bench_common.hpp"
 #include "symbolic/etree.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slu3d;
+  bench::bench_platform(argc, argv);
   const auto suite = paper_test_suite(bench::bench_scale());
 
   TextTable table({"matrix", "ordering", "block nnz(L+U)", "flops",

@@ -11,8 +11,9 @@
 #include "dense25d/dense_lu25d.hpp"
 #include "support/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slu3d;
+  bench::bench_platform(argc, argv);
   const int scale = bench::bench_scale();
   const index_t n = scale == 0 ? 64 : (scale == 1 ? 192 : 384);
   const index_t block = 16;
@@ -35,7 +36,7 @@ int main() {
     opt.block = block;
     const int P = cfg.p * cfg.p * cfg.c;
     std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
-    const auto res = sim::run_ranks(P, bench::machine_model(), [&](sim::Comm& w) {
+    const auto res = sim::run_ranks(P, bench::platform(), [&](sim::Comm& w) {
       auto grid = sim::ProcessGrid3D::create(w, cfg.p, cfg.p, cfg.c);
       Dense25dMatrix A(n, opt, cfg.p, grid.plane().px(), grid.plane().py());
       if (grid.pz() == 0) A.fill_from(a0);

@@ -25,11 +25,13 @@ int main(int argc, char** argv) {
   using namespace slu3d;
 
   const int scale = bench::bench_scale();
+  bench::bench_platform(argc, argv);
   const auto pk = bench::parse_packing_flags(argc, argv);
   const std::uint64_t seed = bench::bench_seed(argc, argv);
   const bench::FleetFlags flags = bench::parse_fleet_flags(argc, argv);
 
   service::ServiceOptions so;
+  so.platform = bench::platform();
   so.Px = 2;
   so.Py = 2;
   so.Pz = 2;

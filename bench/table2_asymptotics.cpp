@@ -26,7 +26,7 @@ Measured measure(const TestMatrix& t, int Px, int Py, int Pz) {
   const ForestPartition part(bs, Pz);
   const int P = Px * Py * Pz;
   std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
-  const auto res = sim::run_ranks(P, bench::machine_model(), [&](sim::Comm& w) {
+  const auto res = sim::run_ranks(P, bench::platform(), [&](sim::Comm& w) {
     auto grid = sim::ProcessGrid3D::create(w, Px, Py, Pz);
     Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
     mem[static_cast<std::size_t>(w.rank())] = F.allocated_bytes();
@@ -52,7 +52,8 @@ double growth(double y1, double y0, double n1, double n0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  slu3d::bench::bench_platform(argc, argv);
   const int Px = 2, Py = 2;
 
   std::cout << "Table II check — planar model problems (2D grids), P_XY=4\n";

@@ -6,8 +6,9 @@
 #include "numeric/seq_lu.hpp"
 #include "support/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slu3d;
+  bench::bench_platform(argc, argv);
   const auto suite = paper_test_suite(bench::bench_scale());
 
   TextTable table({"Name", "Class", "n", "nnz/n", "#Flop", "T_fact(s)"});

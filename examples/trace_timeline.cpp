@@ -1,9 +1,13 @@
 // Produces a Chrome-tracing / Perfetto timeline of a distributed 3D
 // factorization: load the output JSON at chrome://tracing or
 // https://ui.perfetto.dev to see per-rank diag-factor / panel-solve /
-// schur-update / send / recv activity on the simulated clocks.
+// schur-update / send / recv activity on the simulated clocks. On a
+// contended platform (e.g. fattree-2to1) link-wait spans show where
+// transfers queued and name the bottleneck link; tools/trace_links.py
+// aggregates them per link.
 //
-//   $ ./trace_timeline [out.json] [grid_side] [Pz]
+//   $ ./trace_timeline [out.json] [grid_side] [Pz] [platform]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -18,6 +22,8 @@ int main(int argc, char** argv) {
   const std::string out = argc > 1 ? argv[1] : "/tmp/slu3d_trace.json";
   const index_t side = argc > 2 ? static_cast<index_t>(std::atoi(argv[2])) : 48;
   const int Pz = argc > 3 ? std::atoi(argv[3]) : 4;
+  const sim::Platform platform =
+      argc > 4 ? sim::Platform::load(argv[4]) : sim::Platform::flat();
 
   const GridGeometry g{side, side, 1};
   const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
@@ -30,7 +36,7 @@ int main(int argc, char** argv) {
   ropt.trace = true;
   const int P = 4 * Pz;
   const auto res = sim::run_ranks(
-      P, sim::MachineModel{},
+      P, platform,
       [&](sim::Comm& world) {
         auto grid = sim::ProcessGrid3D::create(world, 2, 2, Pz);
         Dist2dFactors F = make_3d_factors(bs, grid, part, Ap);
@@ -39,11 +45,26 @@ int main(int argc, char** argv) {
       ropt);
 
   std::ofstream os(out);
-  sim::write_chrome_trace(os, res.traces);
+  sim::write_chrome_trace(os, res.traces, res.link_names());
   std::size_t events = 0;
   for (const auto& t : res.traces) events += t.size();
-  std::printf("wrote %zu events for %d ranks to %s\n", events, P, out.c_str());
+  std::printf("wrote %zu events for %d ranks to %s (platform %s)\n", events, P,
+              out.c_str(), platform.describe().c_str());
   std::printf("simulated factorization time: %.3e s\n", res.max_clock());
+  if (res.total_link_queue_seconds() > 0) {
+    std::printf("link queueing: %.3e s total; worst links:\n",
+                res.total_link_queue_seconds());
+    auto links = res.links;
+    std::sort(links.begin(), links.end(),
+              [](const sim::LinkUsage& a, const sim::LinkUsage& b) {
+                return a.queue_seconds > b.queue_seconds;
+              });
+    for (std::size_t i = 0; i < links.size() && i < 5; ++i)
+      if (links[i].queue_seconds > 0)
+        std::printf("  %-14s %.3e s queued over %lld msgs\n",
+                    links[i].name.c_str(), links[i].queue_seconds,
+                    static_cast<long long>(links[i].messages));
+  }
   std::printf("open chrome://tracing or https://ui.perfetto.dev and load it\n");
   return 0;
 }

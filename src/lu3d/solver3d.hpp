@@ -27,7 +27,9 @@ struct Solver3dOptions {
   std::optional<GridGeometry> geometry;  ///< exact geometric ND when set
   PartitionStrategy partition = PartitionStrategy::Greedy;
   Lu3dOptions lu3d;
-  sim::MachineModel machine;
+  /// The network the simulated runs charge against (flat Edison-like by
+  /// default; hierarchical platforms add shared-uplink contention).
+  sim::Platform platform;
   /// Iterative-refinement sweeps after the distributed solve (each is a
   /// residual + another distributed triangular solve), as SuperLU_DIST's
   /// pdgsrfs pairs with static pivoting. 0 disables.

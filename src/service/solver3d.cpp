@@ -28,7 +28,7 @@ Solver3dReport solve_distributed_3d(const CsrMatrix& A,
   sopt.geometry = options.geometry;
   sopt.partition = options.partition;
   sopt.lu3d = options.lu3d;
-  sopt.machine = options.machine;
+  sopt.platform = options.platform;
   sopt.refinement_steps = options.refinement_steps;
   sopt.parallel_ordering = options.parallel_ordering;
   sopt.max_patterns = 1;

@@ -155,7 +155,7 @@ FactorReport SolverService::run_numeric_factorization(Resident& op) {
   op.factored = false;  // invalid from here until the run completes
   std::vector<offset_t> mem(static_cast<std::size_t>(P), 0);
   const sim::RunResult res =
-      sim::run_ranks(P, opt_.machine, [&](sim::Comm& world) {
+      sim::run_ranks(P, opt_.platform, [&](sim::Comm& world) {
         auto grid =
             sim::ProcessGrid3D::create(world, op.sym.Px, op.sym.Py, op.sym.Pz);
         auto& slot = op.per_rank[static_cast<std::size_t>(world.rank())];
@@ -242,7 +242,7 @@ FactorReport SolverService::factor(const CsrMatrix& A) {
     // role); its time and traffic count toward this factorization.
     std::mutex mu;
     const sim::RunResult ores =
-        sim::run_ranks(P, opt_.machine, [&](sim::Comm& world) {
+        sim::run_ranks(P, opt_.platform, [&](sim::Comm& world) {
           SeparatorTree t = parallel_nested_dissection(A, world, opt_.nd);
           if (world.rank() == 0) {
             const std::lock_guard<std::mutex> lock(mu);
@@ -337,7 +337,7 @@ std::vector<SolveReport> SolverService::run_solves(
   auto after = before;
   std::vector<std::vector<real_t>> xperm(k);  // solved panels, permuted space
 
-  sim::run_ranks(P, opt_.machine, [&](sim::Comm& world) {
+  sim::run_ranks(P, opt_.platform, [&](sim::Comm& world) {
     auto grid = sim::ProcessGrid3D::create(world, op.sym.Px, op.sym.Py, op.sym.Pz);
     Dist2dFactors& F = *op.per_rank[static_cast<std::size_t>(world.rank())];
     for (std::size_t i = 0; i < k; ++i) {

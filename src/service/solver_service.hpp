@@ -47,7 +47,9 @@ struct ServiceOptions {
   std::optional<GridGeometry> geometry;  ///< exact geometric ND when set
   PartitionStrategy partition = PartitionStrategy::Greedy;
   Lu3dOptions lu3d;
-  sim::MachineModel machine;
+  /// The network the simulated runs charge against (flat Edison-like by
+  /// default; hierarchical platforms add shared-uplink contention).
+  sim::Platform platform;
   /// Iterative-refinement sweeps appended to every solve request.
   int refinement_steps = 1;
   /// Run the fill-reducing ordering *inside* the simulated machine

@@ -49,6 +49,13 @@ struct RankStats {
   /// post and wait never shows up here — so wait_seconds measures the
   /// *residual*, non-overlapped part of each transfer, not raw volume.
   double wait_seconds = 0.0;
+  /// Time this rank's outgoing transfers spent queued behind busy links
+  /// (its own wire on the flat platform; any shared uplink on hierarchical
+  /// ones) before starting to serialize. Charged at injection, so it
+  /// overlaps the sender's compute for non-blocking sends; the per-link
+  /// split lives in RunResult::links, and traces attribute each stall to
+  /// its bottleneck link via TraceEvent::Kind::LinkWait.
+  double link_queue_seconds = 0.0;
 
   offset_t total_bytes_sent() const {
     return bytes_sent[0] + bytes_sent[1];

@@ -70,10 +70,12 @@ struct WindowShared {
 
 class Context {
  public:
-  Context(int n, const MachineModel& m)
-      : model(m),
+  Context(int n, const Platform& p)
+      : platform(p),
+        layout(p, n),
+        model(p.machine),
         stats(static_cast<std::size_t>(n)),
-        net_busy(static_cast<std::size_t>(n), 0.0) {
+        links(static_cast<std::size_t>(layout.num_links())) {
     for (int i = 0; i < n; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
   }
 
@@ -230,15 +232,82 @@ class Context {
 
  public:
 
-  MachineModel model;
+  Platform platform;
+  PlatformLayout layout;
+  MachineModel model;  ///< == platform.machine (compute + NIC constants)
   std::vector<RankStats> stats;
   std::vector<RankTrace> traces;  // sized only when tracing is enabled
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
-  /// Per-rank time until which the rank's outgoing wire is occupied by
-  /// previously injected transfers. Written only by the owning rank's
-  /// thread (senders serialize their own transfers; LogGP's G applies at
-  /// the injection side).
-  std::vector<double> net_busy;
+
+  /// Mutable run state of one platform link: the time until which it is
+  /// occupied by previously injected transfers, plus lifetime usage.
+  struct LinkState {
+    double busy = 0.0;
+    double queue_seconds = 0.0;
+    offset_t bytes = 0;
+    offset_t messages = 0;
+  };
+  /// Indexed by PlatformLayout link id. On the flat platform each link is
+  /// one rank's wire, written only by the owning rank's thread (senders
+  /// serialize their own transfers; LogGP's G applies at the injection
+  /// side) — no lock needed. Hierarchical platforms share links between
+  /// ranks, so charges there take link_mu and serialize FCFS in the
+  /// wall-clock order rank threads reach the wire.
+  std::vector<LinkState> links;
+  std::mutex link_mu;
+
+  /// THE charge site. Routes a transfer of `bytes` from `src_world` to
+  /// `dst_world` starting no earlier than `ready` (the time the payload
+  /// exists at the source: the sender's clock for blocking sends, the
+  /// pre-overhead post clock for isend, the parent-completion bound for
+  /// ibcast forwards), serializes it store-and-forward across every link
+  /// on the route — each hop starts at max(progress so far, link busy) —
+  /// and returns the arrival time at the destination. Queueing delay is
+  /// attributed to the sender's RankStats::link_queue_seconds, to the
+  /// per-link usage table, and (when tracing) to a LinkWait event naming
+  /// the bottleneck link. On the flat platform the route is the single
+  /// source wire and the arithmetic is bitwise-identical to the historical
+  /// `max(ready, net_busy) + alpha + beta*bytes` clock.
+  double charge_transfer(int src_world, int dst_world, offset_t bytes,
+                         double ready) {
+    thread_local std::vector<int> hops;
+    layout.route(src_world, dst_world, hops);
+    double t = ready;
+    double queued = 0.0;
+    double worst = 0.0;
+    int bottleneck = -1;
+    const auto charge_hop = [&](int id) {
+      LinkState& ls = links[static_cast<std::size_t>(id)];
+      const double wait = ls.busy - t;
+      if (wait > 0.0) {
+        queued += wait;
+        if (wait > worst) {
+          worst = wait;
+          bottleneck = id;
+        }
+        t = ls.busy;
+      }
+      const PlatformLayout::Link& spec = layout.link(id);
+      t = t + (spec.latency + spec.inv_bw * static_cast<double>(bytes));
+      ls.busy = t;
+      if (wait > 0.0) ls.queue_seconds += wait;
+      ls.bytes += bytes;
+      ls.messages += 1;
+    };
+    if (layout.flat()) {
+      for (const int id : hops) charge_hop(id);
+    } else {
+      const std::lock_guard<std::mutex> lock(link_mu);
+      for (const int id : hops) charge_hop(id);
+    }
+    if (queued > 0.0) {
+      stats[static_cast<std::size_t>(src_world)].link_queue_seconds += queued;
+      record(src_world, {TraceEvent::Kind::LinkWait, ready, ready + queued,
+                         dst_world, bytes, ComputeKind::Other, bottleneck});
+    }
+    return t;
+  }
+
   std::atomic<bool> aborted{false};
   /// RMA window registry: uid -> shared struct, plus the per-member
   /// creation counts the uids are derived from. Entries live until the
@@ -292,13 +361,11 @@ struct RequestState {
     const offset_t bytes = payload_bytes(buf.size());
     for (std::size_t c = 0; c < child_worlds.size(); ++c) {
       const int dst = child_worlds[c];
-      const double start = std::max(fb, ctx->net_busy[static_cast<std::size_t>(me_world)]);
-      const double arrival = start + ctx->model.message_time(bytes);
-      ctx->net_busy[static_cast<std::size_t>(me_world)] = arrival;
+      const double arrival = ctx->charge_transfer(me_world, dst, bytes, fb);
       const double t0 = s.clock;
       s.clock += ctx->model.alpha;
       ctx->record(me_world, {TraceEvent::Kind::Send, t0, s.clock, dst, bytes,
-                             ComputeKind::Other});
+                             ComputeKind::Other, -1});
       s.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
       s.messages_sent[static_cast<std::size_t>(plane)] += 1;
       ctx->deliver_at(dst, {comm_id, me_world, ftag}, child_slots[c],
@@ -323,7 +390,7 @@ struct RequestState {
     const double t0 = s.clock;
     s.clock = std::max(s.clock, env->arrival);
     ctx->record(me_world, {TraceEvent::Kind::Wait, t0, s.clock, peer_world,
-                           bytes, ComputeKind::Other});
+                           bytes, ComputeKind::Other, -1});
     s.wait_seconds += s.clock - t0;
     s.bytes_received[static_cast<std::size_t>(plane)] += bytes;
     s.messages_received[static_cast<std::size_t>(plane)] += 1;
@@ -403,6 +470,8 @@ int Comm::world_rank() const { return members_[static_cast<std::size_t>(rank_)];
 
 const MachineModel& Comm::model() const { return ctx_->model; }
 
+const Platform& Comm::platform() const { return ctx_->platform; }
+
 RankStats& Comm::stats() {
   return ctx_->stats[static_cast<std::size_t>(world_rank())];
 }
@@ -421,7 +490,7 @@ void Comm::add_compute(offset_t flops, ComputeKind kind) {
   const double dt = ctx_->model.compute_time(flops);
   auto& st = stats();
   ctx_->record(world_rank(), {TraceEvent::Kind::Compute, st.clock,
-                              st.clock + dt, -1, 0, kind});
+                              st.clock + dt, -1, 0, kind, -1});
   st.clock += dt;
   st.compute_seconds[static_cast<std::size_t>(kind)] += dt;
   st.flops[static_cast<std::size_t>(kind)] += flops;
@@ -456,9 +525,10 @@ struct Wire {
   }
 };
 
-/// Blocking, charged send (store-and-forward): the sender is occupied for
-/// the full message time, starting when its wire is free, and the payload
-/// reaches the receiver at that same instant.
+/// Blocking, charged send (store-and-forward): the sender is occupied
+/// until the payload clears the route's last link, starting when each link
+/// on the route frees up, and the payload reaches the receiver at that
+/// same instant.
 void send_charged(detail::Context* ctx, std::uint64_t comm_id, int me_world,
                   int dst_world, std::int64_t ft,
                   std::span<const real_t> payload,
@@ -466,13 +536,11 @@ void send_charged(detail::Context* ctx, std::uint64_t comm_id, int me_world,
   auto& st = ctx->stats[static_cast<std::size_t>(me_world)];
   const offset_t bytes = payload_bytes(payload.size());
   const double t0 = st.clock;
-  const double start =
-      std::max(st.clock, ctx->net_busy[static_cast<std::size_t>(me_world)]);
-  st.clock = start + ctx->model.message_time(bytes);
-  ctx->net_busy[static_cast<std::size_t>(me_world)] = st.clock;
-  const double arrival = st.clock;
+  const double arrival =
+      ctx->charge_transfer(me_world, dst_world, bytes, st.clock);
+  st.clock = arrival;
   ctx->record(me_world, {TraceEvent::Kind::Send, t0, st.clock, dst_world, bytes,
-                         ComputeKind::Other});
+                         ComputeKind::Other, -1});
   st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
   st.messages_sent[static_cast<std::size_t>(plane)] += 1;
   ctx->deliver(dst_world, {comm_id, me_world, ft},
@@ -490,7 +558,8 @@ std::vector<real_t> recv_charged(detail::Context* ctx, std::uint64_t comm_id,
   const double t0 = st.clock;
   st.clock = std::max(st.clock, env.arrival);
   ctx->record(me_world, {TraceEvent::Kind::Recv, t0, st.clock, src_world,
-                         payload_bytes(env.payload.size()), ComputeKind::Other});
+                         payload_bytes(env.payload.size()), ComputeKind::Other,
+                         -1});
   st.wait_seconds += st.clock - t0;
   st.bytes_received[static_cast<std::size_t>(plane)] +=
       payload_bytes(env.payload.size());
@@ -527,16 +596,13 @@ Request Comm::isend(int dst, int tag, std::span<const real_t> payload,
   auto& st = stats();
   const offset_t bytes = payload_bytes(payload.size());
   // The CPU pays only the injection overhead; the transfer itself queues
-  // on this rank's wire behind earlier outstanding sends. On an idle wire
-  // the arrival time is identical to the blocking send's.
+  // on the route's links behind earlier outstanding sends. On an idle
+  // route the arrival time is identical to the blocking send's.
   const double t0 = st.clock;
   st.clock += ctx_->model.alpha;
-  const double arrival =
-      std::max(t0, ctx_->net_busy[static_cast<std::size_t>(me)]) +
-      ctx_->model.message_time(bytes);
-  ctx_->net_busy[static_cast<std::size_t>(me)] = arrival;
+  const double arrival = ctx_->charge_transfer(me, dst_world, bytes, t0);
   ctx_->record(me, {TraceEvent::Kind::Send, t0, st.clock, dst_world, bytes,
-                    ComputeKind::Other});
+                    ComputeKind::Other, -1});
   st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
   st.messages_sent[static_cast<std::size_t>(plane)] += 1;
   ctx_->deliver(dst_world, {comm_id_, me, ft},
@@ -891,7 +957,8 @@ std::size_t Window::extent(int target) const {
 
 /// Origin-side injection, charged exactly like isend: alpha on the clock,
 /// the transfer (data bytes only — the header words ride free) serialized
-/// on this rank's wire, bytes/messages booked as sent on the plane.
+/// across the route to the target, bytes/messages booked as sent on the
+/// plane.
 void Window::post_op(int target, std::vector<real_t> payload,
                      offset_t data_bytes) {
   assert_funneled();
@@ -902,12 +969,9 @@ void Window::post_op(int target, std::vector<real_t> payload,
   auto& st = ctx_->stats[static_cast<std::size_t>(me)];
   const double t0 = st.clock;
   st.clock += ctx_->model.alpha;
-  const double arrival =
-      std::max(t0, ctx_->net_busy[static_cast<std::size_t>(me)]) +
-      ctx_->model.message_time(data_bytes);
-  ctx_->net_busy[static_cast<std::size_t>(me)] = arrival;
+  const double arrival = ctx_->charge_transfer(me, dst, data_bytes, t0);
   ctx_->record(me, {TraceEvent::Kind::Send, t0, st.clock, dst, data_bytes,
-                    ComputeKind::Other});
+                    ComputeKind::Other, -1});
   st.bytes_sent[static_cast<std::size_t>(plane_)] += data_bytes;
   st.messages_sent[static_cast<std::size_t>(plane_)] += 1;
   ctx_->deliver(dst, {sh_->uid, me, rma_op_tag()},
@@ -1000,7 +1064,7 @@ void Window::apply_envelope(int origin, std::vector<real_t> payload,
   s.clock = std::max(s.clock, arrival);
   ctx_->record(me, {TraceEvent::Kind::Wait, t0, s.clock,
                     members_[static_cast<std::size_t>(origin)], bytes,
-                    ComputeKind::Other});
+                    ComputeKind::Other, -1});
   s.wait_seconds += s.clock - t0;
   s.bytes_received[static_cast<std::size_t>(plane_)] += bytes;
   s.messages_received[static_cast<std::size_t>(plane_)] += 1;
@@ -1062,13 +1126,19 @@ void Window::get(int target, std::size_t offset, std::span<real_t> out) {
   const double t0 = st.clock;
   // The payload leaves the target at its snapshot publish time; the fetch
   // occupies the origin for the transfer (the target's thread is not
-  // involved — that is the point of one-sided).
+  // involved — that is the point of one-sided). Charged contention-free
+  // along the target -> origin route: a snapshot read models pulling from
+  // exposed memory, not a queued wire transfer, so it must not perturb
+  // (or be perturbed by) the busy clocks — this also keeps flat runs
+  // bitwise-reproducible, get() being the one charge whose ordering
+  // across ranks is not pinned by message matching.
   const double start =
       std::max(st.clock, sh_->snap_clocks[static_cast<std::size_t>(target)]);
-  st.clock = start + ctx_->model.message_time(bytes);
+  st.clock = start + ctx_->layout.route_seconds(
+                         members_[static_cast<std::size_t>(target)], me, bytes);
   ctx_->record(me, {TraceEvent::Kind::Recv, t0, st.clock,
                     members_[static_cast<std::size_t>(target)], bytes,
-                    ComputeKind::Other});
+                    ComputeKind::Other, -1});
   st.wait_seconds += start - t0;
   st.bytes_received[static_cast<std::size_t>(plane_)] += bytes;
   st.messages_received[static_cast<std::size_t>(plane_)] += 1;
@@ -1180,6 +1250,19 @@ offset_t RunResult::total_panel_saved_msgs() const {
   return total;
 }
 
+double RunResult::total_link_queue_seconds() const {
+  double total = 0.0;
+  for (const auto& l : links) total += l.queue_seconds;
+  return total;
+}
+
+std::vector<std::string> RunResult::link_names() const {
+  std::vector<std::string> names;
+  names.reserve(links.size());
+  for (const auto& l : links) names.push_back(l.name);
+  return names;
+}
+
 struct RuntimeAccess {
   static Comm make_world(detail::Context* ctx, int n_ranks, int rank) {
     std::vector<int> members(static_cast<std::size_t>(n_ranks));
@@ -1188,11 +1271,11 @@ struct RuntimeAccess {
   }
 };
 
-RunResult run_ranks(int n_ranks, const MachineModel& model,
+RunResult run_ranks(int n_ranks, const Platform& platform,
                     const std::function<void(Comm&)>& body,
                     const RunOptions& options) {
   SLU3D_CHECK(n_ranks > 0, "need at least one rank");
-  detail::Context ctx(n_ranks, model);
+  detail::Context ctx(n_ranks, platform);
   if (options.trace) ctx.traces.resize(static_cast<std::size_t>(n_ranks));
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_ranks));
@@ -1228,7 +1311,20 @@ RunResult run_ranks(int n_ranks, const MachineModel& model,
   }
   if (root_cause) std::rethrow_exception(root_cause);
   if (first) std::rethrow_exception(first);
-  return RunResult{std::move(ctx.stats), std::move(ctx.traces)};
+  RunResult result{std::move(ctx.stats), std::move(ctx.traces), {}};
+  result.links.reserve(static_cast<std::size_t>(ctx.layout.num_links()));
+  for (int i = 0; i < ctx.layout.num_links(); ++i) {
+    const auto& ls = ctx.links[static_cast<std::size_t>(i)];
+    result.links.push_back(
+        {ctx.layout.link(i).name, ls.bytes, ls.messages, ls.queue_seconds});
+  }
+  return result;
+}
+
+RunResult run_ranks(int n_ranks, const MachineModel& model,
+                    const std::function<void(Comm&)>& body,
+                    const RunOptions& options) {
+  return run_ranks(n_ranks, Platform::flat(model), body, options);
 }
 
 }  // namespace slu3d::sim

@@ -7,28 +7,37 @@
 // isend/irecv/ibcast returning a Request with wait/test.
 //
 // Every rank carries a LogGP-style logical clock: compute advances it by
-// gamma*flops, a blocking message by alpha + beta*bytes, and a receive
-// completes at max(local clock, sender's clock at send + message time).
-// Non-blocking operations decouple the CPU clock from the wire: an isend
-// charges only the overhead alpha to the sender and deposits the payload
-// with a completion timestamp computed from the sender's per-rank network
-// queue (transfers serialize at alpha + beta*bytes each); the receiver's
-// clock only advances to max(local, sender_completion) at wait(), so any
-// compute performed between irecv/ibcast and wait genuinely hides transfer
-// time. The maximum final clock across ranks is the simulated parallel
-// runtime; per-rank byte counters split by plane reproduce the paper's
+// gamma*flops, and every transfer is charged through the Platform
+// (platform.hpp) — routed over a link sequence and serialized
+// store-and-forward against each link's busy clock. On the default flat
+// platform the route is the sender's single wire, so a blocking message
+// costs alpha + beta*bytes and a receive completes at max(local clock,
+// sender's clock at send + message time) — the historical per-endpoint
+// LogGP arithmetic, bitwise. Hierarchical platforms share uplinks between
+// ranks so concurrent transfers genuinely contend; queueing is attributed
+// per sender (link_queue_seconds), per link (RunResult::links), and as
+// link-wait trace events. Non-blocking operations decouple the CPU clock
+// from the network: an isend charges only the overhead alpha to the
+// sender and deposits the payload with a completion timestamp computed
+// from its route; the receiver's clock only advances to
+// max(local, sender_completion) at wait(), so any compute performed
+// between irecv/ibcast and wait genuinely hides transfer time. The
+// maximum final clock across ranks is the simulated parallel runtime;
+// per-rank byte counters split by plane reproduce the paper's
 // W_fact / W_red and are identical between the blocking and non-blocking
-// forms of the same communication pattern.
+// forms of the same communication pattern — and across platforms.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "simmpi/comm_stats.hpp"
 #include "simmpi/machine_model.hpp"
+#include "simmpi/platform.hpp"
 #include "simmpi/trace.hpp"
 #include "support/types.hpp"
 
@@ -159,6 +168,9 @@ class Comm {
   void advance_clock_to(double t);
 
   const MachineModel& model() const;
+  /// The platform this run charges transfers against (flat unless the run
+  /// was started with a hierarchical one).
+  const Platform& platform() const;
   /// This rank's statistics (mutable live view).
   RankStats& stats();
 
@@ -283,10 +295,25 @@ class Window {
   std::shared_ptr<Comm> comm_;
 };
 
+/// Lifetime usage of one platform link: what travelled over it and how
+/// long transfers queued behind it. Index order matches the ids LinkWait
+/// trace events carry.
+struct LinkUsage {
+  std::string name;
+  offset_t bytes = 0;
+  offset_t messages = 0;
+  /// Total seconds transfers spent waiting for this link to free up.
+  double queue_seconds = 0.0;
+};
+
 struct RunResult {
   std::vector<RankStats> ranks;
   /// Per-rank event timelines; empty unless tracing was enabled.
   std::vector<RankTrace> traces;
+  /// Per-link usage over the whole run, in link-id order (the flat wire is
+  /// one link per endpoint; hierarchical platforms add shared up/down
+  /// pairs per node/switch group).
+  std::vector<LinkUsage> links;
 
   double max_clock() const;
   /// Max over ranks of bytes sent in `plane`. Note: tree collectives make
@@ -311,6 +338,11 @@ struct RunResult {
   offset_t total_panel_dense_bytes() const;
   offset_t total_panel_saved_bytes() const;
   offset_t total_panel_saved_msgs() const;
+  /// Total transfer-queueing time across all links (== the sum of every
+  /// rank's link_queue_seconds); zero on an uncontended run.
+  double total_link_queue_seconds() const;
+  /// The link names in id order, for write_chrome_trace.
+  std::vector<std::string> link_names() const;
 };
 
 struct RunOptions {
@@ -321,6 +353,23 @@ struct RunOptions {
 /// Runs `body(comm)` on `n_ranks` threads and returns per-rank statistics.
 /// Any exception thrown by a rank is rethrown here (after all threads are
 /// joined); remaining ranks blocked in recv are woken with an error.
+///
+/// Every transfer is charged through the platform: routed across the link
+/// sequence `PlatformLayout::route(src, dst)` yields and serialized
+/// store-and-forward against each link's busy clock. On the flat platform
+/// the route is the sender's own wire and the arithmetic reproduces the
+/// historical per-endpoint LogGP clock bitwise; byte/message counters are
+/// platform-independent either way (the platform changes *when* messages
+/// move, never *whether*). Hierarchical platforms share links between
+/// ranks, so arrival times there depend on the wall-clock order in which
+/// rank threads reach a contended link (FCFS) — counters stay exact, but
+/// clocks are not bitwise-reproducible across runs.
+RunResult run_ranks(int n_ranks, const Platform& platform,
+                    const std::function<void(Comm&)>& body,
+                    const RunOptions& options = {});
+
+/// Convenience overload: runs on the flat one-link-per-endpoint platform
+/// over `model` (the exact historical behaviour).
 RunResult run_ranks(int n_ranks, const MachineModel& model,
                     const std::function<void(Comm&)>& body,
                     const RunOptions& options = {});

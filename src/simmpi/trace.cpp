@@ -1,5 +1,6 @@
 #include "simmpi/trace.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 namespace slu3d::sim {
@@ -14,6 +15,8 @@ const char* event_name(const TraceEvent& ev) {
       return "recv";
     case TraceEvent::Kind::Wait:
       return "wait";
+    case TraceEvent::Kind::LinkWait:
+      return "link-wait";
     case TraceEvent::Kind::Compute:
       switch (ev.compute) {
         case ComputeKind::DiagFactor:
@@ -31,7 +34,8 @@ const char* event_name(const TraceEvent& ev) {
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& traces) {
+void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& traces,
+                        const std::vector<std::string>& link_names) {
   os << "{\"traceEvents\":[";
   bool first = true;
   for (std::size_t rank = 0; rank < traces.size(); ++rank) {
@@ -43,9 +47,17 @@ void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& traces) 
       const double dur = std::max((ev.t1 - ev.t0) * 1e6, 1e-3);
       os << "{\"name\":\"" << event_name(ev) << "\",\"ph\":\"X\",\"pid\":0,"
          << "\"tid\":" << rank << ",\"ts\":" << ts << ",\"dur\":" << dur;
-      if (ev.peer >= 0)
-        os << ",\"args\":{\"peer\":" << ev.peer << ",\"bytes\":" << ev.bytes
-           << "}";
+      if (ev.peer >= 0) {
+        os << ",\"args\":{\"peer\":" << ev.peer << ",\"bytes\":" << ev.bytes;
+        if (ev.kind == TraceEvent::Kind::LinkWait && ev.link >= 0) {
+          if (static_cast<std::size_t>(ev.link) < link_names.size())
+            os << ",\"link\":\"" << link_names[static_cast<std::size_t>(ev.link)]
+               << "\"";
+          else
+            os << ",\"link\":" << ev.link;
+        }
+        os << "}";
+      }
       os << "}";
     }
   }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "simmpi/comm_stats.hpp"
@@ -18,20 +19,38 @@ struct TraceEvent {
   /// t0 is the clock when wait() was called, t1 the (possibly unchanged)
   /// clock after syncing to the sender's completion — a zero-width Wait
   /// means the transfer was fully hidden behind compute.
-  enum class Kind : char { Compute = 'C', Send = 'S', Recv = 'R', Wait = 'W' };
+  ///
+  /// LinkWait marks an injected transfer that queued behind busy network
+  /// links before it could start serializing: [t0, t1] spans the queueing
+  /// delay (starting at the transfer's ready time, which may sit behind
+  /// the sender's CPU clock for non-blocking sends), `peer` the
+  /// destination, and `link` the bottleneck link — the one contributing
+  /// the largest share of the stall — so trace dumps attribute congestion
+  /// to a specific wire, not just to total wait_seconds.
+  enum class Kind : char {
+    Compute = 'C',
+    Send = 'S',
+    Recv = 'R',
+    Wait = 'W',
+    LinkWait = 'L',
+  };
   Kind kind;
   double t0 = 0;        ///< logical seconds at event start
   double t1 = 0;        ///< logical seconds at event end
   int peer = -1;        ///< world rank of the peer (send/recv)
   offset_t bytes = 0;   ///< payload bytes (send/recv)
   ComputeKind compute = ComputeKind::Other;  ///< category (compute)
+  int link = -1;        ///< bottleneck link id (LinkWait only)
 };
 
 using RankTrace = std::vector<TraceEvent>;
 
 /// Writes the Chrome tracing JSON ("traceEvents" array, complete 'X'
-/// events; ts/dur in microseconds of logical time; tid = rank).
-void write_chrome_trace(std::ostream& os,
-                        const std::vector<RankTrace>& traces);
+/// events; ts/dur in microseconds of logical time; tid = rank). When
+/// `link_names` is non-empty, LinkWait events carry a "link" arg with the
+/// congested link's name (from RunResult::links order); otherwise the raw
+/// id is emitted.
+void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& traces,
+                        const std::vector<std::string>& link_names = {});
 
 }  // namespace slu3d::sim

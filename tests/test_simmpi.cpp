@@ -296,6 +296,35 @@ TEST(NonBlocking, ComputeBetweenPostAndWaitHidesTransfer) {
   EXPECT_DOUBLE_EQ(result.ranks[2].wait_seconds, 2 * xfer);
 }
 
+TEST(NonBlocking, BackToBackIsendsSerializeOnSenderWire) {
+  // Platform-layer pin: on the default flat platform every outgoing message
+  // serializes over the sender's single wire at alpha + beta*bytes each.
+  // Two isends posted back to back therefore complete exactly one and two
+  // full transfer times after the first post — the second cannot overtake
+  // or overlap the first, no matter how eagerly the receiver drains them.
+  const std::vector<real_t> payload(64, 3.0);
+  const double xfer = kModel.message_time(
+      static_cast<offset_t>(payload.size() * sizeof(real_t)));
+  double after_first = 0, after_second = 0;
+  const auto result = run_ranks(2, kModel, [&](Comm& world) {
+    if (world.rank() == 0) {
+      world.isend(1, 1, payload, CommPlane::XY);
+      world.isend(1, 2, payload, CommPlane::XY);
+    } else {
+      world.recv(0, 1, CommPlane::XY);
+      after_first = world.clock();
+      world.recv(0, 2, CommPlane::XY);
+      after_second = world.clock();
+    }
+  });
+  EXPECT_DOUBLE_EQ(after_first, xfer);
+  EXPECT_DOUBLE_EQ(after_second, 2 * xfer);
+  // The sender's CPU clock pays only the two injection overheads; the wire
+  // occupancy shows up as queueing attributed to its endpoint link.
+  EXPECT_DOUBLE_EQ(result.ranks[0].clock, 2 * kModel.alpha);
+  EXPECT_DOUBLE_EQ(result.ranks[0].link_queue_seconds, xfer - kModel.alpha);
+}
+
 TEST(NonBlocking, IsendMatchesBlockingArrivalOnIdleWire) {
   // With nothing else on the sender's network queue, an isend's completion
   // timestamp equals the blocking send's arrival: the receiver's clock is

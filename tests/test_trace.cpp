@@ -95,5 +95,56 @@ TEST(Trace, ChromeJsonExportIsWellFormedIsh) {
   EXPECT_EQ(opens, closes);
 }
 
+TEST(Trace, LinkWaitAttributesStallToCongestedLinkByName) {
+  // One rank fires two back-to-back isends across a slow shared node
+  // uplink (alpha-only NICs, pure-latency node link slower than the NIC
+  // hop). The second payload reaches the free NIC exactly as the first
+  // clears it, then stalls at node0.up — a single deterministic LinkWait
+  // event whose bottleneck the JSON export must name.
+  Platform p;
+  p.name = "trace-test";
+  p.machine.alpha = 1.0e-6;
+  p.machine.beta = 0.0;
+  p.levels.push_back({"node", 2, 5.0e-6, 0.0});
+  RunOptions opt;
+  opt.trace = true;
+  const auto res = run_ranks(
+      4, p,
+      [](Comm& world) {
+        if (world.rank() == 0) {
+          world.isend(2, 1, std::vector<real_t>(8), CommPlane::XY);
+          world.isend(2, 2, std::vector<real_t>(8), CommPlane::XY);
+        } else if (world.rank() == 2) {
+          world.recv(0, 1, CommPlane::XY);
+          world.recv(0, 2, CommPlane::XY);
+        }
+      },
+      opt);
+
+  const TraceEvent* lw = nullptr;
+  int link_waits = 0;
+  for (const auto& trace : res.traces)
+    for (const auto& ev : trace)
+      if (ev.kind == TraceEvent::Kind::LinkWait) {
+        ++link_waits;
+        lw = &ev;
+      }
+  ASSERT_EQ(link_waits, 1);
+  ASSERT_NE(lw, nullptr);
+  EXPECT_EQ(lw->peer, 2);
+  ASSERT_GE(lw->link, 0);
+  const auto names = res.link_names();
+  EXPECT_EQ(names[static_cast<std::size_t>(lw->link)], "node0.up");
+  // The stall equals one node-link occupancy minus the NIC hop that the
+  // second payload still had to itself.
+  EXPECT_DOUBLE_EQ(lw->t1 - lw->t0, p.levels[0].latency - p.machine.alpha);
+
+  std::ostringstream os;
+  write_chrome_trace(os, res.traces, names);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("link-wait"), std::string::npos);
+  EXPECT_NE(json.find("node0.up"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace slu3d::sim

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Aggregate link-wait stall time from a simulator Chrome trace.
+
+The simulated runtime (with tracing enabled) emits a ``link-wait`` span
+whenever an injected transfer queues behind busy network links before it
+can start serializing; each span's args name the bottleneck link (see
+docs/SIMULATOR.md, "Platform descriptions"). This script turns a trace
+JSON — e.g. one written by examples/trace_timeline on a hierarchical
+platform — into a per-link congestion table, answering "which wire is
+this run actually waiting on?".
+
+Usage:
+    tools/trace_links.py /tmp/slu3d_trace.json [--top N]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace JSON written by the simulator")
+    ap.add_argument("--top", type=int, default=20,
+                    help="show at most N links (default 20)")
+    args = ap.parse_args()
+
+    with open(args.trace, encoding="utf-8") as f:
+        events = json.load(f).get("traceEvents", [])
+
+    # Per-link totals: stall seconds, stalled-transfer count, queued bytes.
+    stall_us = collections.defaultdict(float)
+    stalls = collections.defaultdict(int)
+    stalled_bytes = collections.defaultdict(int)
+    total_span_us = 0.0
+    for ev in events:
+        total_span_us = max(total_span_us, ev.get("ts", 0) + ev.get("dur", 0))
+        if ev.get("name") != "link-wait":
+            continue
+        link = str(ev.get("args", {}).get("link", "?"))
+        stall_us[link] += ev.get("dur", 0)
+        stalls[link] += 1
+        stalled_bytes[link] += ev.get("args", {}).get("bytes", 0)
+
+    if not stall_us:
+        print("no link-wait events: the run never queued behind a link "
+              "(flat platform, or an uncontended schedule)")
+        return 0
+
+    total_stall = sum(stall_us.values())
+    print(f"{'link':<18} {'stall(s)':>12} {'share':>7} {'stalls':>7} "
+          f"{'queued bytes':>14}")
+    ranked = sorted(stall_us.items(), key=lambda kv: kv[1], reverse=True)
+    for link, us in ranked[: args.top]:
+        print(f"{link:<18} {us / 1e6:>12.3e} {us / total_stall:>6.1%} "
+              f"{stalls[link]:>7} {stalled_bytes[link]:>14}")
+    if len(ranked) > args.top:
+        print(f"... {len(ranked) - args.top} more links elided (--top)")
+    print(f"total stall: {total_stall / 1e6:.3e} s across "
+          f"{sum(stalls.values())} transfers "
+          f"(trace spans {total_span_us / 1e6:.3e} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
