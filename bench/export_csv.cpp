@@ -34,7 +34,8 @@ using namespace slu3d;
 void export_fig9_fig10_fig11(const std::string& dir, int threads) {
   const auto suite = paper_test_suite(bench::bench_scale());
   std::ofstream f9(dir + "/fig9_normalized_time.csv");
-  f9 << "matrix,class,P,Pz,Px,Py,time_s,t_scu_s,t_comm_s,wall_s,threads\n";
+  f9 << "matrix,class,P,Pz,Px,Py,time_s,t_scu_s,t_comm_s,wall_s,threads,"
+        "t_analysis_s,w_analysis_bytes,msg_analysis\n";
   std::ofstream f10(dir + "/fig10_comm_volume.csv");
   f10 << "matrix,class,P,Pz,w_fact_bytes,w_red_bytes,panel_saved_bytes,"
          "panel_dense_bytes,panel_saved_msgs,targeted_saved_bytes,"
@@ -49,6 +50,18 @@ void export_fig9_fig10_fig11(const std::string& dir, int threads) {
     const CsrMatrix Ap = t.A.permuted_symmetric(tree.perm());
     const char* cls = t.planar ? "planar" : "nonplanar";
     for (int P : {16, 64, 128}) {
+      // The cold-start analysis split at this rank count: the distributed
+      // ordering + symbolic phase run once per (matrix, P) on the
+      // simulated machine (it depends on the world size, not the Pz
+      // split), reported alongside every fig9 row at this P.
+      const auto ares = sim::run_ranks(
+          P, bench::platform(), [&](sim::Comm& world) {
+            analyze_in_sim(t.A, world, {.leaf_size = 16},
+                           AnalysisMode::Distributed);
+          });
+      const double t_analysis = ares.max_analysis_seconds();
+      const offset_t w_analysis = ares.max_analysis_bytes_received();
+      const offset_t msg_analysis = ares.total_analysis_messages_sent();
       for (int Pz : {1, 2, 4, 8, 16}) {
         if (P % Pz != 0) continue;
         const auto [Px, Py] = bench::square_ish(P / Pz);
@@ -72,7 +85,8 @@ void export_fig9_fig10_fig11(const std::string& dir, int threads) {
                                            threads);
         f9 << t.name << ',' << cls << ',' << P << ',' << Pz << ',' << Px
            << ',' << Py << ',' << m.time << ',' << m.t_scu << ',' << m.t_comm
-           << ',' << m.wall_s << ',' << m.threads << '\n';
+           << ',' << m.wall_s << ',' << m.threads << ',' << t_analysis << ','
+           << w_analysis << ',' << msg_analysis << '\n';
         f10 << t.name << ',' << cls << ',' << P << ',' << Pz << ','
             << m.w_fact << ',' << m.w_red << ',' << pp.panel_saved << ','
             << pp.panel_dense << ',' << pp.panel_saved_msgs << ','
@@ -148,14 +162,17 @@ void export_fleet_throughput(const std::string& dir, std::uint64_t seed) {
   so.Py = 2;
   so.Pz = 2;
   so.refinement_steps = 1;
+  // Shard misses run their analysis on the simulated ranks, so the fleet's
+  // cold-start bill (the analysis_* columns) is on the simulated clock.
+  so.analysis = AnalysisMode::Distributed;
   const bench::FleetTrace trace =
       bench::make_fleet_trace(so, bench::bench_scale(), seed);
   const bench::FleetFlags flags;  // bench defaults: window x1, depth 16
 
   std::ofstream f(dir + "/fleet_throughput.csv");
   f << "shards,seed,requests,completed,shed,coalesced,batches,migrations,"
-       "p50_s,p90_s,p99_s,wall_s,req_per_s,hit_rate,coalesce_rate,shed_rate"
-       "\n";
+       "p50_s,p90_s,p99_s,wall_s,req_per_s,hit_rate,coalesce_rate,shed_rate,"
+       "analyses,analysis_s,analysis_bytes,analysis_msgs\n";
   for (const int shards : {1, 2, 4, 8}) {
     const bench::FleetRunResult r = bench::run_fleet_trace(
         trace, bench::fleet_bench_options(so, trace, flags, shards));
@@ -163,7 +180,9 @@ void export_fleet_throughput(const std::string& dir, std::uint64_t seed) {
       << ',' << r.shed << ',' << r.coalesced << ',' << r.batches << ','
       << r.migrations << ',' << r.p50 << ',' << r.p90 << ',' << r.p99 << ','
       << r.wall_s << ',' << r.wall_rps << ',' << r.hit_rate << ','
-      << r.coalesce_rate << ',' << r.shed_rate << '\n';
+      << r.coalesce_rate << ',' << r.shed_rate << ',' << r.analyses << ','
+      << r.analysis_s << ',' << r.analysis_bytes << ',' << r.analysis_msgs
+      << '\n';
     std::cout << "fleet shards=" << r.shards << ": " << r.completed
               << " done, " << r.shed << " shed, p99 " << r.p99 << " sim s\n";
   }

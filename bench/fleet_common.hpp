@@ -151,6 +151,13 @@ struct FleetRunResult {
   double hit_rate = 0;
   double coalesce_rate = 0;
   double shed_rate = 0;
+  // Fleet-wide cold-start analysis bill (see ServiceStats): how many
+  // misses ran the analysis pipeline and, when it ran in-sim, the
+  // simulated seconds / bytes / messages it charged.
+  long analyses = 0;
+  double analysis_s = 0;
+  offset_t analysis_bytes = 0;
+  offset_t analysis_msgs = 0;
 };
 
 /// Replays the trace against a fresh fleet and summarizes the outcome.
@@ -207,6 +214,10 @@ inline FleetRunResult run_fleet_trace(const FleetTrace& tr,
                     std::max<double>(static_cast<double>(fs.submitted), 1.0);
   r.shed_rate = static_cast<double>(fs.shed) /
                 std::max<double>(static_cast<double>(fs.submitted), 1.0);
+  r.analyses = st.analyses;
+  r.analysis_s = st.analysis_seconds;
+  r.analysis_bytes = st.analysis_bytes;
+  r.analysis_msgs = st.analysis_messages;
   return r;
 }
 

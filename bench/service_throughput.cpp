@@ -11,15 +11,103 @@
 //   --queue-depth N       per-shard admission bound (default 16)
 //   --seed N              traffic trace seed (default 2026)
 //   --panel-packing / --zred-packing   wire formats the shards factor with
+//   --cold-only [--out F] skip the traffic replay; sweep the cold-start
+//                         (cache-miss) critical path over shards x P x
+//                         analysis mode and write the CSV (default
+//                         results/cold_start.csv) — the acceptance
+//                         artifact for the distributed analysis phase
 //
 // Reports per shard count: simulated latency p50/p90/p99 of completed
 // requests, wall-clock throughput, fleet cache hit rate, coalesce rate,
-// shed rate, and cache-warm migrations.
+// shed rate, and cache-warm migrations. Shard misses run their analysis
+// inside the simulated machine (AnalysisMode::Distributed), so cold
+// starts pay their ordering + symbolic cost on the simulated clock.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "fleet_common.hpp"
+
+namespace {
+
+using namespace slu3d;
+
+// Cold-start sweep: every (shards, P, analysis mode) point factors
+// `shards` *distinct* patterns cold, one per shard service — the bill a
+// fleet pays before any cache hit can exist. The fleet-level cold
+// critical path is the slowest shard (they miss concurrently); the
+// analysis split columns isolate the phase the Distributed mode moves
+// onto the ranks. Host rows keep the legacy behavior (analysis on host
+// wall time, zero simulated split) as the reference.
+void run_cold_sweep(service::ServiceOptions so, const std::string& out) {
+  const index_t g = bench::bench_scale() == 0 ? 32 : 40;
+  struct GridShape {
+    int Px, Py, Pz;
+  };
+  const GridShape shapes[] = {{2, 2, 2}, {4, 2, 2}, {4, 4, 4}};
+  struct Mode {
+    const char* name;
+    AnalysisMode mode;
+  };
+  const Mode modes[] = {{"host", AnalysisMode::Host},
+                        {"seqsim", AnalysisMode::SequentialSim},
+                        {"dist", AnalysisMode::Distributed}};
+
+  so.nd.leaf_size = 8;
+  so.nd.algorithm = NdAlgorithm::Multilevel;
+
+  std::filesystem::create_directories(
+      std::filesystem::path(out).parent_path().empty()
+          ? "."
+          : std::filesystem::path(out).parent_path().string());
+  std::ofstream f(out);
+  f << "shards,P,Px,Py,Pz,mode,n,cold_path_s,t_analysis_s,"
+       "w_analysis_bytes,msg_analysis,analysis_frac\n";
+  TextTable tab({"shards", "P", "mode", "cold path(sim s)", "t_analysis(s)",
+                 "analysis frac"});
+  for (const GridShape& gs : shapes) {
+    const int P = gs.Px * gs.Py * gs.Pz;
+    for (const int shards : {1, 2, 4}) {
+      for (const Mode& m : modes) {
+        so.Px = gs.Px;
+        so.Py = gs.Py;
+        so.Pz = gs.Pz;
+        so.analysis = m.mode;
+        double cold_path = 0, t_analysis = 0;
+        offset_t w_analysis = 0, msg_analysis = 0;
+        index_t n = 0;
+        for (int s = 0; s < shards; ++s) {
+          // Distinct pattern per shard, as affinity routing would spread
+          // a cold mixed workload.
+          const CsrMatrix A = grid2d_laplacian(
+              {g + static_cast<index_t>(s), g, 1}, Stencil2D::FivePoint);
+          n = A.n_rows();
+          service::SolverService svc(so);
+          const service::FactorReport fr = svc.factor(A);
+          cold_path = std::max(cold_path, fr.factor_time);
+          t_analysis = std::max(t_analysis, fr.t_analysis);
+          w_analysis = std::max(w_analysis, fr.w_analysis);
+          msg_analysis += fr.msg_analysis;
+        }
+        const double frac = cold_path > 0 ? t_analysis / cold_path : 0;
+        f << shards << ',' << P << ',' << gs.Px << ',' << gs.Py << ','
+          << gs.Pz << ',' << m.name << ',' << n << ',' << cold_path << ','
+          << t_analysis << ',' << w_analysis << ',' << msg_analysis << ','
+          << frac << '\n';
+        tab.add_row({std::to_string(shards), std::to_string(P), m.name,
+                     TextTable::num(cold_path, 6), TextTable::num(t_analysis, 6),
+                     TextTable::num(frac, 3)});
+      }
+    }
+  }
+  tab.print(std::cout);
+  std::cout << "wrote " << out << "\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace slu3d;
@@ -30,6 +118,17 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = bench::bench_seed(argc, argv);
   const bench::FleetFlags flags = bench::parse_fleet_flags(argc, argv);
 
+  bool cold_only = false;
+  std::string cold_out = "results/cold_start.csv";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cold-only") == 0)
+      cold_only = true;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0)
+      cold_out = argv[i] + 6;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      cold_out = argv[++i];
+  }
+
   service::ServiceOptions so;
   so.platform = bench::platform();
   so.Px = 2;
@@ -38,6 +137,14 @@ int main(int argc, char** argv) {
   so.refinement_steps = 1;
   so.lu3d.lu2d.packing = pk.panel;
   so.lu3d.packing = pk.zred;
+  // Cold misses pay their analysis on the simulated clock, distributed
+  // over the shard's ranks — the honest cold-start accounting.
+  so.analysis = AnalysisMode::Distributed;
+
+  if (cold_only) {
+    run_cold_sweep(so, cold_out);
+    return 0;
+  }
 
   const bench::FleetTrace trace = bench::make_fleet_trace(so, scale, seed);
 

@@ -1,0 +1,556 @@
+#include "analysis/dist_analysis.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "order/parallel_nd.hpp"
+#include "support/check.hpp"
+#include "symbolic/etree.hpp"
+
+namespace slu3d {
+
+namespace {
+
+using sim::CommPlane;
+using sim::ComputeKind;
+
+/// Flop-equivalents per symbolic-analysis operation (an edge scan, an
+/// ancestor-chain hop, a rowset merge step — all irregular pointer-chasing
+/// work). gamma in the machine model is calibrated to streaming dense
+/// flops; latency-bound graph operations run ~100x slower per touched
+/// element, so each counted op is charged this many model flops. The same
+/// calibration drives the dissection work model (kNdWorkFactor in
+/// order/parallel_nd.cpp).
+constexpr offset_t kGraphOpFlops = 100;
+
+void charge_ops(sim::Comm& comm, offset_t ops) {
+  comm.add_compute(ops * kGraphOpFlops, sim::ComputeKind::Other);
+}
+
+// Tag layout (disjoint from parallel_nd's 100/300/500 channels):
+constexpr int kSeqTreeTag = 600;    // +1 payload
+constexpr int kSeqEtreeTag = 602;
+constexpr int kSeqRowsTag = 603;    // +1 payload
+constexpr int kEtreeTag = 700;      // + stack level
+constexpr int kSymTag = 800;        // + stack level
+constexpr int kGatherEtreeTag = 900;
+constexpr int kGatherRowsTag = 901;
+
+// ---- flat real_t codecs for the simulated wire -----------------------
+
+std::vector<real_t> encode_pairs(
+    const std::vector<std::pair<index_t, index_t>>& pairs) {
+  std::vector<real_t> out;
+  out.reserve(pairs.size() * 2);
+  for (const auto& [a, b] : pairs) {
+    out.push_back(static_cast<real_t>(a));
+    out.push_back(static_cast<real_t>(b));
+  }
+  return out;
+}
+
+std::vector<std::pair<index_t, index_t>> decode_pairs(
+    std::span<const real_t> v) {
+  SLU3D_CHECK(v.size() % 2 == 0, "pair stream must have even length");
+  std::vector<std::pair<index_t, index_t>> out;
+  out.reserve(v.size() / 2);
+  for (std::size_t i = 0; i < v.size(); i += 2)
+    out.push_back({static_cast<index_t>(v[i]), static_cast<index_t>(v[i + 1])});
+  return out;
+}
+
+void encode_rowset(int s, std::span<const index_t> rows,
+                   std::vector<real_t>& out) {
+  out.push_back(static_cast<real_t>(s));
+  out.push_back(static_cast<real_t>(rows.size()));
+  for (index_t r : rows) out.push_back(static_cast<real_t>(r));
+}
+
+// ---- subtree-to-rank ownership ---------------------------------------
+
+/// One entry of a rank's path through the dissection recursion: the group
+/// [lo, lo+cnt) responsible for the subtree rooted at tree node `node`.
+struct GroupLevel {
+  int lo = 0;
+  int cnt = 0;
+  int node = -1;
+};
+
+void mark_subtree(const SeparatorTree& tree, const SnodeNumbering& num,
+                  int node, int rank, std::vector<int>& owner) {
+  owner[static_cast<std::size_t>(num.to_snode[static_cast<std::size_t>(node)])] =
+      rank;
+  const SepTreeNode& nd = tree.node(node);
+  if (nd.left >= 0) mark_subtree(tree, num, nd.left, rank, owner);
+  if (nd.right >= 0) mark_subtree(tree, num, nd.right, rank, owner);
+}
+
+/// Statically computable owner map mirroring dissect_group's leader
+/// mapping: a group of one rank (or an unsplittable leaf) owns its whole
+/// subtree; otherwise the halves recurse and the separator belongs to the
+/// group leader.
+void assign_owners(const SeparatorTree& tree, const SnodeNumbering& num,
+                   int node, int lo, int cnt, std::vector<int>& owner) {
+  const SepTreeNode& nd = tree.node(node);
+  if (cnt == 1 || nd.is_leaf()) {
+    mark_subtree(tree, num, node, lo, owner);
+    return;
+  }
+  const int half = cnt / 2;
+  assign_owners(tree, num, nd.left, lo, half, owner);
+  assign_owners(tree, num, nd.right, lo + half, cnt - half, owner);
+  owner[static_cast<std::size_t>(num.to_snode[static_cast<std::size_t>(node)])] =
+      lo;
+}
+
+/// This rank's root-to-terminal path through the recursion. Every rank of
+/// a group shares the group's entry, so send/recv pairings derived from
+/// the stack line up across ranks.
+std::vector<GroupLevel> descent_stack(const SeparatorTree& tree, int rank,
+                                      int n_ranks) {
+  std::vector<GroupLevel> stack;
+  int node = tree.root(), lo = 0, cnt = n_ranks;
+  while (true) {
+    stack.push_back({lo, cnt, node});
+    const SepTreeNode& nd = tree.node(node);
+    if (cnt == 1 || nd.is_leaf()) break;
+    const int half = cnt / 2;
+    if (rank < lo + half) {
+      cnt = half;
+      node = nd.left;
+    } else {
+      lo += half;
+      cnt -= half;
+      node = nd.right;
+    }
+  }
+  return stack;
+}
+
+// ---- distributed elimination tree (Liu over subtree row ranges) ------
+
+/// Liu's algorithm restricted to a contiguous row range, with global-size
+/// parent/ancestor state. The separator-tree structure guarantees every
+/// sub-diagonal reference from a subtree row stays inside the subtree, so
+/// the range can be processed with no information about other ranges;
+/// `assigned` records the (vertex, parent) facts this rank established.
+struct EtreeState {
+  const CsrMatrix& S;  ///< symmetrized permuted pattern (replicated)
+  std::vector<index_t> parent, ancestor;
+  std::vector<std::pair<index_t, index_t>> assigned;
+  offset_t ops = 0;
+
+  explicit EtreeState(const CsrMatrix& pattern)
+      : S(pattern),
+        parent(static_cast<std::size_t>(pattern.n_rows()), -1),
+        ancestor(static_cast<std::size_t>(pattern.n_rows()), -1) {}
+
+  void process_rows(index_t row_begin, index_t row_end) {
+    for (index_t i = row_begin; i < row_end; ++i) {
+      for (index_t j : S.row_cols(i)) {
+        ++ops;
+        if (j >= i) break;  // rows are sorted; only the lower triangle
+        index_t v = j;
+        while (ancestor[static_cast<std::size_t>(v)] != -1 &&
+               ancestor[static_cast<std::size_t>(v)] != i) {
+          ++ops;
+          const index_t next = ancestor[static_cast<std::size_t>(v)];
+          ancestor[static_cast<std::size_t>(v)] = i;
+          v = next;
+        }
+        if (ancestor[static_cast<std::size_t>(v)] == -1) {
+          ancestor[static_cast<std::size_t>(v)] = i;
+          parent[static_cast<std::size_t>(v)] = i;
+          assigned.push_back({v, i});
+        }
+      }
+    }
+  }
+
+  index_t find_root(index_t v) {
+    while (ancestor[static_cast<std::size_t>(v)] != -1) {
+      ++ops;
+      v = ancestor[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+
+  /// True when vertex k is referenced by any row at or beyond `bound`
+  /// (i.e. outside the column range of the current subtree).
+  bool escapes(index_t k, index_t bound) {
+    const auto cols = S.row_cols(k);
+    ops += static_cast<offset_t>(cols.size());
+    return !cols.empty() && cols.back() >= bound;
+  }
+
+  /// Rebuilds the boundary map for a subtree whose columns end at `bound`
+  /// from candidate vertices (previous boundary + imports + new separator
+  /// rows), dropping vertices no later row can reference.
+  std::vector<std::pair<index_t, index_t>> boundary_map(
+      std::vector<index_t>& candidates, index_t bound) {
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::vector<std::pair<index_t, index_t>> map;
+    std::vector<index_t> kept;
+    for (index_t k : candidates) {
+      if (!escapes(k, bound)) continue;
+      kept.push_back(k);
+      map.push_back({k, find_root(k)});
+    }
+    candidates = std::move(kept);
+    return map;
+  }
+};
+
+// ---- distributed supernodal symbolic (boolean SpGEMM upward merge) ---
+
+/// The same first-ancestor merging BlockStructure's primary constructor
+/// performs, restructured so each rank can run it over just the supernodes
+/// it owns. Candidates come from scanning the rank's own block columns of
+/// the replicated symmetric pattern (equivalent to the row scan by
+/// symmetry); finished row sets whose first row escapes the rank's
+/// ownership are exported up the leader chain instead of registered in a
+/// local pending list. Final row sets are sorted deduplicated unions, so
+/// the distributed merge order cannot change the result.
+struct SymState {
+  const CsrMatrix& S;
+  const SnodeNumbering& num;
+  const std::vector<int>& owner;
+  int me;
+  std::vector<std::vector<index_t>> rowsets;
+  std::vector<std::vector<int>> pending;
+  std::vector<int> exports;  ///< finished snodes awaiting the next send
+  std::vector<int> mark;
+  offset_t ops = 0;
+
+  SymState(const CsrMatrix& pattern, const SnodeNumbering& numbering,
+           const std::vector<int>& owner_map, int rank)
+      : S(pattern),
+        num(numbering),
+        owner(owner_map),
+        me(rank),
+        rowsets(static_cast<std::size_t>(numbering.n_snodes)),
+        pending(static_cast<std::size_t>(numbering.n_snodes)),
+        mark(static_cast<std::size_t>(numbering.n), -1) {}
+
+  /// Registers a finished row set: merge locally if this rank owns the
+  /// first ancestor, else queue it for export.
+  void route(int s) {
+    const auto& rs = rowsets[static_cast<std::size_t>(s)];
+    if (rs.empty()) return;
+    const int ep = num.snode_of_col(rs.front());
+    if (owner[static_cast<std::size_t>(ep)] == me)
+      pending[static_cast<std::size_t>(ep)].push_back(s);
+    else
+      exports.push_back(s);
+  }
+
+  /// Computes the final row set of owned snode `s` (all contributing
+  /// children must have been routed to pending[s] already).
+  void process(int s) {
+    auto& rs = rowsets[static_cast<std::size_t>(s)];
+    // A-pattern candidates: rows adjacent to this snode's columns, in
+    // later snodes (column-symmetric form of the sequential row scan).
+    for (index_t c = num.first_col(s); c < num.beyond_col(s); ++c)
+      for (index_t j : S.row_cols(c)) {
+        ++ops;
+        if (num.snode_of_col(j) > s) rs.push_back(j);
+      }
+    std::sort(rs.begin(), rs.end());
+    rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
+    ops += static_cast<offset_t>(rs.size());
+    for (index_t r : rs) mark[static_cast<std::size_t>(r)] = s;
+    const index_t beyond = num.beyond_col(s);
+    for (int c : pending[static_cast<std::size_t>(s)]) {
+      for (index_t r : rowsets[static_cast<std::size_t>(c)]) {
+        ++ops;
+        if (r >= beyond && mark[static_cast<std::size_t>(r)] != s) {
+          mark[static_cast<std::size_t>(r)] = s;
+          rs.push_back(r);
+        }
+      }
+    }
+    std::sort(rs.begin(), rs.end());
+    route(s);
+  }
+
+  std::vector<real_t> encode_exports() {
+    std::vector<real_t> out;
+    out.push_back(static_cast<real_t>(exports.size()));
+    for (int s : exports)
+      encode_rowset(s, rowsets[static_cast<std::size_t>(s)], out);
+    exports.clear();
+    return out;
+  }
+
+  void decode_imports(std::span<const real_t> v) {
+    std::size_t pos = 0;
+    const auto cnt = static_cast<std::size_t>(v[pos++]);
+    for (std::size_t e = 0; e < cnt; ++e) {
+      const int s = static_cast<int>(v[pos++]);
+      const auto len = static_cast<std::size_t>(v[pos++]);
+      auto& rs = rowsets[static_cast<std::size_t>(s)];
+      rs.clear();
+      rs.reserve(len);
+      for (std::size_t k = 0; k < len; ++k)
+        rs.push_back(static_cast<index_t>(v[pos++]));
+      route(s);
+    }
+    SLU3D_CHECK(pos == v.size(), "rowset stream not fully consumed");
+  }
+};
+
+/// Snode ids under `node`, ascending — the processing order of a rank
+/// that owns the whole subtree.
+std::vector<int> subtree_snodes(const SeparatorTree& tree,
+                                const SnodeNumbering& num, int node) {
+  std::vector<int> out;
+  const auto walk = [&](auto&& self, int v) -> void {
+    out.push_back(num.to_snode[static_cast<std::size_t>(v)]);
+    const SepTreeNode& nd = tree.node(v);
+    if (nd.left >= 0) self(self, nd.left);
+    if (nd.right >= 0) self(self, nd.right);
+  };
+  walk(walk, node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Decodes a concatenated (snode, rowset) stream into `rowsets`,
+/// asserting each snode appears at most once.
+void decode_all_rowsets(std::span<const real_t> v,
+                        std::vector<std::vector<index_t>>& rowsets,
+                        std::vector<char>& seen) {
+  std::size_t pos = 0;
+  while (pos < v.size()) {
+    const int s = static_cast<int>(v[pos++]);
+    const auto len = static_cast<std::size_t>(v[pos++]);
+    SLU3D_CHECK(!seen[static_cast<std::size_t>(s)],
+                "snode contributed by two ranks");
+    seen[static_cast<std::size_t>(s)] = 1;
+    auto& rs = rowsets[static_cast<std::size_t>(s)];
+    rs.reserve(len);
+    for (std::size_t k = 0; k < len; ++k)
+      rs.push_back(static_cast<index_t>(v[pos++]));
+  }
+  SLU3D_CHECK(pos == v.size(), "rowset stream not fully consumed");
+}
+
+AnalysisResult sequential_sim(const CsrMatrix& A, sim::Comm& comm,
+                              const NdOptions& opts) {
+  AnalysisResult out;
+  const index_t n = A.n_rows();
+
+  // Rank 0 runs the whole host analysis, charged to its clock; everyone
+  // else waits on the broadcasts — the serial-analysis baseline.
+  std::vector<real_t> tree_enc;
+  std::vector<real_t> size1(1, 0.0);
+  if (comm.rank() == 0) {
+    SeparatorTree t = nested_dissection(A, opts);
+    comm.add_compute(order_detail::nd_tree_work(A, t), ComputeKind::Other);
+    tree_enc = order_detail::encode_tree(t);
+    size1[0] = static_cast<real_t>(tree_enc.size());
+  }
+  comm.bcast(0, kSeqTreeTag, size1, CommPlane::XY);
+  if (comm.rank() != 0) tree_enc.resize(static_cast<std::size_t>(size1[0]));
+  comm.bcast(0, kSeqTreeTag + 1, tree_enc, CommPlane::XY);
+  out.tree = std::make_unique<SeparatorTree>(order_detail::decode_tree(tree_enc));
+
+  std::vector<real_t> etree_enc(static_cast<std::size_t>(n), 0.0);
+  std::vector<real_t> rows_enc;
+  if (comm.rank() == 0) {
+    const CsrMatrix Ap = A.permuted_symmetric(out.tree->perm());
+    const CsrMatrix S =
+        Ap.pattern_is_symmetric() ? Ap : Ap.symmetrized_pattern();
+    const SnodeNumbering num = SnodeNumbering::from_tree(*out.tree);
+    charge_ops(comm, Ap.nnz() + S.nnz() + n);
+
+    EtreeState et(S);
+    et.process_rows(0, n);
+    charge_ops(comm, et.ops);
+    for (index_t v = 0; v < n; ++v)
+      etree_enc[static_cast<std::size_t>(v)] =
+          static_cast<real_t>(et.parent[static_cast<std::size_t>(v)]);
+
+    const std::vector<int> all_mine(static_cast<std::size_t>(num.n_snodes), 0);
+    SymState sym(S, num, all_mine, 0);
+    for (int s = 0; s < num.n_snodes; ++s) sym.process(s);
+    charge_ops(comm, sym.ops);
+    for (int s = 0; s < num.n_snodes; ++s)
+      encode_rowset(s, sym.rowsets[static_cast<std::size_t>(s)], rows_enc);
+    size1[0] = static_cast<real_t>(rows_enc.size());
+  }
+  comm.bcast(0, kSeqEtreeTag, etree_enc, CommPlane::XY);
+  out.etree.resize(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v)
+    out.etree[static_cast<std::size_t>(v)] =
+        static_cast<index_t>(etree_enc[static_cast<std::size_t>(v)]);
+
+  comm.bcast(0, kSeqRowsTag, size1, CommPlane::XY);
+  if (comm.rank() != 0) rows_enc.resize(static_cast<std::size_t>(size1[0]));
+  comm.bcast(0, kSeqRowsTag + 1, rows_enc, CommPlane::XY);
+
+  const int n_snodes = out.tree->n_nodes();
+  std::vector<std::vector<index_t>> rowsets(static_cast<std::size_t>(n_snodes));
+  std::vector<char> seen(static_cast<std::size_t>(n_snodes), 0);
+  decode_all_rowsets(rows_enc, rowsets, seen);
+  offset_t layout = n_snodes;
+  for (const auto& rs : rowsets) layout += static_cast<offset_t>(rs.size());
+  charge_ops(comm, layout);
+  out.bs = std::make_unique<BlockStructure>(*out.tree, std::move(rowsets));
+  return out;
+}
+
+AnalysisResult distributed(const CsrMatrix& A, sim::Comm& comm,
+                           const NdOptions& opts) {
+  AnalysisResult out;
+  const index_t n = A.n_rows();
+  const int me = comm.rank();
+
+  // Phase A: cooperative nested dissection (charges its own compute).
+  out.tree = std::make_unique<SeparatorTree>(
+      parallel_nested_dissection(A, comm, opts));
+  const SeparatorTree& tree = *out.tree;
+
+  // Replicated setup, paid concurrently by every rank: permuted symmetric
+  // pattern + the supernode numbering.
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  const CsrMatrix S = Ap.pattern_is_symmetric() ? Ap : Ap.symmetrized_pattern();
+  const SnodeNumbering num = SnodeNumbering::from_tree(tree);
+  charge_ops(comm, Ap.nnz() + S.nnz() + n);
+
+  std::vector<int> owner(static_cast<std::size_t>(num.n_snodes), -1);
+  assign_owners(tree, num, tree.root(), 0, comm.size(), owner);
+  const std::vector<GroupLevel> stack = descent_stack(tree, me, comm.size());
+  const GroupLevel& term = stack.back();
+  const bool own_terminal = me == term.lo;
+
+  // Phase B1: distributed elimination tree.
+  EtreeState et(S);
+  std::vector<index_t> boundary;
+  if (own_terminal) {
+    const SepTreeNode& nd = tree.node(term.node);
+    et.process_rows(nd.subtree_first, nd.sep_last);
+    for (index_t k = nd.subtree_first; k < nd.sep_last; ++k)
+      if (et.escapes(k, nd.sep_last)) boundary.push_back(k);
+    charge_ops(comm, et.ops);
+    et.ops = 0;
+  }
+  for (int i = static_cast<int>(stack.size()) - 2; i >= 0; --i) {
+    const GroupLevel& e = stack[static_cast<std::size_t>(i)];
+    const int half = e.cnt / 2;
+    if (me == e.lo + half) {
+      std::vector<std::pair<index_t, index_t>> map;
+      map.reserve(boundary.size());
+      for (index_t k : boundary) map.push_back({k, et.find_root(k)});
+      charge_ops(comm, et.ops);
+      et.ops = 0;
+      comm.send(e.lo, kEtreeTag + i, encode_pairs(map), CommPlane::XY);
+      break;
+    }
+    if (me != e.lo) break;
+    const auto imported =
+        decode_pairs(comm.recv(e.lo + half, kEtreeTag + i, CommPlane::XY));
+    for (const auto& [k, rk] : imported)
+      if (rk != k) et.ancestor[static_cast<std::size_t>(k)] = rk;
+    const SepTreeNode& nd = tree.node(e.node);
+    et.process_rows(nd.sep_first, nd.sep_last);
+    for (const auto& [k, rk] : imported) boundary.push_back(k);
+    for (index_t k = nd.sep_first; k < nd.sep_last; ++k) boundary.push_back(k);
+    // Keep only vertices later rows can still reference (the refreshed
+    // boundary of the merged subtree); roots are refetched at send time.
+    std::vector<index_t> kept;
+    std::sort(boundary.begin(), boundary.end());
+    boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                   boundary.end());
+    for (index_t k : boundary)
+      if (et.escapes(k, nd.sep_last)) kept.push_back(k);
+    boundary = std::move(kept);
+    charge_ops(comm, et.ops);
+    et.ops = 0;
+  }
+  // Union the per-rank parent assignments (each vertex assigned at most
+  // once globally, so this reconstructs Liu's parent array bitwise).
+  const std::vector<real_t> et_all = comm.allgatherv(
+      kGatherEtreeTag, encode_pairs(et.assigned), CommPlane::XY);
+  out.etree.assign(static_cast<std::size_t>(n), -1);
+  for (const auto& [v, p] : decode_pairs(et_all)) {
+    SLU3D_CHECK(out.etree[static_cast<std::size_t>(v)] == -1,
+                "etree vertex assigned twice");
+    out.etree[static_cast<std::size_t>(v)] = p;
+  }
+  comm.add_compute(n + static_cast<offset_t>(et_all.size()) / 2,
+                   ComputeKind::Other);
+
+  // Phase B2: distributed supernodal symbolic.
+  SymState sym(S, num, owner, me);
+  std::vector<int> owned;  // everything this rank finalized, for the gather
+  if (own_terminal) {
+    owned = subtree_snodes(tree, num, term.node);
+    for (int s : owned) sym.process(s);
+    charge_ops(comm, sym.ops);
+    sym.ops = 0;
+  }
+  for (int i = static_cast<int>(stack.size()) - 2; i >= 0; --i) {
+    const GroupLevel& e = stack[static_cast<std::size_t>(i)];
+    const int half = e.cnt / 2;
+    if (me == e.lo + half) {
+      comm.send(e.lo, kSymTag + i, sym.encode_exports(), CommPlane::XY);
+      break;
+    }
+    if (me != e.lo) break;
+    const auto payload = comm.recv(e.lo + half, kSymTag + i, CommPlane::XY);
+    sym.decode_imports(payload);
+    const int sp =
+        num.to_snode[static_cast<std::size_t>(e.node)];
+    sym.process(sp);
+    owned.push_back(sp);
+    charge_ops(comm, sym.ops);
+    sym.ops = 0;
+  }
+  SLU3D_CHECK(sym.exports.empty() || me != 0,
+              "rank 0 must consume every export");
+
+  // Final exchange: everyone assembles the identical full rowset table.
+  std::vector<real_t> mine;
+  for (int s : owned)
+    encode_rowset(s, sym.rowsets[static_cast<std::size_t>(s)], mine);
+  const std::vector<real_t> all =
+      comm.allgatherv(kGatherRowsTag, mine, CommPlane::XY);
+  std::vector<std::vector<index_t>> rowsets(
+      static_cast<std::size_t>(num.n_snodes));
+  std::vector<char> seen(static_cast<std::size_t>(num.n_snodes), 0);
+  decode_all_rowsets(all, rowsets, seen);
+  for (int s = 0; s < num.n_snodes; ++s)
+    SLU3D_CHECK(seen[static_cast<std::size_t>(s)], "snode never contributed");
+  offset_t layout = num.n_snodes;
+  for (const auto& rs : rowsets) layout += static_cast<offset_t>(rs.size());
+  charge_ops(comm, layout);
+  out.bs = std::make_unique<BlockStructure>(tree, std::move(rowsets));
+  return out;
+}
+
+}  // namespace
+
+AnalysisResult analyze_host(const CsrMatrix& A, const NdOptions& opts) {
+  AnalysisResult out;
+  out.tree = std::make_unique<SeparatorTree>(nested_dissection(A, opts));
+  const CsrMatrix Ap = A.permuted_symmetric(out.tree->perm());
+  out.etree = elimination_tree(Ap);
+  out.bs = std::make_unique<BlockStructure>(A, *out.tree);
+  return out;
+}
+
+AnalysisResult analyze_in_sim(const CsrMatrix& A, sim::Comm& comm,
+                              const NdOptions& opts, AnalysisMode mode) {
+  SLU3D_CHECK(mode != AnalysisMode::Host, "host analysis is not in-sim");
+  comm.begin_analysis_phase();
+  AnalysisResult out = mode == AnalysisMode::SequentialSim
+                           ? sequential_sim(A, comm, opts)
+                           : distributed(A, comm, opts);
+  comm.end_analysis_phase();
+  return out;
+}
+
+}  // namespace slu3d

@@ -97,6 +97,9 @@ ServiceStats SolverFleet::service_totals() const {
     t.refactor_failures += s.refactor_failures;
     t.solve_requests += s.solve_requests;
     t.rhs_columns += s.rhs_columns;
+    t.analysis_seconds += s.analysis_seconds;
+    t.analysis_bytes += s.analysis_bytes;
+    t.analysis_messages += s.analysis_messages;
   }
   return t;
 }

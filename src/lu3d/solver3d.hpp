@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/dist_analysis.hpp"
 #include "lu3d/solve3d.hpp"
 #include "numeric/solver.hpp"
 
@@ -34,10 +35,13 @@ struct Solver3dOptions {
   /// residual + another distributed triangular solve), as SuperLU_DIST's
   /// pdgsrfs pairs with static pivoting. 0 disables.
   int refinement_steps = 1;
-  /// Compute the fill-reducing ordering *inside* the simulated machine via
-  /// parallel nested dissection (the ParMETIS role) instead of as a
-  /// host-side analysis step. Ignored when `geometry` is set.
-  bool parallel_ordering = false;
+  /// Where the analysis (fill-reducing ordering + symbolic factorization)
+  /// runs: on the host outside the simulated clock (Host, default),
+  /// serially on simulated rank 0 (SequentialSim), or subtree-parallel
+  /// across all simulated ranks — the ParMETIS role plus distributed
+  /// symbolic (Distributed; see src/analysis/). Ignored when `geometry`
+  /// is set.
+  AnalysisMode analysis = AnalysisMode::Host;
 };
 
 /// Everything the paper measures about one distributed run.
@@ -48,6 +52,13 @@ struct Solver3dReport {
   double t_comm = 0;        ///< non-overlapped comm+sync on that rank
   offset_t w_fact = 0;      ///< max per-rank XY bytes received (factor phase)
   offset_t w_red = 0;       ///< max per-rank Z bytes received (factor phase)
+  // Analysis-phase split (nonzero only with an in-sim AnalysisMode):
+  // simulated critical-path seconds of ordering + symbolic (included in
+  // factor_time), max per-rank bytes received during the phase, and its
+  // total messages sent.
+  double t_analysis = 0;
+  offset_t w_analysis = 0;
+  offset_t msg_analysis = 0;
   // Solve-phase communication, reported separately from the factor-phase
   // w_fact / w_red above (covers the triangular solves plus refinement).
   offset_t w_solve_xy = 0;    ///< max per-rank XY bytes received (solve phase)

@@ -17,29 +17,28 @@ struct Level {
   std::vector<index_t> coarse_of;  // per fine vertex: coarse vertex id
 };
 
-/// Heavy-edge matching: visit vertices in randomized order, match each
-/// unmatched vertex with its unmatched neighbour of maximum edge weight.
-/// Returns the coarse vertex count.
-index_t heavy_edge_matching(const WeightedGraph& g, Rng& rng,
+/// Heavy-edge matching: visit vertices in ascending id order, match each
+/// unmatched vertex with its unmatched neighbour of maximum edge weight,
+/// breaking equal weights towards the smaller neighbour id. Fully
+/// deterministic — the bisection is a function of the graph alone, so the
+/// sequential and distributed dissection paths can never diverge on
+/// equal-weight ties. Returns the coarse vertex count.
+index_t heavy_edge_matching(const WeightedGraph& g,
                             std::vector<index_t>* coarse_of) {
   const index_t n = g.n();
   coarse_of->assign(static_cast<std::size_t>(n), -1);
-  std::vector<index_t> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  for (index_t i = n - 1; i > 0; --i)
-    std::swap(order[static_cast<std::size_t>(i)],
-              order[static_cast<std::size_t>(rng.next_index(i + 1))]);
 
   index_t nc = 0;
-  for (index_t v : order) {
+  for (index_t v = 0; v < n; ++v) {
     if ((*coarse_of)[static_cast<std::size_t>(v)] != -1) continue;
     index_t best = -1;
     index_t best_w = -1;
     for (offset_t e = g.begin(v); e < g.end(v); ++e) {
       const index_t u = g.adj[static_cast<std::size_t>(e)];
       if ((*coarse_of)[static_cast<std::size_t>(u)] != -1) continue;
-      if (g.eweight[static_cast<std::size_t>(e)] > best_w) {
-        best_w = g.eweight[static_cast<std::size_t>(e)];
+      const index_t w = g.eweight[static_cast<std::size_t>(e)];
+      if (w > best_w || (w == best_w && u < best)) {
+        best_w = w;
         best = u;
       }
     }
@@ -104,13 +103,15 @@ WeightedGraph contract(const WeightedGraph& g, std::span<const index_t> coarse_o
 }
 
 /// Greedy graph growing: BFS from a pseudo-peripheral seed, absorbing
-/// vertices until half the total weight is on side 0.
-std::vector<char> initial_partition(const WeightedGraph& g, Rng& rng) {
+/// vertices until half the total weight is on side 0. The starting vertex
+/// is fixed (vertex 0, pushed to the periphery by one BFS sweep) so the
+/// partition is a deterministic function of the graph.
+std::vector<char> initial_partition(const WeightedGraph& g) {
   const index_t n = g.n();
   offset_t total = 0;
   for (index_t w : g.vweight) total += w;
 
-  index_t seed = rng.next_index(n);
+  index_t seed = 0;
   // One BFS sweep to push the seed to the periphery.
   {
     std::vector<index_t> q{seed};
@@ -243,7 +244,11 @@ std::optional<Bisection> multilevel_bisect(const Adjacency& g,
                                            std::uint64_t seed) {
   const auto nv = static_cast<index_t>(verts.size());
   if (nv < 2) return std::nullopt;
-  Rng rng(seed);
+  // `seed` is accepted for API stability but deliberately unused: every
+  // stage below breaks ties by vertex id, so the bisection is a pure
+  // function of (g, verts) — the determinism contract distributed analysis
+  // relies on (see DESIGN.md, "Distributed analysis").
+  (void)seed;
 
   // Build the induced local weighted graph.
   std::unordered_map<index_t, index_t> local;
@@ -268,7 +273,7 @@ std::optional<Bisection> multilevel_bisect(const Adjacency& g,
   while (levels.back().graph.n() > 48) {
     Level& top = levels.back();
     std::vector<index_t> coarse_of;
-    const index_t nc = heavy_edge_matching(top.graph, rng, &coarse_of);
+    const index_t nc = heavy_edge_matching(top.graph, &coarse_of);
     if (nc > top.graph.n() * 9 / 10) break;  // not shrinking: stop
     WeightedGraph cg = contract(top.graph, coarse_of, nc);
     top.coarse_of = std::move(coarse_of);
@@ -276,7 +281,7 @@ std::optional<Bisection> multilevel_bisect(const Adjacency& g,
   }
 
   // Initial partition on the coarsest graph, refine, then project down.
-  std::vector<char> side = initial_partition(levels.back().graph, rng);
+  std::vector<char> side = initial_partition(levels.back().graph);
   refine(levels.back().graph, side, 8);
   for (std::size_t lvl = levels.size() - 1; lvl-- > 0;) {
     const Level& fine_level = levels[lvl];

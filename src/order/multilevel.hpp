@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "order/graph.hpp"
-#include "support/rng.hpp"
 
 namespace slu3d::order_detail {
 
@@ -22,7 +21,10 @@ struct Bisection {
 /// Balanced edge bisection of the subgraph of `g` induced by `verts`
 /// (which must form a single connected component). Returns nullopt when
 /// the subgraph cannot be split (fewer than 2 vertices).
-/// Deterministic for a given seed.
+/// Deterministic and seed-INDEPENDENT: every stage (matching visit order,
+/// equal-weight neighbour choice, initial-partition start vertex) breaks
+/// ties by vertex id, so the result is a pure function of (g, verts).
+/// `seed` is retained for API stability only and is ignored.
 std::optional<Bisection> multilevel_bisect(const Adjacency& g,
                                            std::span<const index_t> verts,
                                            std::uint64_t seed);

@@ -26,6 +26,40 @@ SubTree from_tree(const SeparatorTree& t) {
           t.root()};
 }
 
+/// See order_detail::nd_split_work. One bisection sweeps the subgraph's
+/// edges a bounded number of times (coarsen + initial cut + refine, ~8
+/// passes), and each edge visit is an irregular, memory-latency-bound
+/// graph operation worth ~100 of the machine model's streaming flops
+/// (gamma models dense GEMM throughput; graph codes run ~100x slower per
+/// touched element). Folded into one constant: ~800 flop-equivalents per
+/// subgraph edge per bisection, which puts the simulated ordering rate in
+/// the tens of millions of edges per second a real multilevel
+/// partitioner achieves.
+constexpr offset_t kNdWorkFactor = 800;
+
+offset_t split_work(const CsrMatrix& A, std::span<const index_t> verts) {
+  offset_t deg = 0;
+  for (index_t v : verts)
+    deg += static_cast<offset_t>(A.row_cols(v).size()) + 1;
+  return kNdWorkFactor * deg;
+}
+
+/// Total work of a locally-run dissection recursion: each tree node's
+/// split pass scanned exactly its subtree vertex range, so sum
+/// Σ(deg + 1) over perm[subtree_first, sep_last) for every node (prefix
+/// sums make this linear).
+offset_t recursion_work(const CsrMatrix& A, std::span<const index_t> perm,
+                        std::span<const SepTreeNode> nodes) {
+  std::vector<offset_t> pre(perm.size() + 1, 0);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    pre[i + 1] = pre[i] + static_cast<offset_t>(A.row_cols(perm[i]).size()) + 1;
+  offset_t total = 0;
+  for (const SepTreeNode& nd : nodes)
+    total += pre[static_cast<std::size_t>(nd.sep_last)] -
+             pre[static_cast<std::size_t>(nd.subtree_first)];
+  return kNdWorkFactor * total;
+}
+
 /// Splices left + right + separator into one subtree.
 SubTree splice(SubTree left, SubTree right, std::span<const index_t> sep) {
   const auto lsize = static_cast<index_t>(left.perm.size());
@@ -116,8 +150,12 @@ SubTree decode_subtree(std::span<const real_t> v) {
 SubTree dissect_group(const CsrMatrix& A, sim::Comm& comm,
                       std::vector<index_t> verts, const NdOptions& opts,
                       int depth) {
-  if (comm.size() == 1)
-    return from_tree(nested_dissection_subgraph(A, verts, opts));
+  if (comm.size() == 1) {
+    SubTree t = from_tree(nested_dissection_subgraph(A, verts, opts));
+    comm.add_compute(recursion_work(A, t.perm, t.nodes),
+                     sim::ComputeKind::Other);
+    return t;
+  }
 
   // The leader computes the split and shares it; every rank pays the
   // bcast (the split lists are small relative to the subtree work).
@@ -125,6 +163,7 @@ SubTree dissect_group(const CsrMatrix& A, sim::Comm& comm,
   std::vector<real_t> header(3, 0.0);
   if (comm.rank() == 0) {
     split = order_detail::single_split(A, verts, opts);
+    comm.add_compute(split_work(A, verts), sim::ComputeKind::Other);
     if (split.has_value()) {
       header = {static_cast<real_t>(split->a.size()),
                 static_cast<real_t>(split->b.size()),
@@ -136,8 +175,12 @@ SubTree dissect_group(const CsrMatrix& A, sim::Comm& comm,
   comm.bcast(0, kSplitTag + 4 * depth, header, CommPlane::XY);
   if (header[0] < 0) {
     // Unsplittable: the leader dissects it alone (it becomes a leaf).
-    if (comm.rank() == 0)
-      return from_tree(nested_dissection_subgraph(A, verts, opts));
+    if (comm.rank() == 0) {
+      SubTree t = from_tree(nested_dissection_subgraph(A, verts, opts));
+      comm.add_compute(recursion_work(A, t.perm, t.nodes),
+                       sim::ComputeKind::Other);
+      return t;
+    }
     return {};
   }
   std::vector<real_t> payload;
@@ -204,5 +247,26 @@ SeparatorTree parallel_nested_dissection(const CsrMatrix& A, sim::Comm& comm,
   SubTree full = decode_subtree(encoded);
   return SeparatorTree(std::move(full.perm), std::move(full.nodes), full.root);
 }
+
+namespace order_detail {
+
+std::vector<real_t> encode_tree(const SeparatorTree& t) {
+  return encode_subtree(from_tree(t));
+}
+
+SeparatorTree decode_tree(std::span<const real_t> v) {
+  SubTree t = decode_subtree(v);
+  return SeparatorTree(std::move(t.perm), std::move(t.nodes), t.root);
+}
+
+offset_t nd_split_work(const CsrMatrix& A, std::span<const index_t> verts) {
+  return split_work(A, verts);
+}
+
+offset_t nd_tree_work(const CsrMatrix& A, const SeparatorTree& t) {
+  return recursion_work(A, t.perm(), t.nodes());
+}
+
+}  // namespace order_detail
 
 }  // namespace slu3d

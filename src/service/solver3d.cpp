@@ -30,7 +30,7 @@ Solver3dReport solve_distributed_3d(const CsrMatrix& A,
   sopt.lu3d = options.lu3d;
   sopt.platform = options.platform;
   sopt.refinement_steps = options.refinement_steps;
-  sopt.parallel_ordering = options.parallel_ordering;
+  sopt.analysis = options.analysis;
   sopt.max_patterns = 1;
 
   service::SolverService svc(sopt);
@@ -44,6 +44,9 @@ Solver3dReport solve_distributed_3d(const CsrMatrix& A,
   report.t_comm = fr.t_comm;
   report.w_fact = fr.w_fact;
   report.w_red = fr.w_red;
+  report.t_analysis = fr.t_analysis;
+  report.w_analysis = fr.w_analysis;
+  report.msg_analysis = fr.msg_analysis;
   report.w_solve_xy = sr.w_solve_xy;
   report.w_solve_z = sr.w_solve_z;
   report.msg_solve_xy = sr.msg_solve_xy;

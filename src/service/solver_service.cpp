@@ -5,7 +5,6 @@
 
 #include "model/cost_model.hpp"
 #include "numeric/factor_io.hpp"
-#include "order/parallel_nd.hpp"
 #include "support/check.hpp"
 
 namespace slu3d::service {
@@ -231,31 +230,39 @@ FactorReport SolverService::factor(const CsrMatrix& A) {
   pick_dims(opt_, A.n_rows(), op->sym.Px, op->sym.Py, op->sym.Pz);
   const int P = op->sym.Px * op->sym.Py * op->sym.Pz;
 
-  double ordering_time = 0;
-  std::vector<sim::RankStats> ordering_stats;
+  double analysis_time = 0;
+  double t_analysis = 0;
+  offset_t w_analysis = 0, msg_analysis = 0;
+  std::vector<sim::RankStats> analysis_stats;
   if (opt_.geometry.has_value()) {
     SLU3D_CHECK(opt_.geometry->n() == A.n_rows(), "geometry mismatch");
     op->sym.tree =
         std::make_unique<SeparatorTree>(geometric_nd(*opt_.geometry, opt_.nd));
-  } else if (opt_.parallel_ordering) {
-    // The ordering itself runs inside the simulated machine (ParMETIS
-    // role); its time and traffic count toward this factorization.
+  } else if (opt_.analysis != AnalysisMode::Host) {
+    // The whole analysis (ordering + symbolic) runs inside the simulated
+    // machine; its time and traffic count toward this factorization, and
+    // the per-phase split is reported via t_analysis / w_analysis.
     std::mutex mu;
     const sim::RunResult ores =
         sim::run_ranks(P, opt_.platform, [&](sim::Comm& world) {
-          SeparatorTree t = parallel_nested_dissection(A, world, opt_.nd);
+          AnalysisResult r = analyze_in_sim(A, world, opt_.nd, opt_.analysis);
           if (world.rank() == 0) {
             const std::lock_guard<std::mutex> lock(mu);
-            op->sym.tree = std::make_unique<SeparatorTree>(std::move(t));
+            op->sym.tree = std::move(r.tree);
+            op->sym.bs = std::move(r.bs);
           }
         });
-    ordering_time = ores.max_clock();
-    ordering_stats = ores.ranks;
+    analysis_time = ores.max_clock();
+    t_analysis = ores.max_analysis_seconds();
+    w_analysis = ores.max_analysis_bytes_received();
+    msg_analysis = ores.total_analysis_messages_sent();
+    analysis_stats = ores.ranks;
   } else {
     op->sym.tree =
         std::make_unique<SeparatorTree>(nested_dissection(A, opt_.nd));
   }
-  op->sym.bs = std::make_unique<BlockStructure>(A, *op->sym.tree);
+  if (!op->sym.bs)
+    op->sym.bs = std::make_unique<BlockStructure>(A, *op->sym.tree);
   op->Ap =
       std::make_unique<CsrMatrix>(A.permuted_symmetric(op->sym.tree->perm()));
   op->sym.part =
@@ -272,8 +279,14 @@ FactorReport SolverService::factor(const CsrMatrix& A) {
     ++stats_.refactor_failures;
     throw;
   }
-  rep.factor_time += ordering_time;
-  for (const auto& r : ordering_stats) {
+  rep.factor_time += analysis_time;
+  rep.t_analysis = t_analysis;
+  rep.w_analysis = w_analysis;
+  rep.msg_analysis = msg_analysis;
+  stats_.analysis_seconds += t_analysis;
+  stats_.analysis_bytes += w_analysis;
+  stats_.analysis_messages += msg_analysis;
+  for (const auto& r : analysis_stats) {
     rep.w_fact = std::max(
         rep.w_fact,
         r.bytes_received[static_cast<std::size_t>(sim::CommPlane::XY)]);

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/dist_analysis.hpp"
 #include "lu3d/factor3d.hpp"
 #include "lu3d/solve3d.hpp"
 #include "numeric/solver.hpp"
@@ -52,10 +53,14 @@ struct ServiceOptions {
   sim::Platform platform;
   /// Iterative-refinement sweeps appended to every solve request.
   int refinement_steps = 1;
-  /// Run the fill-reducing ordering *inside* the simulated machine
-  /// (parallel nested dissection) on a cache miss. Ignored when
-  /// `geometry` is set. Cache hits never order, in-sim or not.
-  bool parallel_ordering = false;
+  /// Where cold-start analysis (ordering + symbolic factorization) runs
+  /// on a cache miss: on the host outside the simulated clock (Host, the
+  /// legacy default), serially on simulated rank 0 (SequentialSim — the
+  /// honest baseline that puts serial analysis on the critical path), or
+  /// subtree-parallel across all simulated ranks (Distributed; see
+  /// src/analysis/). Ignored when `geometry` is set. Cache hits never
+  /// analyze, in-sim or not.
+  AnalysisMode analysis = AnalysisMode::Host;
   /// Resident-pattern capacity; least-recently-used entries are evicted.
   std::size_t max_patterns = 8;
   /// First tag of the per-request solve ranges. A fleet gives each shard a
@@ -80,6 +85,13 @@ struct ServiceStats {
                                ///< failures audits the resident set exactly
   long solve_requests = 0;
   long rhs_columns = 0;  ///< total right-hand-side columns solved
+  /// Cumulative in-sim analysis split across all cache misses (zero under
+  /// AnalysisMode::Host, where analysis never touches the simulated
+  /// clock): simulated seconds, max per-rank bytes received, and total
+  /// messages sent of the analysis phases this service has run.
+  double analysis_seconds = 0;
+  offset_t analysis_bytes = 0;
+  offset_t analysis_messages = 0;
 };
 
 /// Structure-keyed symbolic state of one resident pattern — everything a
@@ -112,6 +124,13 @@ struct FactorReport {
   double t_comm = 0;        ///< non-overlapped comm+sync on that rank
   offset_t w_fact = 0;      ///< max per-rank XY bytes received
   offset_t w_red = 0;       ///< max per-rank Z bytes received
+  /// Analysis-phase split (nonzero only on a cache miss with an in-sim
+  /// AnalysisMode): simulated critical-path seconds of the analysis
+  /// stage (already included in factor_time), the paper-style max
+  /// per-rank bytes received during it, and its total messages sent.
+  double t_analysis = 0;
+  offset_t w_analysis = 0;
+  offset_t msg_analysis = 0;
   offset_t mem_total = 0;   ///< numeric block bytes across all ranks
   offset_t mem_max = 0;     ///< max per rank
   offset_t flops = 0;       ///< symbolic factorization flop count

@@ -366,8 +366,7 @@ struct RequestState {
       s.clock += ctx->model.alpha;
       ctx->record(me_world, {TraceEvent::Kind::Send, t0, s.clock, dst, bytes,
                              ComputeKind::Other, -1});
-      s.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
-      s.messages_sent[static_cast<std::size_t>(plane)] += 1;
+      s.add_sent(plane, bytes);
       ctx->deliver_at(dst, {comm_id, me_world, ftag}, child_slots[c],
                       {std::vector<real_t>(buf.begin(), buf.end()), arrival});
     }
@@ -392,8 +391,7 @@ struct RequestState {
     ctx->record(me_world, {TraceEvent::Kind::Wait, t0, s.clock, peer_world,
                            bytes, ComputeKind::Other, -1});
     s.wait_seconds += s.clock - t0;
-    s.bytes_received[static_cast<std::size_t>(plane)] += bytes;
-    s.messages_received[static_cast<std::size_t>(plane)] += 1;
+    s.add_received(plane, bytes);
     if (kind == Kind::Bcast) {
       SLU3D_CHECK(env->payload.size() == buf.size(), "ibcast size mismatch");
       std::copy(env->payload.begin(), env->payload.end(), buf.begin());
@@ -485,6 +483,21 @@ void Comm::advance_clock_to(double t) {
   st.clock = std::max(st.clock, t);
 }
 
+void Comm::begin_analysis_phase() {
+  assert_funneled();
+  auto& st = stats();
+  st.in_analysis_phase = true;
+  st.analysis_phase_start = st.clock;
+}
+
+void Comm::end_analysis_phase() {
+  assert_funneled();
+  auto& st = stats();
+  if (!st.in_analysis_phase) return;
+  st.in_analysis_phase = false;
+  st.analysis_seconds += st.clock - st.analysis_phase_start;
+}
+
 void Comm::add_compute(offset_t flops, ComputeKind kind) {
   assert_funneled();
   const double dt = ctx_->model.compute_time(flops);
@@ -541,8 +554,7 @@ void send_charged(detail::Context* ctx, std::uint64_t comm_id, int me_world,
   st.clock = arrival;
   ctx->record(me_world, {TraceEvent::Kind::Send, t0, st.clock, dst_world, bytes,
                          ComputeKind::Other, -1});
-  st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
-  st.messages_sent[static_cast<std::size_t>(plane)] += 1;
+  st.add_sent(plane, bytes);
   ctx->deliver(dst_world, {comm_id, me_world, ft},
                {std::vector<real_t>(payload.begin(), payload.end()), arrival});
 }
@@ -561,9 +573,7 @@ std::vector<real_t> recv_charged(detail::Context* ctx, std::uint64_t comm_id,
                          payload_bytes(env.payload.size()), ComputeKind::Other,
                          -1});
   st.wait_seconds += st.clock - t0;
-  st.bytes_received[static_cast<std::size_t>(plane)] +=
-      payload_bytes(env.payload.size());
-  st.messages_received[static_cast<std::size_t>(plane)] += 1;
+  st.add_received(plane, payload_bytes(env.payload.size()));
   return env.payload;
 }
 
@@ -603,8 +613,7 @@ Request Comm::isend(int dst, int tag, std::span<const real_t> payload,
   const double arrival = ctx_->charge_transfer(me, dst_world, bytes, t0);
   ctx_->record(me, {TraceEvent::Kind::Send, t0, st.clock, dst_world, bytes,
                     ComputeKind::Other, -1});
-  st.bytes_sent[static_cast<std::size_t>(plane)] += bytes;
-  st.messages_sent[static_cast<std::size_t>(plane)] += 1;
+  st.add_sent(plane, bytes);
   ctx_->deliver(dst_world, {comm_id_, me, ft},
                 {std::vector<real_t>(payload.begin(), payload.end()), arrival});
   auto state = std::make_unique<detail::RequestState>();
@@ -972,8 +981,7 @@ void Window::post_op(int target, std::vector<real_t> payload,
   const double arrival = ctx_->charge_transfer(me, dst, data_bytes, t0);
   ctx_->record(me, {TraceEvent::Kind::Send, t0, st.clock, dst, data_bytes,
                     ComputeKind::Other, -1});
-  st.bytes_sent[static_cast<std::size_t>(plane_)] += data_bytes;
-  st.messages_sent[static_cast<std::size_t>(plane_)] += 1;
+  st.add_sent(plane_, data_bytes);
   ctx_->deliver(dst, {sh_->uid, me, rma_op_tag()},
                 {std::move(payload), arrival});
 }
@@ -1066,8 +1074,7 @@ void Window::apply_envelope(int origin, std::vector<real_t> payload,
                     members_[static_cast<std::size_t>(origin)], bytes,
                     ComputeKind::Other, -1});
   s.wait_seconds += s.clock - t0;
-  s.bytes_received[static_cast<std::size_t>(plane_)] += bytes;
-  s.messages_received[static_cast<std::size_t>(plane_)] += 1;
+  s.add_received(plane_, bytes);
   const std::uint64_t h0 = std::bit_cast<std::uint64_t>(payload[0]);
   const std::size_t offset = static_cast<std::size_t>(h0 & kRmaOffsetMask);
   const std::size_t len = static_cast<std::size_t>(
@@ -1140,8 +1147,7 @@ void Window::get(int target, std::size_t offset, std::span<real_t> out) {
                     members_[static_cast<std::size_t>(target)], bytes,
                     ComputeKind::Other, -1});
   st.wait_seconds += start - t0;
-  st.bytes_received[static_cast<std::size_t>(plane_)] += bytes;
-  st.messages_received[static_cast<std::size_t>(plane_)] += 1;
+  st.add_received(plane_, bytes);
   std::copy_n(snap.begin() + static_cast<std::ptrdiff_t>(offset), out.size(),
               out.begin());
 }
@@ -1247,6 +1253,25 @@ offset_t RunResult::total_panel_saved_bytes() const {
 offset_t RunResult::total_panel_saved_msgs() const {
   offset_t total = 0;
   for (const auto& r : ranks) total += r.panel_saved_msgs;
+  return total;
+}
+
+double RunResult::max_analysis_seconds() const {
+  double best = 0;
+  for (const auto& r : ranks) best = std::max(best, r.analysis_seconds);
+  return best;
+}
+
+offset_t RunResult::max_analysis_bytes_received() const {
+  offset_t best = 0;
+  for (const auto& r : ranks)
+    best = std::max(best, r.total_analysis_bytes_received());
+  return best;
+}
+
+offset_t RunResult::total_analysis_messages_sent() const {
+  offset_t total = 0;
+  for (const auto& r : ranks) total += r.total_analysis_messages_sent();
   return total;
 }
 

@@ -158,6 +158,16 @@ class Comm {
   /// window is LogGP-charged on `plane`.
   Window win_create(int tag, std::span<real_t> local, CommPlane plane);
 
+  /// Brackets the cold-start analysis stage (ordering + symbolic run
+  /// in-sim; see src/analysis/). Between the two calls every byte/message
+  /// charged on this rank is mirrored into RankStats::analysis_* and the
+  /// clock advance accumulates into analysis_seconds, so W_analysis /
+  /// msg_analysis can be reported separately from the numeric phase of
+  /// the same run. Nesting is not supported; end without begin is a
+  /// no-op.
+  void begin_analysis_phase();
+  void end_analysis_phase();
+
   /// Advance the logical clock by the model cost of `flops`.
   void add_compute(offset_t flops, ComputeKind kind);
   /// Advance the logical clock by raw seconds (e.g. imbalance injection).
@@ -338,6 +348,13 @@ struct RunResult {
   offset_t total_panel_dense_bytes() const;
   offset_t total_panel_saved_bytes() const;
   offset_t total_panel_saved_msgs() const;
+  /// Analysis-phase aggregates (zero unless the run bracketed work in
+  /// Comm::begin/end_analysis_phase): critical-path seconds, the paper's
+  /// per-process received-volume metric restricted to the phase, and the
+  /// total message count of the phase.
+  double max_analysis_seconds() const;
+  offset_t max_analysis_bytes_received() const;
+  offset_t total_analysis_messages_sent() const;
   /// Total transfer-queueing time across all links (== the sum of every
   /// rank's link_queue_seconds); zero on an uncontended run.
   double total_link_queue_seconds() const;

@@ -7,110 +7,85 @@
 
 namespace slu3d {
 
-BlockStructure::BlockStructure(const CsrMatrix& A, const SeparatorTree& tree) {
-  SLU3D_CHECK(A.n_rows() == A.n_cols(), "block structure needs square A");
-  SLU3D_CHECK(A.n_rows() == tree.n(), "tree size mismatch");
-  n_ = A.n_rows();
-  n_snodes_ = tree.n_nodes();
+SnodeNumbering SnodeNumbering::from_tree(const SeparatorTree& tree) {
+  SnodeNumbering num;
+  num.n = tree.n();
+  num.n_snodes = tree.n_nodes();
 
   // --- Renumber tree nodes into column order (== a postorder). ---------
-  std::vector<int> by_col(static_cast<std::size_t>(n_snodes_));
-  std::iota(by_col.begin(), by_col.end(), 0);
+  num.by_col.resize(static_cast<std::size_t>(num.n_snodes));
+  std::iota(num.by_col.begin(), num.by_col.end(), 0);
   // Ties at sep_first happen with empty separator blocks. An empty node
   // marks the end of its subtree, so it must precede any node of the
   // *next* branch starting at the same column (smaller sep_last first);
   // among nested empty nodes at the same boundary, the deeper one is the
   // descendant and must come first.
-  std::vector<int> depth(static_cast<std::size_t>(n_snodes_));
-  for (int v = 0; v < n_snodes_; ++v)
+  std::vector<int> depth(static_cast<std::size_t>(num.n_snodes));
+  for (int v = 0; v < num.n_snodes; ++v)
     depth[static_cast<std::size_t>(v)] = tree.depth(v);
-  std::sort(by_col.begin(), by_col.end(), [&](int a, int b) {
+  std::sort(num.by_col.begin(), num.by_col.end(), [&](int a, int b) {
     if (tree.node(a).sep_first != tree.node(b).sep_first)
       return tree.node(a).sep_first < tree.node(b).sep_first;
     if (tree.node(a).sep_last != tree.node(b).sep_last)
       return tree.node(a).sep_last < tree.node(b).sep_last;
     return depth[static_cast<std::size_t>(a)] > depth[static_cast<std::size_t>(b)];
   });
-  std::vector<int> to_snode(static_cast<std::size_t>(n_snodes_));
-  for (int s = 0; s < n_snodes_; ++s)
-    to_snode[static_cast<std::size_t>(by_col[static_cast<std::size_t>(s)])] = s;
+  num.to_snode.resize(static_cast<std::size_t>(num.n_snodes));
+  for (int s = 0; s < num.n_snodes; ++s)
+    num.to_snode[static_cast<std::size_t>(num.by_col[static_cast<std::size_t>(s)])] = s;
 
-  snode_first_.resize(static_cast<std::size_t>(n_snodes_) + 1);
+  num.snode_first.resize(static_cast<std::size_t>(num.n_snodes) + 1);
+  for (int s = 0; s < num.n_snodes; ++s)
+    num.snode_first[static_cast<std::size_t>(s)] =
+        tree.node(num.by_col[static_cast<std::size_t>(s)]).sep_first;
+  num.snode_first[static_cast<std::size_t>(num.n_snodes)] = num.n;
+
+  num.col_to_snode.resize(static_cast<std::size_t>(num.n));
+  for (int s = 0; s < num.n_snodes; ++s)
+    for (index_t c = num.first_col(s); c < num.beyond_col(s); ++c)
+      num.col_to_snode[static_cast<std::size_t>(c)] = s;
+  return num;
+}
+
+void BlockStructure::init_tree(const SeparatorTree& tree, SnodeNumbering num) {
+  n_ = num.n;
+  n_snodes_ = num.n_snodes;
   nd_parent_.assign(static_cast<std::size_t>(n_snodes_), -1);
   nd_children_.assign(static_cast<std::size_t>(n_snodes_), {});
   for (int s = 0; s < n_snodes_; ++s) {
-    const auto& nd = tree.node(by_col[static_cast<std::size_t>(s)]);
-    snode_first_[static_cast<std::size_t>(s)] = nd.sep_first;
+    const auto& nd = tree.node(num.by_col[static_cast<std::size_t>(s)]);
     if (nd.parent >= 0) {
-      const int p = to_snode[static_cast<std::size_t>(nd.parent)];
+      const int p = num.to_snode[static_cast<std::size_t>(nd.parent)];
       SLU3D_CHECK(p > s, "parent supernode must come after its children");
       nd_parent_[static_cast<std::size_t>(s)] = p;
       nd_children_[static_cast<std::size_t>(p)].push_back(s);
     }
   }
-  snode_first_[static_cast<std::size_t>(n_snodes_)] = n_;
   // The supernode ranges must tile [0, n) exactly in id order: each
   // node's own column range must end where the next one's begins. (This
   // is what guarantees that snode ids, ranges, and tree links stay
-  // mutually consistent — see the tie-break comment above.)
+  // mutually consistent — see the tie-break comment in from_tree.)
   for (int s = 0; s < n_snodes_; ++s)
-    SLU3D_CHECK(tree.node(by_col[static_cast<std::size_t>(s)]).sep_last ==
-                    snode_first_[static_cast<std::size_t>(s) + 1],
+    SLU3D_CHECK(tree.node(num.by_col[static_cast<std::size_t>(s)]).sep_last ==
+                    num.snode_first[static_cast<std::size_t>(s) + 1],
                 "supernode ranges must tile the column space in id order");
+  snode_first_ = std::move(num.snode_first);
+  col_to_snode_ = std::move(num.col_to_snode);
+}
 
-  col_to_snode_.resize(static_cast<std::size_t>(n_));
-  for (int s = 0; s < n_snodes_; ++s)
-    for (index_t c = first_col(s); c < snode_first_[static_cast<std::size_t>(s) + 1]; ++c)
-      col_to_snode_[static_cast<std::size_t>(c)] = s;
-
-  // --- Initial row candidates from the (symmetrized, permuted) pattern. -
-  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
-  const CsrMatrix S = Ap.pattern_is_symmetric() ? Ap : Ap.symmetrized_pattern();
-  std::vector<std::vector<index_t>> rowset(static_cast<std::size_t>(n_snodes_));
-  for (index_t i = 0; i < n_; ++i) {
-    const int si = col_to_snode(i);
-    for (index_t j : S.row_cols(i)) {
-      const int sj = col_to_snode(j);
-      if (sj < si) rowset[static_cast<std::size_t>(sj)].push_back(i);
-    }
-  }
-
-  // --- Supernodal symbolic elimination via first-ancestor merging. -----
-  // pending[s] collects the supernodes whose remaining row structure must
-  // be merged into s (their first below-panel row lies in s).
-  std::vector<std::vector<int>> pending(static_cast<std::size_t>(n_snodes_));
-  std::vector<index_t> mark(static_cast<std::size_t>(n_), -1);
+void BlockStructure::finalize_panels(std::vector<std::vector<index_t>> rowsets) {
+  SLU3D_CHECK(rowsets.size() == static_cast<std::size_t>(n_snodes_),
+              "one row set per supernode");
   lpanel_.resize(static_cast<std::size_t>(n_snodes_));
   panel_rows_.assign(static_cast<std::size_t>(n_snodes_), 0);
   flops_.assign(static_cast<std::size_t>(n_snodes_), 0);
   nnz_.assign(static_cast<std::size_t>(n_snodes_), 0);
 
   for (int s = 0; s < n_snodes_; ++s) {
-    auto& rs = rowset[static_cast<std::size_t>(s)];
+    const auto& rs = rowsets[static_cast<std::size_t>(s)];
     const index_t beyond = snode_first_[static_cast<std::size_t>(s) + 1];
-    // Deduplicate the A-pattern candidates.
-    std::sort(rs.begin(), rs.end());
-    rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
-    for (index_t r : rs) mark[static_cast<std::size_t>(r)] = static_cast<index_t>(s);
-    // Merge children's structures (rows beyond this supernode's range).
-    for (int c : pending[static_cast<std::size_t>(s)]) {
-      for (index_t r : rowset[static_cast<std::size_t>(c)]) {
-        if (r >= beyond && mark[static_cast<std::size_t>(r)] != static_cast<index_t>(s)) {
-          mark[static_cast<std::size_t>(r)] = static_cast<index_t>(s);
-          rs.push_back(r);
-        }
-      }
-      // The child's rows are no longer needed once merged upward; free them
-      // only if it has already been split into panel blocks (it has: c < s).
-    }
-    std::sort(rs.begin(), rs.end());
     SLU3D_CHECK(rs.empty() || rs.front() >= beyond,
                 "panel row inside own supernode range");
-
-    if (!rs.empty()) {
-      const int ep = col_to_snode(rs.front());
-      pending[static_cast<std::size_t>(ep)].push_back(s);
-    }
 
     // Split the rowset into per-ancestor panel blocks.
     auto& panel = lpanel_[static_cast<std::size_t>(s)];
@@ -133,6 +108,61 @@ BlockStructure::BlockStructure(const CsrMatrix& A, const SeparatorTree& tree) {
     total_flops_ += flops_[static_cast<std::size_t>(s)];
     total_nnz_ += nnz_[static_cast<std::size_t>(s)];
   }
+}
+
+BlockStructure::BlockStructure(const CsrMatrix& A, const SeparatorTree& tree) {
+  SLU3D_CHECK(A.n_rows() == A.n_cols(), "block structure needs square A");
+  SLU3D_CHECK(A.n_rows() == tree.n(), "tree size mismatch");
+  init_tree(tree, SnodeNumbering::from_tree(tree));
+
+  // --- Initial row candidates from the (symmetrized, permuted) pattern. -
+  const CsrMatrix Ap = A.permuted_symmetric(tree.perm());
+  const CsrMatrix S = Ap.pattern_is_symmetric() ? Ap : Ap.symmetrized_pattern();
+  std::vector<std::vector<index_t>> rowset(static_cast<std::size_t>(n_snodes_));
+  for (index_t i = 0; i < n_; ++i) {
+    const int si = col_to_snode(i);
+    for (index_t j : S.row_cols(i)) {
+      const int sj = col_to_snode(j);
+      if (sj < si) rowset[static_cast<std::size_t>(sj)].push_back(i);
+    }
+  }
+
+  // --- Supernodal symbolic elimination via first-ancestor merging. -----
+  // pending[s] collects the supernodes whose remaining row structure must
+  // be merged into s (their first below-panel row lies in s).
+  std::vector<std::vector<int>> pending(static_cast<std::size_t>(n_snodes_));
+  std::vector<index_t> mark(static_cast<std::size_t>(n_), -1);
+
+  for (int s = 0; s < n_snodes_; ++s) {
+    auto& rs = rowset[static_cast<std::size_t>(s)];
+    const index_t beyond = snode_first_[static_cast<std::size_t>(s) + 1];
+    // Deduplicate the A-pattern candidates.
+    std::sort(rs.begin(), rs.end());
+    rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
+    for (index_t r : rs) mark[static_cast<std::size_t>(r)] = static_cast<index_t>(s);
+    // Merge children's structures (rows beyond this supernode's range).
+    for (int c : pending[static_cast<std::size_t>(s)]) {
+      for (index_t r : rowset[static_cast<std::size_t>(c)]) {
+        if (r >= beyond && mark[static_cast<std::size_t>(r)] != static_cast<index_t>(s)) {
+          mark[static_cast<std::size_t>(r)] = static_cast<index_t>(s);
+          rs.push_back(r);
+        }
+      }
+    }
+    std::sort(rs.begin(), rs.end());
+
+    if (!rs.empty()) {
+      const int ep = col_to_snode(rs.front());
+      pending[static_cast<std::size_t>(ep)].push_back(s);
+    }
+  }
+  finalize_panels(std::move(rowset));
+}
+
+BlockStructure::BlockStructure(const SeparatorTree& tree,
+                               std::vector<std::vector<index_t>> rowsets) {
+  init_tree(tree, SnodeNumbering::from_tree(tree));
+  finalize_panels(std::move(rowsets));
 }
 
 }  // namespace slu3d

@@ -25,6 +25,34 @@ struct PanelBlock {
   index_t n_rows() const { return static_cast<index_t>(rows.size()); }
 };
 
+/// The deterministic renumbering of separator-tree nodes into column order
+/// (== postorder) that defines supernode ids. Factored out of
+/// BlockStructure so the distributed analysis phase (src/analysis/) can
+/// compute identical supernode ids on every rank — the tie-break for empty
+/// separator blocks below is part of the determinism contract (see
+/// DESIGN.md, "Distributed analysis") and must not change independently of
+/// BlockStructure.
+struct SnodeNumbering {
+  int n_snodes = 0;
+  index_t n = 0;
+  std::vector<int> by_col;           ///< snode id -> tree node id
+  std::vector<int> to_snode;         ///< tree node id -> snode id
+  std::vector<index_t> snode_first;  ///< size n_snodes + 1, tiles [0, n)
+  std::vector<int> col_to_snode;     ///< size n
+
+  static SnodeNumbering from_tree(const SeparatorTree& tree);
+
+  int snode_of_col(index_t col) const {
+    return col_to_snode[static_cast<std::size_t>(col)];
+  }
+  index_t first_col(int s) const {
+    return snode_first[static_cast<std::size_t>(s)];
+  }
+  index_t beyond_col(int s) const {
+    return snode_first[static_cast<std::size_t>(s) + 1];
+  }
+};
+
 /// Complete block symbolic structure for a pattern-symmetric LU
 /// factorization. Supernode ids are the separator-tree nodes renumbered in
 /// column order (== postorder), so ascending id order is a valid
@@ -35,6 +63,16 @@ class BlockStructure {
   /// (A is the *unpermuted* matrix; the structure refers to permuted
   /// indices.)
   BlockStructure(const CsrMatrix& A, const SeparatorTree& tree);
+
+  /// Builds the structure from precomputed *final* per-supernode row sets
+  /// (sorted, deduplicated, post fill-in merge — exactly what the primary
+  /// constructor's symbolic elimination produces). This is the layout-only
+  /// path the distributed analysis phase uses after its ranks have
+  /// exchanged row structures: no pattern scan, no merging, just the
+  /// panel-block split and statistics. Given equal trees and row sets the
+  /// result is bitwise identical to the primary constructor's.
+  BlockStructure(const SeparatorTree& tree,
+                 std::vector<std::vector<index_t>> rowsets);
 
   int n_snodes() const { return n_snodes_; }
   index_t n() const { return n_; }
@@ -76,6 +114,14 @@ class BlockStructure {
   offset_t total_nnz() const { return total_nnz_; }
 
  private:
+  /// Shared first stage of both constructors: adopts the numbering, builds
+  /// the ND parent/child links, and validates that supernode ranges tile
+  /// the column space.
+  void init_tree(const SeparatorTree& tree, SnodeNumbering num);
+  /// Shared last stage: splits each final row set into per-ancestor panel
+  /// blocks and computes the flop/storage statistics.
+  void finalize_panels(std::vector<std::vector<index_t>> rowsets);
+
   index_t n_ = 0;
   int n_snodes_ = 0;
   std::vector<index_t> snode_first_;

@@ -1,0 +1,305 @@
+// The distributed-analysis contract (src/analysis/): analysis run inside
+// the simulated machine — SequentialSim on rank 0 or subtree-parallel
+// Distributed — must be *bitwise* interchangeable with the host path.
+//
+//  * DistAnalysis.*: oracle equality. analyze_host is the oracle; both
+//    in-sim modes must reproduce its permutation, separator tree, etree,
+//    and BlockStructure exactly, on every rank, swept over the fig9/fig10
+//    problem classes x grid shapes {1x1x1, 2x2x1, 2x2x2, 4x2x2} x both ND
+//    variants.
+//  * DistAnalysisFuzz.*: randomized graphs (>= 12 seeds), asserting the
+//    full pipeline (analysis -> 3D factorization -> 3D solve) from the
+//    distributed analysis yields bitwise-equal factors end-to-end — equal
+//    symbolic flops, equal factor bytes, and a bitwise-equal solution
+//    panel — vs. the host-analysis run.
+//  * DistAnalysisColdStart.*: the regression pin for the cold-start
+//    critical path. At P = 64 the Distributed mode must beat the
+//    SequentialSim baseline measurably (simulated seconds, analysis
+//    included), and warm cache hits must be untouched by either mode.
+//  * The ParallelNdRanks tie-break pin rides in DistAnalysis.NdTieBreak*:
+//    sequential and parallel ND agree on the *whole* tree (not just the
+//    top separator), which is what makes the oracle equality possible.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "analysis/dist_analysis.hpp"
+#include "lu3d/solver3d.hpp"
+#include "order/parallel_nd.hpp"
+#include "service/solver_service.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace slu3d {
+namespace {
+
+using sim::MachineModel;
+using sim::run_ranks;
+
+const MachineModel kModel{};
+
+// Connected random graph: a Hamiltonian path plus `extra` random chords,
+// diagonally dominant so downstream LU is stable without pivot growth.
+CsrMatrix random_graph(index_t n, index_t extra, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i + 1 < n; ++i) {
+    coo.add(i, i + 1, -1.0);
+    coo.add(i + 1, i, -1.0);
+  }
+  for (index_t e = 0; e < extra; ++e) {
+    const auto a = static_cast<index_t>(rng.next_index(n));
+    const auto b = static_cast<index_t>(rng.next_index(n));
+    if (a == b) continue;
+    coo.add(a, b, -1.0);
+    coo.add(b, a, -1.0);
+  }
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 8.0);
+  return CsrMatrix::from_coo(coo);
+}
+
+bool same_tree(const SeparatorTree& a, const SeparatorTree& b) {
+  if (a.n_nodes() != b.n_nodes() || a.root() != b.root()) return false;
+  if (!std::equal(a.perm().begin(), a.perm().end(), b.perm().begin(),
+                  b.perm().end()))
+    return false;
+  for (int i = 0; i < a.n_nodes(); ++i) {
+    const auto &x = a.node(i), &y = b.node(i);
+    if (x.subtree_first != y.subtree_first || x.sep_first != y.sep_first ||
+        x.sep_last != y.sep_last || x.left != y.left || x.right != y.right ||
+        x.parent != y.parent)
+      return false;
+  }
+  return true;
+}
+
+bool same_bs(const BlockStructure& a, const BlockStructure& b) {
+  if (a.n_snodes() != b.n_snodes() || a.n() != b.n()) return false;
+  if (a.total_flops() != b.total_flops() || a.total_nnz() != b.total_nnz())
+    return false;
+  for (int s = 0; s < a.n_snodes(); ++s) {
+    if (a.first_col(s) != b.first_col(s) || a.nd_parent(s) != b.nd_parent(s) ||
+        a.panel_rows(s) != b.panel_rows(s) ||
+        a.snode_flops(s) != b.snode_flops(s))
+      return false;
+    const auto pa = a.lpanel(s), pb = b.lpanel(s);
+    if (pa.size() != pb.size()) return false;
+    for (std::size_t k = 0; k < pa.size(); ++k)
+      if (pa[k].snode != pb[k].snode || pa[k].rows != pb[k].rows) return false;
+  }
+  return true;
+}
+
+// One sweep point: a fig9/fig10 problem class at one simulated grid shape.
+struct SweepCase {
+  const char* cls;
+  int Px, Py, Pz;
+};
+
+CsrMatrix make_class(const std::string& cls) {
+  // The paper's problem families: K2D5pt-class planar grid (fig9/fig10
+  // planar), Serena-class 3D grid (fig9/fig10 nonplanar), G3_circuit-class
+  // irregular, and nlpkkt-class saddle point.
+  if (cls == "planar") return grid2d_laplacian({14, 13, 1}, Stencil2D::FivePoint);
+  if (cls == "grid3d") return grid3d_laplacian({7, 6, 5}, Stencil3D::SevenPoint);
+  if (cls == "circuit") return circuit2d({12, 12, 1}, 30, 42);
+  return kkt3d({5, 4, 3}, 7);
+}
+
+class DistAnalysisSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DistAnalysisSweep, InSimMatchesHostOracleBitwise) {
+  const SweepCase c = GetParam();
+  const CsrMatrix A = make_class(c.cls);
+  const int P = c.Px * c.Py * c.Pz;
+  for (const NdAlgorithm alg :
+       {NdAlgorithm::LevelSet, NdAlgorithm::Multilevel}) {
+    const NdOptions opts{.leaf_size = 8, .algorithm = alg};
+    const AnalysisResult oracle = analyze_host(A, opts);
+    for (const AnalysisMode mode :
+         {AnalysisMode::SequentialSim, AnalysisMode::Distributed}) {
+      std::vector<int> ok(static_cast<std::size_t>(P), -1);
+      const auto res = run_ranks(P, kModel, [&](sim::Comm& world) {
+        const AnalysisResult r = analyze_in_sim(A, world, opts, mode);
+        const bool good = same_tree(*oracle.tree, *r.tree) &&
+                          oracle.etree == r.etree && same_bs(*oracle.bs, *r.bs);
+        ok[static_cast<std::size_t>(world.rank())] = good ? 1 : 0;
+      });
+      for (int r = 0; r < P; ++r)
+        EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1)
+            << c.cls << " alg=" << static_cast<int>(alg)
+            << " mode=" << static_cast<int>(mode) << " P=" << P
+            << " rank=" << r;
+      // The phase must have been charged to the simulated clock.
+      EXPECT_GT(res.max_analysis_seconds(), 0);
+      if (mode == AnalysisMode::Distributed && P > 1) {
+        EXPECT_GT(res.total_analysis_messages_sent(), 0);
+      }
+    }
+  }
+}
+
+const SweepCase kSweep[] = {
+    {"planar", 1, 1, 1},  {"planar", 2, 2, 1},  {"planar", 2, 2, 2},
+    {"planar", 4, 2, 2},  {"grid3d", 1, 1, 1},  {"grid3d", 2, 2, 1},
+    {"grid3d", 2, 2, 2},  {"grid3d", 4, 2, 2},  {"circuit", 1, 1, 1},
+    {"circuit", 2, 2, 1}, {"circuit", 2, 2, 2}, {"circuit", 4, 2, 2},
+    {"kkt3d", 1, 1, 1},   {"kkt3d", 2, 2, 1},   {"kkt3d", 2, 2, 2},
+    {"kkt3d", 4, 2, 2},
+};
+
+INSTANTIATE_TEST_SUITE_P(Fig9Fig10Classes, DistAnalysisSweep,
+                         ::testing::ValuesIn(kSweep),
+                         [](const auto& param_info) {
+                           const SweepCase& c = param_info.param;
+                           return std::string(c.cls) + "_" +
+                                  std::to_string(c.Px) + "x" +
+                                  std::to_string(c.Py) + "x" +
+                                  std::to_string(c.Pz);
+                         });
+
+// Full-tree tie-break pin: sequential and parallel ND must agree on the
+// ENTIRE tree, bitwise, on irregular graphs full of equal-degree /
+// equal-gain ties — the property the distributed analysis' oracle equality
+// rests on. (MatchesSerialTopSeparatorChoice in test_parallel_nd only
+// checks the root separator.)
+TEST(DistAnalysis, NdTieBreakFullTreeMatchesSerial) {
+  const CsrMatrix A = circuit2d({13, 11, 1}, 40, 9);
+  for (const NdAlgorithm alg :
+       {NdAlgorithm::LevelSet, NdAlgorithm::Multilevel}) {
+    const NdOptions opts{.leaf_size = 8, .algorithm = alg};
+    const SeparatorTree serial = nested_dissection(A, opts);
+    for (int P : {2, 4, 8}) {
+      std::vector<int> ok(static_cast<std::size_t>(P), -1);
+      run_ranks(P, kModel, [&](sim::Comm& world) {
+        const SeparatorTree par = parallel_nested_dissection(A, world, opts);
+        ok[static_cast<std::size_t>(world.rank())] =
+            same_tree(serial, par) ? 1 : 0;
+      });
+      for (int r = 0; r < P; ++r)
+        EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1)
+            << "alg=" << static_cast<int>(alg) << " P=" << P << " rank=" << r;
+    }
+  }
+}
+
+// The stats funnel is a pure refactor outside an analysis phase: a run
+// that never calls begin_analysis_phase reports a zero analysis split.
+TEST(DistAnalysis, NoPhaseMeansZeroAnalysisSplit) {
+  const auto res = run_ranks(4, kModel, [&](sim::Comm& world) {
+    const std::vector<real_t> payload(32, 1.0);
+    const int peer = world.rank() ^ 1;
+    world.send(peer, 7, payload, sim::CommPlane::XY);
+    (void)world.recv(peer, 7, sim::CommPlane::XY);
+    world.barrier(9, sim::CommPlane::XY);
+  });
+  EXPECT_EQ(res.max_analysis_seconds(), 0);
+  EXPECT_EQ(res.max_analysis_bytes_received(), 0);
+  EXPECT_EQ(res.total_analysis_messages_sent(), 0);
+}
+
+// >= 12 random graphs: the full pipeline from the distributed analysis
+// must equal the host-analysis pipeline bitwise — same symbolic flops,
+// same factor bytes, and a bitwise-identical solution panel. The numeric
+// phase is deterministic (Determinism suite), so any deviation here is
+// the analysis producing a different structure.
+TEST(DistAnalysisFuzz, RandomGraphsFactorBitwiseEqualEndToEnd) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const index_t n = 120 + static_cast<index_t>(seed) * 7;
+    const CsrMatrix A =
+        random_graph(n, n + static_cast<index_t>(seed) * 11, 5000 + seed);
+    const auto un = static_cast<std::size_t>(n);
+    Rng rng(77 + seed);
+    std::vector<real_t> xref(un), b(un);
+    for (auto& v : xref) v = rng.uniform(-1, 1);
+    A.spmv(xref, b);
+
+    Solver3dOptions opt;
+    opt.Px = 2;
+    opt.Py = 2;
+    opt.Pz = 2;
+    opt.nd.leaf_size = 8;
+    opt.nd.algorithm = NdAlgorithm::Multilevel;
+    opt.refinement_steps = 0;
+
+    std::vector<real_t> x_host(un), x_dist(un);
+    opt.analysis = AnalysisMode::Host;
+    const auto rep_host = solve_distributed_3d(A, b, x_host, opt);
+    opt.analysis = AnalysisMode::Distributed;
+    const auto rep_dist = solve_distributed_3d(A, b, x_dist, opt);
+
+    EXPECT_LT(rep_host.residual, 1e-12) << "seed=" << seed;
+    EXPECT_EQ(rep_host.flops, rep_dist.flops) << "seed=" << seed;
+    EXPECT_EQ(rep_host.mem_total, rep_dist.mem_total) << "seed=" << seed;
+    EXPECT_EQ(rep_host.mem_max, rep_dist.mem_max) << "seed=" << seed;
+    EXPECT_EQ(rep_host.w_fact, rep_dist.w_fact) << "seed=" << seed;
+    EXPECT_EQ(rep_host.w_red, rep_dist.w_red) << "seed=" << seed;
+    for (std::size_t i = 0; i < un; ++i)
+      ASSERT_EQ(x_host[i], x_dist[i]) << "seed=" << seed << " i=" << i;
+    // Only the in-sim run carries an analysis split.
+    EXPECT_EQ(rep_host.t_analysis, 0) << "seed=" << seed;
+    EXPECT_GT(rep_dist.t_analysis, 0) << "seed=" << seed;
+    EXPECT_GT(rep_dist.msg_analysis, 0) << "seed=" << seed;
+  }
+}
+
+// Cold-start regression pin at P = 64: putting the analysis on the ranks
+// subtree-parallel must beat the honest sequential-on-rank-0 baseline on
+// the simulated critical path. Measured headroom is ~2.4x (dist/seq
+// analysis ratio ~0.41 on this problem), so the 0.7x pin has slack
+// without being vacuous. Warm hits skip analysis entirely in both modes.
+TEST(DistAnalysisColdStart, DistributedBeatsSequentialBaselineAtP64) {
+  const CsrMatrix A = grid2d_laplacian({40, 40, 1}, Stencil2D::FivePoint);
+
+  auto make_opts = [&](AnalysisMode mode) {
+    service::ServiceOptions o;
+    o.Px = 4;
+    o.Py = 4;
+    o.Pz = 4;
+    o.nd.leaf_size = 8;
+    o.nd.algorithm = NdAlgorithm::Multilevel;
+    o.analysis = mode;
+    return o;
+  };
+
+  service::SolverService seq(make_opts(AnalysisMode::SequentialSim));
+  service::SolverService dist(make_opts(AnalysisMode::Distributed));
+
+  const service::FactorReport cold_seq = seq.factor(A);
+  const service::FactorReport cold_dist = dist.factor(A);
+
+  ASSERT_FALSE(cold_seq.cache_hit);
+  ASSERT_FALSE(cold_dist.cache_hit);
+  ASSERT_GT(cold_seq.t_analysis, 0);
+  ASSERT_GT(cold_dist.t_analysis, 0);
+  // Identical structure either way — the modes only move where the
+  // analysis runs, never what it produces.
+  EXPECT_EQ(cold_seq.flops, cold_dist.flops);
+  EXPECT_EQ(cold_seq.mem_total, cold_dist.mem_total);
+
+  // The pin: the distributed analysis phase, and with it the whole
+  // cold-start critical path, is measurably faster.
+  EXPECT_LT(cold_dist.t_analysis, 0.7 * cold_seq.t_analysis);
+  EXPECT_LT(cold_dist.factor_time, cold_seq.factor_time);
+  // The split is consistent: analysis time is part of factor_time.
+  EXPECT_LE(cold_dist.t_analysis, cold_dist.factor_time);
+  EXPECT_LE(cold_seq.t_analysis, cold_seq.factor_time);
+
+  // Warm hits are unaffected: no analysis runs, no analysis split is
+  // reported, and the two modes' refactorization paths are identical.
+  const service::FactorReport warm_seq = seq.factor(A);
+  const service::FactorReport warm_dist = dist.factor(A);
+  EXPECT_TRUE(warm_seq.cache_hit);
+  EXPECT_TRUE(warm_dist.cache_hit);
+  EXPECT_EQ(warm_seq.t_analysis, 0);
+  EXPECT_EQ(warm_dist.t_analysis, 0);
+  EXPECT_EQ(warm_seq.w_analysis, 0);
+  EXPECT_EQ(warm_dist.w_analysis, 0);
+  EXPECT_DOUBLE_EQ(warm_seq.factor_time, warm_dist.factor_time);
+  EXPECT_EQ(seq.stats().analyses, 1);
+  EXPECT_EQ(dist.stats().analyses, 1);
+}
+
+}  // namespace
+}  // namespace slu3d

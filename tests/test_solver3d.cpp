@@ -127,7 +127,7 @@ TEST(Solver3d, DistributedRefinementTightensResidual) {
   EXPECT_LT(rep2.residual, 1e-12);
 }
 
-TEST(Solver3d, InSimulationParallelOrdering) {
+TEST(Solver3d, InSimulationDistributedAnalysis) {
   const GridGeometry g{12, 11, 1};
   const CsrMatrix A = grid2d_laplacian(g, Stencil2D::FivePoint);
   const auto n = static_cast<std::size_t>(A.n_rows());
@@ -140,11 +140,15 @@ TEST(Solver3d, InSimulationParallelOrdering) {
   opt.Px = 2;
   opt.Py = 2;
   opt.Pz = 2;
-  opt.parallel_ordering = true;  // ordering runs inside the machine
+  opt.analysis = AnalysisMode::Distributed;  // analysis runs inside the machine
   opt.nd.leaf_size = 8;
   const auto rep = solve_distributed_3d(A, b, x, opt);
   EXPECT_LT(rep.residual, 1e-12);
   EXPECT_GT(rep.flops, 0);
+  EXPECT_GT(rep.t_analysis, 0);
+  EXPECT_GT(rep.w_analysis, 0);
+  EXPECT_GT(rep.msg_analysis, 0);
+  EXPECT_GE(rep.factor_time, rep.t_analysis);
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-7);
 }
 

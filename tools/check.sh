@@ -30,7 +30,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # front end (coalesced batch dispatch, cache-warm migration) also runs
 # every sanitizer leg with SLU3D_THREADS=4 pools under the shards.
 REQUIRED_SUITES=(CommEquivalence ThreadPool Funneled Determinism Rma
-                 RandomTargetedDeliveryFuzz Fleet PlatformRuntime)
+                 RandomTargetedDeliveryFuzz Fleet PlatformRuntime
+                 DistAnalysis)
 
 require_suites() {
   local dir="$1" list
